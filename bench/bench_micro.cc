@@ -1,0 +1,144 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate itself:
+ * event-queue throughput, cache-array lookups, the LLC GetS path,
+ * NoC transfers, DRAM accesses, and a complete small invocation.
+ * These quantify the cost of the modeling decisions documented in
+ * DESIGN.md (endpoint-contention NoC, functional+timed coherence).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
+#include "soc/soc_presets.hh"
+
+using namespace cohmeleon;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Cycles>(i % 97), [] {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    mem::CacheArray array("bench", 64 * 1024, 8);
+    for (unsigned i = 0; i < 1024; ++i) {
+        mem::CacheLine *slot =
+            array.victimFor(static_cast<Addr>(i) * kLineBytes);
+        slot->lineAddr = static_cast<Addr>(i) * kLineBytes;
+        slot->state = mem::CState::kShared;
+        array.touch(slot);
+    }
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(array.find(addr));
+        addr = (addr + kLineBytes) % (1024 * kLineBytes);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_NocTransfer(benchmark::State &state)
+{
+    noc::MeshTopology topo(5, 5);
+    noc::NocModel noc(topo, noc::NocParams{});
+    Cycles now = 0;
+    for (auto _ : state) {
+        now = noc.transfer(now, 0, 24, noc::Plane::kDmaRsp,
+                           kLineBytes);
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NocTransfer);
+
+void
+BM_DramAccessStreaming(benchmark::State &state)
+{
+    mem::DramController dram("bench", mem::DramParams{});
+    Addr addr = 0;
+    Cycles now = 0;
+    for (auto _ : state) {
+        now = dram.access(now, addr, false);
+        addr += kLineBytes;
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramAccessStreaming);
+
+void
+BM_LlcGetSPath(benchmark::State &state)
+{
+    noc::MeshTopology topo(3, 3);
+    noc::NocModel noc(topo, noc::NocParams{});
+    mem::AddressMap map(1, 64ull * 1024 * 1024);
+    mem::MemorySystem ms(noc, map, mem::MemTimingParams{}, 512 * 1024,
+                         8, {0});
+    mem::L2Cache &l2 = ms.addL2("bench.l2", 4, 32 * 1024, 4);
+    Addr addr = 0;
+    Cycles now = 0;
+    for (auto _ : state) {
+        const mem::AccessResult r = l2.read(now, addr);
+        now = r.done;
+        addr = (addr + kLineBytes) % (1024 * 1024);
+        benchmark::DoNotOptimize(r.done);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LlcGetSPath);
+
+void
+BM_FullSmallInvocation(benchmark::State &state)
+{
+    setQuiet(true);
+    soc::Soc soc(soc::makeSoc1());
+    policy::ScriptedPolicy policy(coh::CoherenceMode::kCohDma);
+    rt::EspRuntime runtime(soc, policy);
+    for (auto _ : state) {
+        const rt::InvocationRecord r = bench::isolatedRun(
+            soc, runtime, policy, 0, coh::CoherenceMode::kCohDma,
+            16 * 1024);
+        benchmark::DoNotOptimize(r.wallCycles);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullSmallInvocation);
+
+void
+BM_SimulatedCyclesPerHostSecond(benchmark::State &state)
+{
+    setQuiet(true);
+    soc::Soc soc(soc::makeSoc1());
+    policy::ScriptedPolicy policy(coh::CoherenceMode::kNonCohDma);
+    rt::EspRuntime runtime(soc, policy);
+    std::uint64_t simCycles = 0;
+    for (auto _ : state) {
+        const rt::InvocationRecord r = bench::isolatedRun(
+            soc, runtime, policy, 0, coh::CoherenceMode::kNonCohDma,
+            256 * 1024);
+        simCycles += r.wallCycles;
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(simCycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedCyclesPerHostSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: scale
+ * control (quick vs. full runs), isolated-invocation drivers, and
+ * table formatting.
+ *
+ * Every binary prints the rows/series of the corresponding paper
+ * figure. Set COHMELEON_BENCH_FULL=1 to run at full paper scale
+ * (more iterations / phases); the default "quick" scale preserves
+ * every qualitative shape while keeping the whole suite fast.
+ */
+
+#ifndef COHMELEON_BENCH_BENCH_UTIL_HH
+#define COHMELEON_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "policy/policy.hh"
+#include "rt/runtime.hh"
+#include "sim/logging.hh"
+#include "soc/soc.hh"
+
+namespace cohmeleon::bench
+{
+
+/** Whether the full (paper-scale) configuration was requested. */
+inline bool
+fullScale()
+{
+    const char *env = std::getenv("COHMELEON_BENCH_FULL");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/** Print the standard bench header. */
+inline void
+banner(const char *what, const char *paperRef)
+{
+    std::printf("=== %s ===\n", what);
+    std::printf("reproduces: %s\n", paperRef);
+    std::printf("scale: %s (set COHMELEON_BENCH_FULL=1 for full)\n\n",
+                fullScale() ? "full" : "quick");
+}
+
+/** One warmed, isolated invocation driven to completion. */
+inline rt::InvocationRecord
+isolatedRun(soc::Soc &soc, rt::EspRuntime &runtime,
+            policy::ScriptedPolicy &policy, AccId acc,
+            coh::CoherenceMode mode, std::uint64_t footprint)
+{
+    soc.reset();
+    runtime.reset();
+    policy.setMode(mode);
+
+    mem::Allocation data = soc.allocator().allocate(footprint);
+    const Cycles warm =
+        soc.cpuWriteRange(soc.eq().now(), 0, data, footprint);
+
+    rt::InvocationRecord record;
+    bool finished = false;
+    soc.eq().scheduleAt(warm, [&] {
+        rt::InvocationRequest req;
+        req.acc = acc;
+        req.footprintBytes = footprint;
+        req.data = &data;
+        runtime.invoke(0, req, [&](const rt::InvocationRecord &r) {
+            record = r;
+            finished = true;
+        });
+    });
+    soc.eq().run();
+    panic_if(!finished, "bench invocation did not finish");
+    soc.allocator().free(data);
+    return record;
+}
+
+/** "1.23" style fixed formatting that tolerates zero baselines. */
+inline std::string
+norm(double value, double baseline)
+{
+    char buf[32];
+    if (baseline <= 0.0) {
+        std::snprintf(buf, sizeof(buf), value <= 0.0 ? "0.00" : "inf");
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f", value / baseline);
+    }
+    return buf;
+}
+
+} // namespace cohmeleon::bench
+
+#endif // COHMELEON_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Quickstart: build an SoC, run one accelerator under each of the
+ * four coherence modes and three workload sizes, then let Cohmeleon
+ * pick modes automatically.
+ *
+ * This walks the whole public API surface:
+ *   SocConfig/Soc -> EspRuntime + policy -> invoke() -> records.
+ */
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+#include "app/app_runner.hh"
+#include "app/config_parser.hh"
+#include "policy/cohmeleon_policy.hh"
+#include "policy/policy.hh"
+#include "rt/runtime.hh"
+#include "soc/soc_presets.hh"
+
+using namespace cohmeleon;
+
+namespace
+{
+
+/** Run one isolated, warmed invocation and print what happened. */
+void
+runOnce(soc::Soc &soc, rt::EspRuntime &runtime,
+        policy::ScriptedPolicy &policy, AccId acc,
+        coh::CoherenceMode mode, std::uint64_t footprint)
+{
+    soc.reset();
+    runtime.reset();
+    policy.setMode(mode);
+
+    mem::Allocation data = soc.allocator().allocate(footprint);
+    const Cycles warm =
+        soc.cpuWriteRange(soc.eq().now(), 0, data, footprint);
+
+    rt::InvocationRecord record;
+    soc.eq().scheduleAt(warm, [&] {
+        rt::InvocationRequest req;
+        req.acc = acc;
+        req.footprintBytes = footprint;
+        req.data = &data;
+        runtime.invoke(
+            0, req, [&](const rt::InvocationRecord &r) { record = r; });
+    });
+    soc.eq().run();
+    soc.allocator().free(data);
+
+    std::printf("  %-12s %9llu cycles  %7llu off-chip  (flush %llu, "
+                "comm %llu)\n",
+                std::string(toString(mode)).c_str(),
+                static_cast<unsigned long long>(record.wallCycles),
+                static_cast<unsigned long long>(record.ddrMonitorDelta),
+                static_cast<unsigned long long>(record.flushCycles),
+                static_cast<unsigned long long>(record.accCommCycles));
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+
+    // The Section-3 motivation SoC: one instance of each accelerator.
+    soc::Soc soc(soc::makeMotivationSoc());
+    policy::ScriptedPolicy scripted;
+    rt::EspRuntime runtime(soc, scripted);
+
+    std::printf("SoC '%s': %u accelerators, %u CPUs, %u memory tiles\n",
+                soc.config().name.c_str(), soc.numAccs(), soc.numCpus(),
+                soc.config().memTiles);
+
+    const AccId fft = soc.findAcc("fft3");
+    for (std::uint64_t footprint :
+         {16ull * 1024, 256ull * 1024, 4ull * 1024 * 1024}) {
+        std::printf("\nfft, %llu KB workload:\n",
+                    static_cast<unsigned long long>(footprint / 1024));
+        for (coh::CoherenceMode mode : coh::kAllModes)
+            runOnce(soc, runtime, scripted, fft, mode, footprint);
+    }
+
+    // Now hand the same SoC to Cohmeleon and run a small application
+    // described by a config file.
+    std::printf("\nCohmeleon-managed application:\n");
+    soc.reset();
+    policy::CohmeleonPolicy cohmeleon;
+    rt::EspRuntime managed(soc, cohmeleon);
+    app::AppRunner runner(soc, managed);
+
+    const app::AppSpec spec = app::parseAppSpecString(R"(
+        app = quickstart
+        [phase pipeline]
+        thread = nightvision8@64K, autoencoder0@64K, mlp5@64K ; loops=2
+        thread = fft3@256K, gemm4@256K
+        [phase big]
+        thread = sort9@2M
+        thread = spmv10@2M
+    )");
+
+    const app::AppResult result = runner.runApp(spec);
+    for (const app::PhaseResult &p : result.phases) {
+        std::printf("  phase %-10s %10llu cycles  %8llu off-chip  "
+                    "(%zu invocations)\n",
+                    p.name.c_str(),
+                    static_cast<unsigned long long>(p.execCycles),
+                    static_cast<unsigned long long>(p.ddrAccesses),
+                    p.invocations.size());
+    }
+    std::printf("\ncoherence decisions made by cohmeleon:\n");
+    for (const app::PhaseResult &p : result.phases) {
+        for (const rt::InvocationRecord &r : p.invocations) {
+            std::printf("  %-14s %6llu KB -> %s\n", r.accType.c_str(),
+                        static_cast<unsigned long long>(
+                            r.footprintBytes / 1024),
+                        std::string(toString(r.mode)).c_str());
+        }
+    }
+    std::printf("\nquickstart done.\n");
+    return 0;
+}

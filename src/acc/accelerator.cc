@@ -1,0 +1,273 @@
+#include "acc/accelerator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::acc
+{
+
+Accelerator::Accelerator(AccConfig cfg, AccId id, TileId tile,
+                         coh::DmaBridge &bridge, EventQueue &eq, Rng rng)
+    : cfg_(std::move(cfg)), id_(id), tile_(tile), bridge_(bridge),
+      eq_(eq), rng_(rng)
+{
+    cfg_.profile.validate();
+    fatalIf(cfg_.scratchpadBytes < 2 * kLineBytes,
+            "scratchpad must hold at least two lines");
+}
+
+void
+Accelerator::planInvocation(const TrafficProfile &profile)
+{
+    const std::uint64_t footprintLines =
+        std::max<std::uint64_t>(1, linesFor(metrics_.footprintBytes));
+    const unsigned passes = profile.passesFor(metrics_.footprintBytes);
+    const std::uint64_t readsPerPass =
+        profile.readLinesPerPass(footprintLines);
+
+    const std::uint64_t scratchLines =
+        cfg_.scratchpadBytes / kLineBytes;
+    const std::uint64_t chunkLines = std::max<std::uint64_t>(
+        profile.burstLines,
+        std::min<std::uint64_t>(scratchLines / 2, readsPerPass));
+
+    const unsigned chunksPerPass = static_cast<unsigned>(
+        (readsPerPass + chunkLines - 1) / chunkLines);
+    const unsigned totalChunks = chunksPerPass * passes;
+
+    const Cycles totalCompute =
+        profile.computeCyclesFor(metrics_.footprintBytes);
+    const Cycles perChunkCompute = totalCompute / totalChunks;
+
+    chunks_.assign(totalChunks, {});
+    chunkLoaded_.assign(totalChunks, false);
+
+    const bool strided = profile.pattern == AccessPattern::kStrided;
+    const bool irregular =
+        profile.pattern == AccessPattern::kIrregular;
+    const unsigned stride = strided ? profile.strideLines : 1;
+
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        std::uint64_t passRead = 0;
+        for (unsigned c = 0; c < chunksPerPass; ++c) {
+            const unsigned chunk = pass * chunksPerPass + c;
+            ChunkPlan &plan = chunks_[chunk];
+            plan.computeCycles = perChunkCompute;
+
+            const std::uint64_t chunkReads = std::min<std::uint64_t>(
+                chunkLines, readsPerPass - passRead);
+
+            // Split the chunk's reads into DMA bursts.
+            std::uint64_t issued = 0;
+            while (issued < chunkReads) {
+                const unsigned n = static_cast<unsigned>(
+                    std::min<std::uint64_t>(profile.burstLines,
+                                            chunkReads - issued));
+                Burst b;
+                b.isWrite = false;
+                b.lines = n;
+                b.stride = stride;
+                b.chunk = chunk;
+                if (irregular) {
+                    b.startLine = rng_.uniformInt(footprintLines);
+                } else {
+                    // Pass p starts offset by one line so repeated
+                    // passes over strided data do not always replay
+                    // the identical address order.
+                    b.startLine =
+                        ((passRead + issued) * stride + pass) %
+                        footprintLines;
+                }
+                issued += n;
+                b.lastOfChunk = issued == chunkReads;
+                plan.reads.push_back(b);
+            }
+
+            // Writes: chunkReads / readWriteRatio lines, either in
+            // place or to the opposite half of the buffer.
+            std::uint64_t chunkWrites =
+                static_cast<std::uint64_t>(std::llround(
+                    static_cast<double>(chunkReads) /
+                    profile.readWriteRatio));
+            chunkWrites = std::min(chunkWrites, chunkReads);
+            std::uint64_t wIssued = 0;
+            while (wIssued < chunkWrites) {
+                const unsigned n = static_cast<unsigned>(
+                    std::min<std::uint64_t>(profile.burstLines,
+                                            chunkWrites - wIssued));
+                Burst b;
+                b.isWrite = true;
+                b.lines = n;
+                b.stride = stride;
+                b.chunk = chunk;
+                const std::uint64_t base =
+                    plan.reads.empty() ? 0 : plan.reads.front().startLine;
+                b.startLine =
+                    profile.inPlace
+                        ? (base + wIssued * stride) % footprintLines
+                        : (base + footprintLines / 2 + wIssued * stride) %
+                              footprintLines;
+                wIssued += n;
+                b.lastOfChunk = wIssued == chunkWrites;
+                plan.writes.push_back(b);
+            }
+
+            passRead += chunkReads;
+        }
+    }
+}
+
+void
+Accelerator::start(Cycles now, const mem::Allocation &data,
+                   std::uint64_t footprintBytes,
+                   const TrafficProfile &profile, coh::CoherenceMode mode,
+                   DoneCallback done)
+{
+    panic_if(busy_, cfg_.name, ": invocation while busy");
+    panic_if(!data.valid(), "invocation without data");
+    panic_if(footprintBytes == 0 || footprintBytes > data.bytes(),
+             "invocation footprint outside the allocation");
+
+    busy_ = true;
+    data_ = &data;
+    mode_ = mode;
+    done_ = std::move(done);
+
+    metrics_ = {};
+    metrics_.startTime = now;
+    metrics_.footprintBytes = footprintBytes;
+    metrics_.mode = mode;
+
+    dmaQueue_.clear();
+    dmaBusy_ = false;
+    computeBusy_ = false;
+    nextCompute_ = 0;
+    computesDone_ = 0;
+    loadsEnqueued_ = 0;
+
+    planInvocation(profile);
+
+    // Prime the double buffer: the first two chunks may load ahead.
+    eq_.scheduleAt(now, [this] {
+        enqueueLoad(0);
+        if (chunks_.size() > 1)
+            enqueueLoad(1);
+        pumpDma();
+        tryStartCompute();
+    });
+}
+
+void
+Accelerator::enqueueLoad(unsigned chunk)
+{
+    if (chunk >= chunks_.size() || chunk < loadsEnqueued_)
+        return;
+    panic_if(chunk != loadsEnqueued_, "loads must enqueue in order");
+    ++loadsEnqueued_;
+    const ChunkPlan &plan = chunks_[chunk];
+    if (plan.reads.empty()) {
+        chunkLoaded_[chunk] = true;
+        return;
+    }
+    for (const Burst &b : plan.reads)
+        dmaQueue_.push_back(b);
+}
+
+void
+Accelerator::pumpDma()
+{
+    if (dmaBusy_ || dmaQueue_.empty())
+        return;
+    const Burst burst = dmaQueue_.front();
+    dmaQueue_.pop_front();
+    dmaBusy_ = true;
+
+    const Cycles now = eq_.now();
+    const coh::BurstResult res =
+        burst.isWrite
+            ? bridge_.writeBurst(now, *data_, burst.startLine,
+                                 burst.lines, burst.stride, mode_)
+            : bridge_.readBurst(now, *data_, burst.startLine,
+                                burst.lines, burst.stride, mode_);
+
+    metrics_.commCycles += res.done - now;
+    metrics_.dramAccessesExact += res.dramAccesses;
+    metrics_.llcHits += res.llcHits;
+    if (burst.isWrite)
+        metrics_.linesWritten += burst.lines;
+    else
+        metrics_.linesRead += burst.lines;
+
+    eq_.scheduleAt(res.done, [this, burst] {
+        dmaBusy_ = false;
+        onBurstDone(burst);
+        pumpDma();
+    });
+}
+
+void
+Accelerator::onBurstDone(const Burst &burst)
+{
+    if (!burst.isWrite && burst.lastOfChunk) {
+        chunkLoaded_[burst.chunk] = true;
+        tryStartCompute();
+    }
+    maybeFinish();
+}
+
+void
+Accelerator::tryStartCompute()
+{
+    if (computeBusy_ || nextCompute_ >= chunks_.size())
+        return;
+    if (!chunkLoaded_[nextCompute_])
+        return;
+
+    const unsigned chunk = nextCompute_++;
+    computeBusy_ = true;
+    eq_.schedule(chunks_[chunk].computeCycles, [this, chunk] {
+        computeBusy_ = false;
+        onComputeDone(chunk);
+    });
+}
+
+void
+Accelerator::onComputeDone(unsigned chunk)
+{
+    ++computesDone_;
+
+    // Drain the produced output, then reuse the input buffer for the
+    // chunk after next (double buffering).
+    for (const Burst &b : chunks_[chunk].writes)
+        dmaQueue_.push_back(b);
+    enqueueLoad(chunk + 2);
+    pumpDma();
+    tryStartCompute();
+    maybeFinish();
+}
+
+void
+Accelerator::maybeFinish()
+{
+    if (!busy_)
+        return;
+    if (computesDone_ < chunks_.size() || dmaBusy_ || !dmaQueue_.empty())
+        return;
+
+    busy_ = false;
+    metrics_.endTime = eq_.now();
+    metrics_.totalCycles = metrics_.endTime - metrics_.startTime;
+    ++completed_;
+    data_ = nullptr;
+    if (done_) {
+        // Move the callback out first: it may start a new invocation
+        // on this same accelerator.
+        DoneCallback cb = std::move(done_);
+        done_ = nullptr;
+        cb(metrics_);
+    }
+}
+
+} // namespace cohmeleon::acc

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fixed-function loosely-coupled accelerator model.
+ *
+ * The engine executes one coarse-grained invocation at a time as a
+ * pipelined sequence of chunk-granularity load -> compute -> store
+ * stages over a double-buffered scratchpad, the structure of ESP's
+ * accelerators ("a pipelined datapath that overlaps communication
+ * with computation", paper Section 3). All memory traffic flows
+ * through the tile's DmaBridge under the coherence mode selected for
+ * the invocation; the engine itself is coherence-agnostic.
+ *
+ * The per-invocation cycle counters the hardware monitors expose —
+ * total active cycles and communication (DMA outstanding) cycles —
+ * are maintained here (paper Section 4.1, "Evaluate").
+ */
+
+#ifndef COHMELEON_ACC_ACCELERATOR_HH
+#define COHMELEON_ACC_ACCELERATOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "acc/traffic_profile.hh"
+#include "coh/coherence_mode.hh"
+#include "coh/dma_bridge.hh"
+#include "mem/page_allocator.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace cohmeleon::acc
+{
+
+/** Static configuration of one accelerator instance. */
+struct AccConfig
+{
+    std::string name;     ///< instance name, e.g. "fft0"
+    std::string typeName; ///< preset/type name, e.g. "fft"
+    TrafficProfile profile;
+    std::uint64_t scratchpadBytes = 16 * 1024; ///< private local memory
+};
+
+/** What one invocation did, as seen by the monitors and the runtime. */
+struct InvocationMetrics
+{
+    Cycles startTime = 0; ///< accelerator start (after SW overheads)
+    Cycles endTime = 0;
+    Cycles totalCycles = 0; ///< endTime - startTime
+    Cycles commCycles = 0;  ///< cycles with a DMA burst outstanding
+    std::uint64_t dramAccessesExact = 0; ///< ground-truth attribution
+    std::uint64_t llcHits = 0;
+    std::uint64_t linesRead = 0;
+    std::uint64_t linesWritten = 0;
+    std::uint64_t footprintBytes = 0;
+    coh::CoherenceMode mode = coh::CoherenceMode::kNonCohDma;
+};
+
+/** One accelerator instance (engine + socket state machine). */
+class Accelerator
+{
+  public:
+    using DoneCallback = std::function<void(const InvocationMetrics &)>;
+
+    Accelerator(AccConfig cfg, AccId id, TileId tile,
+                coh::DmaBridge &bridge, EventQueue &eq, Rng rng);
+
+    /**
+     * Begin one invocation over @p data (@p footprintBytes live
+     * bytes) in @p mode; @p done fires when the engine drains.
+     *
+     * @param profile the effective traffic profile for this
+     *        invocation (the instance profile, possibly overridden by
+     *        the caller's operating-mode configuration)
+     * @pre !busy()
+     */
+    void start(Cycles now, const mem::Allocation &data,
+               std::uint64_t footprintBytes,
+               const TrafficProfile &profile, coh::CoherenceMode mode,
+               DoneCallback done);
+
+    bool busy() const { return busy_; }
+    AccId id() const { return id_; }
+    TileId tile() const { return tile_; }
+    const AccConfig &config() const { return cfg_; }
+    coh::DmaBridge &bridge() { return bridge_; }
+
+    /** Metrics of the most recently completed invocation. */
+    const InvocationMetrics &lastMetrics() const { return metrics_; }
+
+    std::uint64_t invocationsCompleted() const { return completed_; }
+
+  private:
+    struct Burst
+    {
+        bool isWrite = false;
+        std::uint64_t startLine = 0;
+        unsigned lines = 0;
+        unsigned stride = 1;
+        unsigned chunk = 0;
+        bool lastOfChunk = false;
+    };
+
+    struct ChunkPlan
+    {
+        std::vector<Burst> reads;
+        std::vector<Burst> writes;
+        Cycles computeCycles = 0;
+    };
+
+    void planInvocation(const TrafficProfile &profile);
+    void enqueueLoad(unsigned chunk);
+    void pumpDma();
+    void onBurstDone(const Burst &burst);
+    void tryStartCompute();
+    void onComputeDone(unsigned chunk);
+    void maybeFinish();
+
+    AccConfig cfg_;
+    AccId id_;
+    TileId tile_;
+    coh::DmaBridge &bridge_;
+    EventQueue &eq_;
+    Rng rng_;
+
+    // Per-invocation state.
+    bool busy_ = false;
+    const mem::Allocation *data_ = nullptr;
+    coh::CoherenceMode mode_ = coh::CoherenceMode::kNonCohDma;
+    DoneCallback done_;
+    InvocationMetrics metrics_;
+    std::vector<ChunkPlan> chunks_;
+    std::vector<bool> chunkLoaded_;
+    std::deque<Burst> dmaQueue_;
+    bool dmaBusy_ = false;
+    bool computeBusy_ = false;
+    unsigned nextCompute_ = 0;
+    unsigned computesDone_ = 0;
+    unsigned loadsEnqueued_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace cohmeleon::acc
+
+#endif // COHMELEON_ACC_ACCELERATOR_HH

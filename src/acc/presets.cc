@@ -1,0 +1,174 @@
+#include "acc/presets.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::acc
+{
+
+namespace
+{
+
+struct PresetDef
+{
+    std::string_view name;
+    TrafficProfile profile;
+    std::uint64_t scratchpadBytes;
+};
+
+/**
+ * The preset table. Rationale per accelerator:
+ *  - autoencoder: dense encode+decode passes over the batch; moderate
+ *    compute; separate output buffer.
+ *  - cholesky: in-place column sweeps with strided panel accesses and
+ *    O(n^3)-over-O(n^2) compute growth.
+ *  - conv2d: streaming image tiles; weights reused across tiles
+ *    (second pass); more reads than writes (halo rows).
+ *  - fft: in-place log2(n) butterfly stages, balanced read/write,
+ *    long bursts, little compute per byte.
+ *  - gemm: streaming tiles of A/B with tile re-reads; read-dominated;
+ *    compute grows as n^1.5 per byte.
+ *  - mlp: weight-streaming inference; strongly memory-bound; tiny
+ *    output per input row.
+ *  - mriq: tiny data, huge trigonometric compute per byte (the
+ *    classic compute-bound Parboil kernel).
+ *  - nvdla: convolution engine with weight/feature reuse and bursty
+ *    reads; superlinear compute with layer size.
+ *  - nightvision: 4 chained engines (noise filter, histogram,
+ *    equalization, DWT) -> 4 in-place passes, balanced r/w.
+ *  - sort: merge-sort rounds -> log passes, in-place, streaming,
+ *    read=write.
+ *  - spmv: irregular gathers over the matrix/vector; short bursts;
+ *    touches ~60% of the footprint per run; few writes.
+ *  - viterbi: trellis walk, compute-bound, modest footprint reads.
+ */
+const PresetDef kPresets[] = {
+    {"autoencoder",
+     {AccessPattern::kStreaming, 32, 0.22, 1.0, 2.0, false, 1.0, 4, 1.0,
+      false},
+     16 * 1024},
+    {"cholesky",
+     {AccessPattern::kStrided, 16, 0.35, 1.5, 3.0, false, 2.0, 8, 1.0,
+      true},
+     16 * 1024},
+    {"conv2d",
+     {AccessPattern::kStreaming, 32, 0.30, 1.0, 2.0, false, 3.0, 4, 1.0,
+      false},
+     32 * 1024},
+    {"fft",
+     {AccessPattern::kStreaming, 64, 0.22, 1.0, 1.0, true, 1.0, 4, 1.0,
+      true},
+     32 * 1024},
+    {"gemm",
+     {AccessPattern::kStreaming, 64, 0.25, 1.5, 2.0, false, 4.0, 4, 1.0,
+      false},
+     32 * 1024},
+    {"mlp",
+     {AccessPattern::kStreaming, 64, 0.08, 1.0, 1.0, false, 8.0, 4, 1.0,
+      false},
+     16 * 1024},
+    {"mriq",
+     {AccessPattern::kStreaming, 16, 2.2, 1.0, 1.0, false, 4.0, 4, 1.0,
+      false},
+     8 * 1024},
+    {"nvdla",
+     {AccessPattern::kStreaming, 32, 0.40, 1.2, 2.0, false, 3.0, 4, 1.0,
+      false},
+     64 * 1024},
+    {"nightvision",
+     {AccessPattern::kStreaming, 32, 0.24, 1.0, 4.0, false, 1.0, 4, 1.0,
+      true},
+     16 * 1024},
+    {"sort",
+     {AccessPattern::kStreaming, 64, 0.20, 1.0, 1.0, true, 1.0, 4, 1.0,
+      true},
+     32 * 1024},
+    {"spmv",
+     {AccessPattern::kIrregular, 2, 0.15, 1.0, 1.0, false, 6.0, 4, 0.6,
+      false},
+     8 * 1024},
+    {"viterbi",
+     {AccessPattern::kStreaming, 16, 1.4, 1.0, 1.0, false, 2.0, 4, 1.0,
+      false},
+     8 * 1024},
+};
+
+const PresetDef *
+findPreset(std::string_view name)
+{
+    for (const PresetDef &def : kPresets) {
+        if (def.name == name)
+            return &def;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+const std::vector<std::string_view> &
+presetNames()
+{
+    static const std::vector<std::string_view> names = [] {
+        std::vector<std::string_view> v;
+        for (const PresetDef &def : kPresets)
+            v.push_back(def.name);
+        return v;
+    }();
+    return names;
+}
+
+bool
+isPreset(std::string_view typeName)
+{
+    return typeName == "tgen" || findPreset(typeName) != nullptr;
+}
+
+TrafficProfile
+makeTrafficGenProfile()
+{
+    TrafficProfile p;
+    p.pattern = AccessPattern::kStreaming;
+    p.burstLines = 32;
+    p.computeFactor = 0.2;
+    p.computeExponent = 1.0;
+    p.reusePasses = 1.0;
+    p.readWriteRatio = 2.0;
+    p.strideLines = 4;
+    p.accessFraction = 1.0;
+    p.inPlace = false;
+    return p;
+}
+
+AccConfig
+makePreset(std::string_view typeName, std::string instanceName)
+{
+    if (typeName == "tgen")
+        return makeTrafficGen(std::move(instanceName),
+                              makeTrafficGenProfile());
+
+    const PresetDef *def = findPreset(typeName);
+    fatalIf(def == nullptr, "unknown accelerator preset '", typeName,
+            "'");
+    AccConfig cfg;
+    cfg.name = std::move(instanceName);
+    cfg.typeName = std::string(typeName);
+    cfg.profile = def->profile;
+    cfg.scratchpadBytes = def->scratchpadBytes;
+    cfg.profile.validate();
+    return cfg;
+}
+
+AccConfig
+makeTrafficGen(std::string instanceName, const TrafficProfile &profile)
+{
+    AccConfig cfg;
+    cfg.name = std::move(instanceName);
+    cfg.typeName = "tgen";
+    cfg.profile = profile;
+    cfg.scratchpadBytes = 16 * 1024;
+    cfg.profile.validate();
+    return cfg;
+}
+
+} // namespace cohmeleon::acc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Preset communication profiles for the accelerators used in the
+ * paper's evaluation (Table 2 / Section 3): the 11 ESP accelerators,
+ * the NVDLA, and the configurable traffic generator.
+ *
+ * Each preset reproduces the accelerator's communication behaviour as
+ * the SoC observes it — access pattern, burstiness, compute-to-
+ * communication balance, data reuse, read/write mix, and in-place
+ * updates — which is the abstraction the paper itself validates with
+ * its traffic-generator SoCs.
+ */
+
+#ifndef COHMELEON_ACC_PRESETS_HH
+#define COHMELEON_ACC_PRESETS_HH
+
+#include <string_view>
+#include <vector>
+
+#include "acc/accelerator.hh"
+
+namespace cohmeleon::acc
+{
+
+/** Names of all built-in presets (excluding the raw traffic gen). */
+const std::vector<std::string_view> &presetNames();
+
+/** Whether @p typeName names a built-in preset or "tgen". */
+bool isPreset(std::string_view typeName);
+
+/**
+ * Construct the configuration of accelerator type @p typeName.
+ *
+ * @param instanceName instance name, e.g. "fft0"
+ * @throws FatalError for unknown type names
+ */
+AccConfig makePreset(std::string_view typeName,
+                     std::string instanceName);
+
+/** A streaming traffic-generator profile (the "tgen" baseline). */
+TrafficProfile makeTrafficGenProfile();
+
+/** Traffic-generator preset with an explicit profile. */
+AccConfig makeTrafficGen(std::string instanceName,
+                         const TrafficProfile &profile);
+
+} // namespace cohmeleon::acc
+
+#endif // COHMELEON_ACC_PRESETS_HH

@@ -1,0 +1,36 @@
+#include "acc/tlb.hh"
+
+namespace cohmeleon::acc
+{
+
+Tlb::Tlb(mem::MemorySystem &ms, TileId tile, Cycles perPageCycles)
+    : ms_(ms), tile_(tile), perPageCycles_(perPageCycles)
+{
+}
+
+Cycles
+Tlb::load(Cycles now, const mem::Allocation &alloc)
+{
+    ++loads_;
+    const std::uint64_t pages = alloc.numPages();
+    entriesLoaded_ += pages;
+
+    // Fetch the page-table lines over the DMA planes; the table lives
+    // next to the data, so charge its home partition's channel.
+    const std::uint64_t ptLines =
+        (pages + kEntriesPerLine - 1) / kEntriesPerLine;
+    const unsigned part = ms_.map().partitionOf(alloc.pageBases()[0]);
+    Cycles fetched = now;
+    for (std::uint64_t i = 0; i < ptLines; ++i) {
+        const Addr ptAddr = ms_.map().base(part) + i * kLineBytes;
+        const Cycles arrive = ms_.noc().transfer(
+            fetched, tile_, ms_.memTile(part), noc::Plane::kDmaReq,
+            ms_.timing().reqBytes);
+        const Cycles d = ms_.dram(part).access(arrive, ptAddr, false);
+        fetched = ms_.noc().transfer(d, ms_.memTile(part), tile_,
+                                     noc::Plane::kDmaRsp, kLineBytes);
+    }
+    return fetched + pages * perPageCycles_;
+}
+
+} // namespace cohmeleon::acc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Accelerator-tile TLB model.
+ *
+ * ESP allocates accelerator data in big pages, producing a page table
+ * small enough to be loaded wholesale into the accelerator tile's TLB
+ * at the start of the invocation; afterwards translation is miss-free
+ * (paper Section 5). We model the load latency and the page-table
+ * fetches it causes on the DRAM channel; "the overhead of loading the
+ * TLB and address translation is included in all results", as in the
+ * paper.
+ */
+
+#ifndef COHMELEON_ACC_TLB_HH
+#define COHMELEON_ACC_TLB_HH
+
+#include "mem/memory_system.hh"
+#include "mem/page_allocator.hh"
+#include "sim/types.hh"
+
+namespace cohmeleon::acc
+{
+
+/** Per-tile TLB with whole-page-table preload. */
+class Tlb
+{
+  public:
+    /**
+     * @param perPageCycles tile-side cycles to install one entry
+     */
+    Tlb(mem::MemorySystem &ms, TileId tile, Cycles perPageCycles = 30);
+
+    /**
+     * Preload the page table of @p alloc.
+     * @return completion time; page-table DRAM traffic is charged to
+     *         the allocation's first partition's channel
+     */
+    Cycles load(Cycles now, const mem::Allocation &alloc);
+
+    std::uint64_t loads() const { return loads_; }
+    std::uint64_t entriesLoaded() const { return entriesLoaded_; }
+
+  private:
+    /** Page-table entries per cache line (64B / 8B pointers). */
+    static constexpr std::uint64_t kEntriesPerLine = 8;
+
+    mem::MemorySystem &ms_;
+    TileId tile_;
+    Cycles perPageCycles_;
+    std::uint64_t loads_ = 0;
+    std::uint64_t entriesLoaded_ = 0;
+};
+
+} // namespace cohmeleon::acc
+
+#endif // COHMELEON_ACC_TLB_HH

@@ -1,0 +1,93 @@
+#include "acc/traffic_profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::acc
+{
+
+std::string_view
+toString(AccessPattern p)
+{
+    switch (p) {
+      case AccessPattern::kStreaming:
+        return "streaming";
+      case AccessPattern::kStrided:
+        return "strided";
+      case AccessPattern::kIrregular:
+        return "irregular";
+    }
+    return "unknown";
+}
+
+AccessPattern
+patternFromString(std::string_view name)
+{
+    if (name == "streaming")
+        return AccessPattern::kStreaming;
+    if (name == "strided")
+        return AccessPattern::kStrided;
+    if (name == "irregular")
+        return AccessPattern::kIrregular;
+    fatal("unknown access pattern '", name, "'");
+}
+
+void
+TrafficProfile::validate() const
+{
+    fatalIf(burstLines == 0, "burst length must be positive");
+    fatalIf(computeFactor < 0.0, "compute factor must be >= 0");
+    fatalIf(computeExponent < 1.0 || computeExponent > 2.0,
+            "compute exponent must be within [1, 2]");
+    fatalIf(reusePasses < 1.0 && !logPasses,
+            "reuse factor must be at least 1");
+    fatalIf(readWriteRatio < 0.25, "read-to-write ratio too small");
+    fatalIf(strideLines == 0, "stride must be positive");
+    fatalIf(accessFraction <= 0.0 || accessFraction > 1.0,
+            "access fraction must be in (0, 1]");
+}
+
+unsigned
+TrafficProfile::passesFor(std::uint64_t footprintBytes) const
+{
+    if (logPasses) {
+        const std::uint64_t lines = std::max<std::uint64_t>(
+            linesFor(footprintBytes), 2);
+        const double lg = std::log2(static_cast<double>(lines));
+        // One pass per ~2 algorithmic stages keeps large-footprint
+        // pass counts in the range of real FFT/sort accelerators that
+        // process several stages per on-chip round.
+        return std::max(1u, static_cast<unsigned>(std::lround(lg / 2)));
+    }
+    return std::max(1u, static_cast<unsigned>(std::lround(reusePasses)));
+}
+
+Cycles
+TrafficProfile::computeCyclesFor(std::uint64_t footprintBytes) const
+{
+    constexpr double kReferenceBytes = 64.0 * 1024.0;
+    const double rel =
+        static_cast<double>(footprintBytes) / kReferenceBytes;
+    const double perByte =
+        computeFactor * std::pow(std::max(rel, 1e-9),
+                                 computeExponent - 1.0);
+    const double perPass = perByte * static_cast<double>(footprintBytes);
+    const double total = perPass * passesFor(footprintBytes);
+    return static_cast<Cycles>(std::llround(total));
+}
+
+std::uint64_t
+TrafficProfile::readLinesPerPass(std::uint64_t footprintLines) const
+{
+    if (pattern == AccessPattern::kIrregular) {
+        const double touched =
+            accessFraction * static_cast<double>(footprintLines);
+        return std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(std::llround(touched)));
+    }
+    return std::max<std::uint64_t>(1, footprintLines);
+}
+
+} // namespace cohmeleon::acc

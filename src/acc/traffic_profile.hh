@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Communication-pattern description of a fixed-function accelerator.
+ *
+ * The paper characterizes an accelerator, from the viewpoint of the
+ * rest of the SoC, by its pattern of communication with the memory
+ * hierarchy, and builds a traffic generator configurable over exactly
+ * these properties (Section 5): access pattern (streaming, strided,
+ * irregular), DMA burst length, compute duration, data reuse factor,
+ * read-to-write ratio, stride length, access fraction, and in-place
+ * storage. TrafficProfile is that parameter set; the 12 named
+ * accelerators are presets of it (see acc/presets.hh).
+ */
+
+#ifndef COHMELEON_ACC_TRAFFIC_PROFILE_HH
+#define COHMELEON_ACC_TRAFFIC_PROFILE_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.hh"
+
+namespace cohmeleon::acc
+{
+
+/** Memory access pattern of the accelerator's DMA engine. */
+enum class AccessPattern : std::uint8_t
+{
+    kStreaming, ///< long sequential bursts
+    kStrided,   ///< fixed-stride line accesses
+    kIrregular, ///< short bursts at random offsets
+};
+
+std::string_view toString(AccessPattern p);
+AccessPattern patternFromString(std::string_view name);
+
+/** The traffic-generator parameter set (paper Section 5). */
+struct TrafficProfile
+{
+    AccessPattern pattern = AccessPattern::kStreaming;
+
+    /** DMA burst length in cache lines. */
+    unsigned burstLines = 16;
+
+    /**
+     * Compute cycles per byte, per pass, at the 64KB reference
+     * footprint ("compute duration" of the traffic generator).
+     */
+    double computeFactor = 0.2;
+
+    /**
+     * Super-linearity of compute vs. footprint: per-byte compute
+     * scales with (footprint / 64KB)^(computeExponent - 1), so
+     * O(n^1.5)-per-byte kernels such as GEMM use 1.5.
+     */
+    double computeExponent = 1.0;
+
+    /** Data reuse factor: number of passes over the footprint. */
+    double reusePasses = 1.0;
+
+    /** Passes grow as log2(lines) (FFT stages, merge-sort rounds). */
+    bool logPasses = false;
+
+    /** Lines read per line written. */
+    double readWriteRatio = 2.0;
+
+    /** Line stride for the strided pattern. */
+    unsigned strideLines = 4;
+
+    /** Fraction of the footprint touched per pass (irregular). */
+    double accessFraction = 1.0;
+
+    /** Output overwrites the input buffer. */
+    bool inPlace = false;
+
+    /** Sanity-check parameter ranges. @throws FatalError */
+    void validate() const;
+
+    /** Number of passes for a given footprint. */
+    unsigned passesFor(std::uint64_t footprintBytes) const;
+
+    /** Total compute cycles for one invocation of this profile. */
+    Cycles computeCyclesFor(std::uint64_t footprintBytes) const;
+
+    /** Lines read per pass over @p footprintLines. */
+    std::uint64_t readLinesPerPass(std::uint64_t footprintLines) const;
+};
+
+} // namespace cohmeleon::acc
+
+#endif // COHMELEON_ACC_TRAFFIC_PROFILE_HH

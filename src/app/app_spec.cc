@@ -1,0 +1,103 @@
+#include "app/app_spec.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::app
+{
+
+std::uint64_t
+ThreadSpec::datasetBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const ChainStep &s : chain)
+        bytes = std::max(bytes, s.footprintBytes);
+    return bytes;
+}
+
+unsigned
+PhaseSpec::totalInvocations() const
+{
+    unsigned n = 0;
+    for (const ThreadSpec &t : threads)
+        n += static_cast<unsigned>(t.chain.size()) * t.loops;
+    return n;
+}
+
+unsigned
+AppSpec::totalInvocations() const
+{
+    unsigned n = 0;
+    for (const PhaseSpec &p : phases)
+        n += p.totalInvocations();
+    return n;
+}
+
+void
+AppSpec::validate(const soc::Soc &soc) const
+{
+    fatalIf(phases.empty(), "application '", name, "' has no phases");
+    for (const PhaseSpec &phase : phases) {
+        fatalIf(phase.threads.empty(), "phase '", phase.name,
+                "' has no threads");
+        for (const ThreadSpec &thread : phase.threads) {
+            fatalIf(thread.chain.empty(), "phase '", phase.name,
+                    "' has a thread with an empty chain");
+            fatalIf(thread.loops == 0, "phase '", phase.name,
+                    "' has a thread with zero loops");
+            for (const ChainStep &step : thread.chain) {
+                soc.findAcc(step.accName); // throws if absent
+                fatalIf(step.footprintBytes == 0, "phase '",
+                        phase.name, "': step on '", step.accName,
+                        "' has zero footprint");
+            }
+        }
+    }
+}
+
+const char *
+toString(SizeClass c)
+{
+    switch (c) {
+      case SizeClass::kS:
+        return "S";
+      case SizeClass::kM:
+        return "M";
+      case SizeClass::kL:
+        return "L";
+      case SizeClass::kXL:
+        return "XL";
+    }
+    return "?";
+}
+
+std::uint64_t
+sizeForClass(SizeClass c, const soc::SocConfig &cfg)
+{
+    switch (c) {
+      case SizeClass::kS:
+        return cfg.accL2Bytes / 2;
+      case SizeClass::kM:
+        return cfg.llcSliceBytes / 2;
+      case SizeClass::kL:
+        return cfg.totalLlcBytes() * 3 / 4;
+      case SizeClass::kXL:
+        return cfg.totalLlcBytes() * 2;
+    }
+    return 0;
+}
+
+SizeClass
+classifyFootprint(std::uint64_t bytes, const soc::SocConfig &cfg)
+{
+    if (bytes < cfg.accL2Bytes)
+        return SizeClass::kS;
+    if (bytes < cfg.llcSliceBytes)
+        return SizeClass::kM;
+    if (bytes < cfg.totalLlcBytes())
+        return SizeClass::kL;
+    return SizeClass::kXL;
+}
+
+} // namespace cohmeleon::app

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Specification of the multithreaded evaluation applications
+ * (paper Section 5): an application is a set of *phases*, each a set
+ * of *threads*; a thread owns one dataset and runs a *chain* of
+ * accelerators serially over it (the output of one is the input of
+ * the next), optionally looping over the chain.
+ */
+
+#ifndef COHMELEON_APP_APP_SPEC_HH
+#define COHMELEON_APP_APP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/soc.hh"
+
+namespace cohmeleon::app
+{
+
+/** One accelerator invocation within a chain. */
+struct ChainStep
+{
+    std::string accName; ///< accelerator *instance* name
+    std::uint64_t footprintBytes = 0;
+};
+
+/** One software thread: a dataset plus a chain of accelerators. */
+struct ThreadSpec
+{
+    std::vector<ChainStep> chain;
+    unsigned loops = 1;
+
+    /** Largest footprint in the chain (the dataset size). */
+    std::uint64_t datasetBytes() const;
+};
+
+/** One application phase: threads running in parallel. */
+struct PhaseSpec
+{
+    std::string name;
+    std::vector<ThreadSpec> threads;
+
+    unsigned totalInvocations() const;
+};
+
+/** A whole application. */
+struct AppSpec
+{
+    std::string name = "app";
+    std::vector<PhaseSpec> phases;
+
+    unsigned totalInvocations() const;
+
+    /** Check instance names and footprints against @p soc.
+     *  @throws FatalError on inconsistencies */
+    void validate(const soc::Soc &soc) const;
+};
+
+/** Workload-size classes of Section 5. */
+enum class SizeClass : std::uint8_t
+{
+    kS,  ///< smaller than the accelerator's private cache
+    kM,  ///< smaller than one LLC partition
+    kL,  ///< smaller than the aggregate LLC
+    kXL, ///< larger than the LLC
+};
+
+const char *toString(SizeClass c);
+
+/** Representative footprint for a class on @p cfg. */
+std::uint64_t sizeForClass(SizeClass c, const soc::SocConfig &cfg);
+
+/** Classify a footprint per the paper's S/M/L/XL definition. */
+SizeClass classifyFootprint(std::uint64_t bytes,
+                            const soc::SocConfig &cfg);
+
+} // namespace cohmeleon::app
+
+#endif // COHMELEON_APP_APP_SPEC_HH

@@ -1,0 +1,166 @@
+#include "app/config_parser.hh"
+
+#include <cctype>
+#include <istream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::app
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+splitOn(const std::string &s, char sep)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : s) {
+        if (c == sep) {
+            parts.push_back(trim(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    parts.push_back(trim(current));
+    return parts;
+}
+
+} // namespace
+
+std::uint64_t
+parseSize(const std::string &text)
+{
+    const std::string t = trim(text);
+    fatalIf(t.empty(), "empty size literal");
+    std::uint64_t multiplier = 1;
+    std::string digits = t;
+    const char last = t.back();
+    if (last == 'K' || last == 'k') {
+        multiplier = 1024;
+        digits = t.substr(0, t.size() - 1);
+    } else if (last == 'M' || last == 'm') {
+        multiplier = 1024 * 1024;
+        digits = t.substr(0, t.size() - 1);
+    }
+    fatalIf(digits.empty(), "malformed size literal '", t, "'");
+    std::uint64_t value = 0;
+    for (char c : digits) {
+        fatalIf(!std::isdigit(static_cast<unsigned char>(c)),
+                "malformed size literal '", t, "'");
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value * multiplier;
+}
+
+AppSpec
+parseAppSpec(std::istream &is)
+{
+    AppSpec app;
+    PhaseSpec *phase = nullptr;
+    std::string line;
+    unsigned lineNo = 0;
+
+    while (std::getline(is, line)) {
+        ++lineNo;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        if (line.front() == '[') {
+            fatalIf(line.back() != ']', "line ", lineNo,
+                    ": unterminated section header");
+            const std::string inner =
+                trim(line.substr(1, line.size() - 2));
+            fatalIf(inner.rfind("phase", 0) != 0, "line ", lineNo,
+                    ": only [phase <name>] sections are supported");
+            PhaseSpec p;
+            p.name = trim(inner.substr(5));
+            fatalIf(p.name.empty(), "line ", lineNo,
+                    ": phase needs a name");
+            app.phases.push_back(std::move(p));
+            phase = &app.phases.back();
+            continue;
+        }
+
+        const std::size_t eq = line.find('=');
+        fatalIf(eq == std::string::npos, "line ", lineNo,
+                ": expected 'key = value'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+
+        if (key == "app") {
+            app.name = value;
+            continue;
+        }
+
+        fatalIf(key != "thread", "line ", lineNo, ": unknown key '",
+                key, "'");
+        fatalIf(phase == nullptr, "line ", lineNo,
+                ": 'thread' outside any [phase] section");
+
+        // "<chain> [; loops=N]"
+        ThreadSpec thread;
+        std::string chainText = value;
+        const std::size_t semi = value.find(';');
+        if (semi != std::string::npos) {
+            chainText = trim(value.substr(0, semi));
+            const std::string opts = trim(value.substr(semi + 1));
+            const std::size_t oeq = opts.find('=');
+            fatalIf(oeq == std::string::npos ||
+                        trim(opts.substr(0, oeq)) != "loops",
+                    "line ", lineNo, ": malformed thread option '",
+                    opts, "'");
+            thread.loops = static_cast<unsigned>(
+                parseSize(trim(opts.substr(oeq + 1))));
+            fatalIf(thread.loops == 0, "line ", lineNo,
+                    ": loops must be positive");
+        }
+
+        for (const std::string &stepText : splitOn(chainText, ',')) {
+            fatalIf(stepText.empty(), "line ", lineNo,
+                    ": empty chain step");
+            const std::size_t at = stepText.find('@');
+            fatalIf(at == std::string::npos, "line ", lineNo,
+                    ": chain step '", stepText,
+                    "' must be instance@size");
+            ChainStep step;
+            step.accName = trim(stepText.substr(0, at));
+            step.footprintBytes = parseSize(stepText.substr(at + 1));
+            fatalIf(step.accName.empty(), "line ", lineNo,
+                    ": chain step without an instance name");
+            thread.chain.push_back(std::move(step));
+        }
+        phase->threads.push_back(std::move(thread));
+    }
+
+    fatalIf(app.phases.empty(), "application file defines no phases");
+    return app;
+}
+
+AppSpec
+parseAppSpecString(const std::string &text)
+{
+    std::istringstream is(text);
+    return parseAppSpec(is);
+}
+
+} // namespace cohmeleon::app

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Parser for the application configuration files of Section 5 ("the
+ * application phases and parameters are specified using a
+ * configuration file").
+ *
+ * Format (line oriented, '#' comments):
+ *
+ *     app = my-application
+ *
+ *     [phase warmup]
+ *     thread = fft0@16K, sort0@16K
+ *     thread = tgen3@4M ; loops=2
+ *
+ * Each `thread` line is a comma-separated accelerator chain of
+ * `instance@size` steps; sizes accept K/M suffixes. The optional
+ * `; loops=N` repeats the chain N times.
+ */
+
+#ifndef COHMELEON_APP_CONFIG_PARSER_HH
+#define COHMELEON_APP_CONFIG_PARSER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "app/app_spec.hh"
+
+namespace cohmeleon::app
+{
+
+/** Parse an application spec. @throws FatalError with line info */
+AppSpec parseAppSpec(std::istream &is);
+
+/** Parse from a string (convenience for tests and examples). */
+AppSpec parseAppSpecString(const std::string &text);
+
+/** Parse a size literal like "256", "16K", "4M".
+ *  @throws FatalError on malformed input */
+std::uint64_t parseSize(const std::string &text);
+
+} // namespace cohmeleon::app
+
+#endif // COHMELEON_APP_CONFIG_PARSER_HH

@@ -1,0 +1,196 @@
+#include "app/experiment.hh"
+
+#include <iomanip>
+#include <ostream>
+
+#include "policy/fixed.hh"
+#include "policy/manual.hh"
+#include "policy/profiling.hh"
+#include "policy/random_policy.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace cohmeleon::app
+{
+
+RandomAppParams
+denseTrainingParams()
+{
+    RandomAppParams p;
+    p.phases = 10;
+    p.maxThreads = 10;
+    p.maxChain = 3;
+    p.maxLoops = 4;
+    p.wS = 0.35;
+    p.wM = 0.35;
+    p.wL = 0.20;
+    p.wXL = 0.10;
+    return p;
+}
+
+const std::vector<std::string> &
+standardPolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "fixed-non-coh-dma",
+        "fixed-llc-coh-dma",
+        "fixed-coh-dma",
+        "fixed-full-coh",
+        "rand",
+        "fixed-hetero",
+        "manual",
+        "cohmeleon",
+    };
+    return names;
+}
+
+double
+safeRatio(double value, double baseline)
+{
+    if (baseline <= 0.0)
+        return value <= 0.0 ? 1.0 : 2.0; // worse than an empty baseline
+    return value / baseline;
+}
+
+std::unique_ptr<rt::CoherencePolicy>
+makePolicyByName(const std::string &name, const soc::SocConfig &cfg,
+                 const EvalOptions &opts)
+{
+    if (name.rfind("fixed-", 0) == 0 && name != "fixed-hetero") {
+        return std::make_unique<policy::FixedPolicy>(
+            coh::modeFromString(name.substr(6)));
+    }
+    if (name == "rand")
+        return std::make_unique<policy::RandomPolicy>(opts.agentSeed);
+    if (name == "manual")
+        return std::make_unique<policy::ManualPolicy>();
+    if (name == "fixed-hetero") {
+        soc::Soc profilingSoc(cfg);
+        const policy::ProfileResult prof =
+            policy::profileAccelerators(profilingSoc);
+        return std::make_unique<policy::FixedHeterogeneousPolicy>(
+            prof.bestMode);
+    }
+    if (name == "cohmeleon") {
+        policy::CohmeleonParams params;
+        params.weights = opts.weights;
+        params.agent.decayIterations =
+            std::max(1u, opts.trainIterations);
+        params.agent.seed = opts.agentSeed;
+        return std::make_unique<policy::CohmeleonPolicy>(params);
+    }
+    fatal("unknown policy name '", name, "'");
+}
+
+std::vector<AppResult>
+trainCohmeleon(policy::CohmeleonPolicy &policy,
+               const soc::SocConfig &cfg, const AppSpec &trainApp,
+               unsigned iterations)
+{
+    std::vector<AppResult> perIteration;
+    for (unsigned it = 0; it < iterations; ++it) {
+        soc::Soc soc(cfg);
+        rt::EspRuntime runtime(soc, policy);
+        AppRunner runner(soc, runtime);
+        runner.setCollectRecords(false);
+        perIteration.push_back(runner.runApp(trainApp));
+        policy.onIterationEnd();
+    }
+    policy.freeze();
+    return perIteration;
+}
+
+AppResult
+runPolicyOnApp(rt::CoherencePolicy &policy, const soc::SocConfig &cfg,
+               const AppSpec &app, bool collectRecords)
+{
+    soc::Soc soc(cfg);
+    rt::EspRuntime runtime(soc, policy);
+    AppRunner runner(soc, runtime);
+    runner.setCollectRecords(collectRecords);
+    return runner.runApp(app);
+}
+
+std::vector<PolicyOutcome>
+evaluatePolicies(const soc::SocConfig &cfg, const EvalOptions &opts,
+                 std::vector<std::string> policyNames)
+{
+    soc::Soc namingSoc(cfg);
+    const AppSpec evalApp = generateRandomApp(
+        namingSoc, Rng(opts.evalSeed), opts.appParams);
+    return evaluatePoliciesOnApp(cfg, opts, evalApp,
+                                 std::move(policyNames));
+}
+
+std::vector<PolicyOutcome>
+evaluatePoliciesOnApp(const soc::SocConfig &cfg, const EvalOptions &opts,
+                      const AppSpec &evalApp,
+                      std::vector<std::string> policyNames)
+{
+    if (policyNames.empty())
+        policyNames = standardPolicyNames();
+
+    // The training instance is derived from the SoC itself so that
+    // instance names match; a throwaway Soc provides the name table.
+    soc::Soc namingSoc(cfg);
+    const AppSpec trainApp = generateRandomApp(
+        namingSoc, Rng(opts.trainSeed),
+        opts.trainAppParams.value_or(opts.appParams));
+
+    std::vector<PolicyOutcome> outcomes;
+    for (const std::string &name : policyNames) {
+        std::unique_ptr<rt::CoherencePolicy> policy =
+            makePolicyByName(name, cfg, opts);
+
+        if (auto *cohm =
+                dynamic_cast<policy::CohmeleonPolicy *>(policy.get())) {
+            trainCohmeleon(*cohm, cfg, trainApp,
+                           opts.trainIterations);
+        }
+
+        PolicyOutcome outcome;
+        outcome.policy = name;
+        outcome.phases =
+            runPolicyOnApp(*policy, cfg, evalApp, opts.collectRecords)
+                .phases;
+        outcomes.push_back(std::move(outcome));
+    }
+
+    // Normalize against the first policy (the figures' baseline).
+    const std::vector<PhaseResult> &base = outcomes.front().phases;
+    for (PolicyOutcome &o : outcomes) {
+        std::vector<double> execRatios;
+        std::vector<double> ddrRatios;
+        for (std::size_t i = 0; i < o.phases.size(); ++i) {
+            const double e = safeRatio(
+                static_cast<double>(o.phases[i].execCycles),
+                static_cast<double>(base[i].execCycles));
+            const double d = safeRatio(
+                static_cast<double>(o.phases[i].ddrAccesses),
+                static_cast<double>(base[i].ddrAccesses));
+            o.execNorm.push_back(e);
+            o.ddrNorm.push_back(d);
+            execRatios.push_back(std::max(e, 1e-9));
+            ddrRatios.push_back(std::max(d, 1e-9));
+        }
+        o.geoExec = geometricMean(execRatios);
+        o.geoDdr = geometricMean(ddrRatios);
+    }
+    return outcomes;
+}
+
+void
+printOutcomeTable(std::ostream &os,
+                  const std::vector<PolicyOutcome> &outcomes)
+{
+    os << std::left << std::setw(20) << "policy" << std::right
+       << std::setw(12) << "exec(norm)" << std::setw(12)
+       << "ddr(norm)" << '\n';
+    for (const PolicyOutcome &o : outcomes) {
+        os << std::left << std::setw(20) << o.policy << std::right
+           << std::fixed << std::setprecision(3) << std::setw(12)
+           << o.geoExec << std::setw(12) << o.geoDdr << '\n';
+    }
+}
+
+} // namespace cohmeleon::app

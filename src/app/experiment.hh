@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The paper's experimental protocol (Section 5), packaged for the
+ * benchmark binaries:
+ *
+ *  - build one of the eight compared policies by name (four fixed
+ *    homogeneous, random, fixed-heterogeneous-by-profiling, the
+ *    manually-tuned Algorithm 1, and Cohmeleon);
+ *  - train Cohmeleon online on a randomly configured application
+ *    instance for N iterations with linearly decaying epsilon/alpha;
+ *  - freeze the model and evaluate every policy on a *different*
+ *    random application instance on an identically initialized SoC;
+ *  - normalize each phase against the fixed non-coherent-DMA policy
+ *    and report geometric means, as the figures do.
+ */
+
+#ifndef COHMELEON_APP_EXPERIMENT_HH
+#define COHMELEON_APP_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/app_runner.hh"
+#include "app/random_app.hh"
+#include "policy/cohmeleon_policy.hh"
+#include "rl/reward.hh"
+
+namespace cohmeleon::app
+{
+
+/** Names of the eight policies in the paper's figure order. */
+const std::vector<std::string> &standardPolicyNames();
+
+/** Result of evaluating one policy on the evaluation app. */
+struct PolicyOutcome
+{
+    std::string policy;
+    std::vector<PhaseResult> phases;
+    /** Per-phase metrics normalized to fixed-non-coh-dma. */
+    std::vector<double> execNorm;
+    std::vector<double> ddrNorm;
+    /** Geometric means over phases. */
+    double geoExec = 1.0;
+    double geoDdr = 1.0;
+};
+
+/** Protocol knobs. */
+struct EvalOptions
+{
+    unsigned trainIterations = 10;
+    std::uint64_t trainSeed = 2021;
+    std::uint64_t evalSeed = 2022;
+    RandomAppParams appParams;
+    /** Overrides appParams for the *training* app only. The paper's
+     *  training instances contain 300+ invocations per iteration;
+     *  denseTrainingParams() reproduces that density cheaply. */
+    std::optional<RandomAppParams> trainAppParams;
+    rl::RewardWeights weights; ///< defaults to the paper's 67.5/7.5/25
+    std::uint64_t agentSeed = 7;
+    bool collectRecords = false;
+};
+
+/**
+ * Construct a policy by figure name. For "fixed-hetero" the profiling
+ * pass runs on a throwaway copy of @p cfg; for "cohmeleon" an
+ * untrained policy is returned (training is the caller's business or
+ * see evaluatePolicies()).
+ */
+std::unique_ptr<rt::CoherencePolicy> makePolicyByName(
+    const std::string &name, const soc::SocConfig &cfg,
+    const EvalOptions &opts);
+
+/**
+ * Train @p policy online: run @p iterations passes of the training
+ * app (one iteration = one full app instance), decaying the schedule
+ * after each, then freeze. Returns per-iteration training app results
+ * (used by the Figure-8 bench).
+ */
+std::vector<AppResult> trainCohmeleon(policy::CohmeleonPolicy &policy,
+                                      const soc::SocConfig &cfg,
+                                      const AppSpec &trainApp,
+                                      unsigned iterations);
+
+/** Run @p policy on @p app on a fresh SoC built from @p cfg. */
+AppResult runPolicyOnApp(rt::CoherencePolicy &policy,
+                         const soc::SocConfig &cfg, const AppSpec &app,
+                         bool collectRecords = false);
+
+/**
+ * Full protocol over @p policyNames (default: the standard eight).
+ * The first entry must be the normalization baseline
+ * ("fixed-non-coh-dma" in the standard list).
+ */
+std::vector<PolicyOutcome> evaluatePolicies(
+    const soc::SocConfig &cfg, const EvalOptions &opts,
+    std::vector<std::string> policyNames = {});
+
+/**
+ * Same protocol but with an explicit evaluation application (e.g. the
+ * four named phases of Figure 5); Cohmeleon still trains on a random
+ * instance per the paper's methodology.
+ */
+std::vector<PolicyOutcome> evaluatePoliciesOnApp(
+    const soc::SocConfig &cfg, const EvalOptions &opts,
+    const AppSpec &evalApp, std::vector<std::string> policyNames = {});
+
+/** Render the outcome table (one row per policy) to @p os. */
+void printOutcomeTable(std::ostream &os,
+                       const std::vector<PolicyOutcome> &outcomes);
+
+/** Geometric mean helper that tolerates zero baselines. */
+double safeRatio(double value, double baseline);
+
+/** Paper-density training workload: many threads, loops, and phases,
+ *  biased toward the cheap S/M size classes. */
+RandomAppParams denseTrainingParams();
+
+} // namespace cohmeleon::app
+
+#endif // COHMELEON_APP_EXPERIMENT_HH

@@ -1,0 +1,34 @@
+#include "coh/coherence_mode.hh"
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::coh
+{
+
+std::string_view
+toString(CoherenceMode mode)
+{
+    switch (mode) {
+      case CoherenceMode::kNonCohDma:
+        return "non-coh-dma";
+      case CoherenceMode::kLlcCohDma:
+        return "llc-coh-dma";
+      case CoherenceMode::kCohDma:
+        return "coh-dma";
+      case CoherenceMode::kFullyCoh:
+        return "full-coh";
+    }
+    return "unknown";
+}
+
+CoherenceMode
+modeFromString(std::string_view name)
+{
+    for (CoherenceMode m : kAllModes) {
+        if (toString(m) == name)
+            return m;
+    }
+    fatal("unknown coherence mode '", name, "'");
+}
+
+} // namespace cohmeleon::coh

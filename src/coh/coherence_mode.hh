@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The four accelerator cache-coherence modes classified by the paper
+ * (Section 2), plus helpers for mode sets and naming.
+ */
+
+#ifndef COHMELEON_COH_COHERENCE_MODE_HH
+#define COHMELEON_COH_COHERENCE_MODE_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace cohmeleon::coh
+{
+
+/**
+ * Accelerator cache-coherence mode. The naming follows the paper: the
+ * degree of hardware coherence (non-coherent, LLC-coherent, coherent)
+ * and whether the accelerator accesses memory by DMA or through a
+ * private cache.
+ */
+enum class CoherenceMode : std::uint8_t
+{
+    kNonCohDma = 0, ///< bypass the cache hierarchy; SW flushes L2s+LLC
+    kLlcCohDma = 1, ///< DMA to the LLC; SW flushes the private caches
+    kCohDma = 2,    ///< DMA to the LLC; HW recalls private-cache data
+    kFullyCoh = 3,  ///< private cache, full MESI coherence
+};
+
+constexpr unsigned kNumModes = 4;
+
+/** All modes in action-index order. */
+constexpr std::array<CoherenceMode, kNumModes> kAllModes = {
+    CoherenceMode::kNonCohDma,
+    CoherenceMode::kLlcCohDma,
+    CoherenceMode::kCohDma,
+    CoherenceMode::kFullyCoh,
+};
+
+/** Short mode name as used in the paper's figures. */
+std::string_view toString(CoherenceMode mode);
+
+/** Parse a mode name (exact match of toString output).
+ *  @throws FatalError on unknown names */
+CoherenceMode modeFromString(std::string_view name);
+
+/** Bitmask type over modes (bit = action index). */
+using ModeMask = std::uint8_t;
+
+constexpr ModeMask
+maskOf(CoherenceMode m)
+{
+    return static_cast<ModeMask>(1u << static_cast<unsigned>(m));
+}
+
+/** Mask with every mode available. */
+constexpr ModeMask kAllModesMask = 0b1111;
+
+/** Whether @p mask contains @p m. */
+constexpr bool
+maskHas(ModeMask mask, CoherenceMode m)
+{
+    return (mask & maskOf(m)) != 0;
+}
+
+/** Does the mode require flushing the private caches before running? */
+constexpr bool
+requiresL2Flush(CoherenceMode m)
+{
+    return m == CoherenceMode::kNonCohDma ||
+           m == CoherenceMode::kLlcCohDma;
+}
+
+/** Does the mode require flushing the LLC before running? */
+constexpr bool
+requiresLlcFlush(CoherenceMode m)
+{
+    return m == CoherenceMode::kNonCohDma;
+}
+
+/** Does the mode need a private cache in the accelerator tile? */
+constexpr bool
+needsPrivateCache(CoherenceMode m)
+{
+    return m == CoherenceMode::kFullyCoh;
+}
+
+} // namespace cohmeleon::coh
+
+#endif // COHMELEON_COH_COHERENCE_MODE_HH

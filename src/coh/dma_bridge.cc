@@ -1,0 +1,125 @@
+#include "coh/dma_bridge.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::coh
+{
+
+DmaBridge::DmaBridge(mem::MemorySystem &ms, TileId tile,
+                     mem::L2Cache *privateCache)
+    : ms_(ms), tile_(tile), privateCache_(privateCache)
+{
+}
+
+ModeMask
+DmaBridge::availableModes() const
+{
+    ModeMask mask = maskOf(CoherenceMode::kNonCohDma) |
+                    maskOf(CoherenceMode::kLlcCohDma) |
+                    maskOf(CoherenceMode::kCohDma);
+    if (privateCache_)
+        mask |= maskOf(CoherenceMode::kFullyCoh);
+    return mask;
+}
+
+BurstResult
+DmaBridge::readLine(Cycles now, Addr lineAddr, CoherenceMode mode)
+{
+    BurstResult res;
+    mem::AccessResult r;
+    switch (mode) {
+      case CoherenceMode::kNonCohDma:
+        r = ms_.dramRead(now, lineAddr, tile_);
+        break;
+      case CoherenceMode::kLlcCohDma:
+        r = ms_.dmaRead(now, lineAddr, false, tile_);
+        break;
+      case CoherenceMode::kCohDma:
+        r = ms_.dmaRead(now, lineAddr, true, tile_);
+        break;
+      case CoherenceMode::kFullyCoh:
+        panic_if(!privateCache_,
+                 "fully-coherent access without a private cache");
+        r = privateCache_->read(now, lineAddr);
+        break;
+    }
+    res.done = r.done;
+    res.dramAccesses = r.dramAccesses;
+    res.llcHits = (r.dramAccesses == 0) ? 1 : 0;
+    return res;
+}
+
+BurstResult
+DmaBridge::writeLine(Cycles now, Addr lineAddr, CoherenceMode mode)
+{
+    BurstResult res;
+    mem::AccessResult r;
+    switch (mode) {
+      case CoherenceMode::kNonCohDma:
+        r = ms_.dramWrite(now, lineAddr, tile_);
+        break;
+      case CoherenceMode::kLlcCohDma:
+        r = ms_.dmaWrite(now, lineAddr, false, tile_);
+        break;
+      case CoherenceMode::kCohDma:
+        r = ms_.dmaWrite(now, lineAddr, true, tile_);
+        break;
+      case CoherenceMode::kFullyCoh:
+        panic_if(!privateCache_,
+                 "fully-coherent access without a private cache");
+        r = privateCache_->write(now, lineAddr);
+        break;
+    }
+    res.done = r.done;
+    res.dramAccesses = r.dramAccesses;
+    res.llcHits = (r.dramAccesses == 0) ? 1 : 0;
+    return res;
+}
+
+BurstResult
+DmaBridge::readBurst(Cycles now, const mem::Allocation &alloc,
+                     std::uint64_t startLine, unsigned lines,
+                     unsigned strideLines, CoherenceMode mode)
+{
+    panic_if(lines == 0, "empty DMA burst");
+    panic_if(strideLines == 0, "zero burst stride");
+    BurstResult res;
+    res.done = now;
+    const std::uint64_t total = alloc.lines();
+    for (unsigned i = 0; i < lines; ++i) {
+        const std::uint64_t line =
+            (startLine + std::uint64_t{i} * strideLines) % total;
+        const BurstResult r =
+            readLine(now, alloc.addrOfLine(line), mode);
+        res.done = std::max(res.done, r.done);
+        res.dramAccesses += r.dramAccesses;
+        res.llcHits += r.llcHits;
+    }
+    return res;
+}
+
+BurstResult
+DmaBridge::writeBurst(Cycles now, const mem::Allocation &alloc,
+                      std::uint64_t startLine, unsigned lines,
+                      unsigned strideLines, CoherenceMode mode)
+{
+    panic_if(lines == 0, "empty DMA burst");
+    panic_if(strideLines == 0, "zero burst stride");
+    BurstResult res;
+    res.done = now;
+    const std::uint64_t total = alloc.lines();
+    for (unsigned i = 0; i < lines; ++i) {
+        const std::uint64_t line =
+            (startLine + std::uint64_t{i} * strideLines) % total;
+        const BurstResult r =
+            writeLine(now, alloc.addrOfLine(line), mode);
+        res.done = std::max(res.done, r.done);
+        res.dramAccesses += r.dramAccesses;
+        res.llcHits += r.llcHits;
+    }
+    return res;
+}
+
+} // namespace cohmeleon::coh

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Partitioned global address space.
+ *
+ * As in the paper's SoCs, the LLC is split into slices, each slice
+ * "corresponding to a contiguous partition of the global address
+ * space and equipped with a dedicated memory controller to access
+ * that partition". The AddressMap owns that partitioning.
+ */
+
+#ifndef COHMELEON_MEM_ADDR_MAP_HH
+#define COHMELEON_MEM_ADDR_MAP_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cohmeleon::mem
+{
+
+/** Contiguous-range mapping from addresses to memory partitions. */
+class AddressMap
+{
+  public:
+    /**
+     * @param numPartitions number of memory tiles (LLC slice + DDR)
+     * @param partitionBytes bytes of DRAM behind each memory tile
+     */
+    AddressMap(unsigned numPartitions, std::uint64_t partitionBytes);
+
+    unsigned numPartitions() const { return numPartitions_; }
+    std::uint64_t partitionBytes() const { return partitionBytes_; }
+    std::uint64_t totalBytes() const
+    {
+        return static_cast<std::uint64_t>(numPartitions_) * partitionBytes_;
+    }
+
+    /** Partition that services @p addr. @pre addr < totalBytes() */
+    unsigned partitionOf(Addr addr) const;
+
+    /** First address of partition @p p. */
+    Addr base(unsigned p) const;
+
+    bool contains(Addr addr) const { return addr < totalBytes(); }
+
+  private:
+    unsigned numPartitions_;
+    std::uint64_t partitionBytes_;
+};
+
+} // namespace cohmeleon::mem
+
+#endif // COHMELEON_MEM_ADDR_MAP_HH

@@ -1,0 +1,121 @@
+#include "mem/cache_array.hh"
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::mem
+{
+
+const char *
+toString(CState s)
+{
+    switch (s) {
+      case CState::kInvalid:
+        return "I";
+      case CState::kShared:
+        return "S";
+      case CState::kExclusive:
+        return "E";
+      case CState::kModified:
+        return "M";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+CacheArray::CacheArray(std::string name, std::uint64_t sizeBytes,
+                       unsigned ways)
+    : name_(std::move(name)), sizeBytes_(sizeBytes), ways_(ways)
+{
+    fatalIf(ways == 0, "associativity must be positive");
+    fatalIf(sizeBytes % (static_cast<std::uint64_t>(ways) * kLineBytes) != 0,
+            "cache size must be a multiple of ways * line size");
+    const std::uint64_t sets =
+        sizeBytes / (static_cast<std::uint64_t>(ways) * kLineBytes);
+    fatalIf(!isPowerOfTwo(sets), "cache set count must be a power of two");
+    sets_ = static_cast<unsigned>(sets);
+    lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+unsigned
+CacheArray::setOf(Addr lineAddr) const
+{
+    return static_cast<unsigned>(lineIndex(lineAddr)) & (sets_ - 1);
+}
+
+CacheLine *
+CacheArray::find(Addr lineAddr)
+{
+    const unsigned set = setOf(lineAddr);
+    CacheLine *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        CacheLine &line = base[w];
+        if (line.valid() && line.lineAddr == lineAddr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::find(Addr lineAddr) const
+{
+    return const_cast<CacheArray *>(this)->find(lineAddr);
+}
+
+CacheLine *
+CacheArray::victimFor(Addr lineAddr)
+{
+    const unsigned set = setOf(lineAddr);
+    CacheLine *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    CacheLine *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        CacheLine &line = base[w];
+        if (!line.valid())
+            return &line;
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    return victim;
+}
+
+void
+CacheArray::touch(CacheLine *line)
+{
+    line->lastUse = ++lruTick_;
+}
+
+void
+CacheArray::forEachValid(const std::function<void(CacheLine &)> &fn)
+{
+    for (CacheLine &line : lines_) {
+        if (line.valid())
+            fn(line);
+    }
+}
+
+void
+CacheArray::invalidateAll()
+{
+    for (CacheLine &line : lines_)
+        line.clear();
+}
+
+std::uint64_t
+CacheArray::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const CacheLine &line : lines_)
+        n += line.valid() ? 1 : 0;
+    return n;
+}
+
+} // namespace cohmeleon::mem

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Set-associative cache array with MESI metadata and directory
+ * side-information, shared by the private L2s and the LLC slices.
+ *
+ * The array is purely functional storage (tags, states, LRU order,
+ * version stamps for the coherence checker, and the LLC's directory
+ * fields); all timing is charged by the caches that own an array.
+ */
+
+#ifndef COHMELEON_MEM_CACHE_ARRAY_HH
+#define COHMELEON_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cohmeleon::mem
+{
+
+/** MESI line state (private caches); the LLC uses Valid/Invalid plus
+ *  its directory fields. */
+enum class CState : std::uint8_t
+{
+    kInvalid,
+    kShared,
+    kExclusive,
+    kModified,
+};
+
+const char *toString(CState s);
+
+/** One cache line's metadata. */
+struct CacheLine
+{
+    Addr lineAddr = 0;          ///< line-aligned address (tag)
+    CState state = CState::kInvalid;
+    bool dirty = false;         ///< LLC: needs DRAM writeback
+    std::uint64_t version = 0;  ///< coherence-checker stamp
+    std::uint64_t lastUse = 0;  ///< LRU tick
+    std::uint64_t sharers = 0;  ///< LLC directory: bitmask of L2 ids
+    std::int16_t owner = -1;    ///< LLC directory: L2 id with E/M copy
+
+    bool valid() const { return state != CState::kInvalid; }
+
+    /** Reset to an empty slot. */
+    void
+    clear()
+    {
+        lineAddr = 0;
+        state = CState::kInvalid;
+        dirty = false;
+        version = 0;
+        sharers = 0;
+        owner = -1;
+    }
+};
+
+/** Fixed-geometry set-associative array with LRU replacement. */
+class CacheArray
+{
+  public:
+    /**
+     * @param sizeBytes total capacity (must be sets*ways*64)
+     * @param ways associativity
+     */
+    CacheArray(std::string name, std::uint64_t sizeBytes, unsigned ways);
+
+    /** Find the line holding @p lineAddr. @return nullptr on miss. */
+    CacheLine *find(Addr lineAddr);
+    const CacheLine *find(Addr lineAddr) const;
+
+    /**
+     * Choose a victim slot for @p lineAddr: an invalid way if one
+     * exists, otherwise the LRU valid way. The caller is responsible
+     * for handling the victim's contents before overwriting.
+     */
+    CacheLine *victimFor(Addr lineAddr);
+
+    /** Refresh LRU position of @p line. */
+    void touch(CacheLine *line);
+
+    /** Apply @p fn to every valid line (flush walks, checkers). */
+    void forEachValid(const std::function<void(CacheLine &)> &fn);
+
+    /** Invalidate every line (does not write anything back). */
+    void invalidateAll();
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+    std::uint64_t sizeBytes() const { return sizeBytes_; }
+    std::uint64_t lineCapacity() const
+    {
+        return static_cast<std::uint64_t>(sets_) * ways_;
+    }
+
+    /** Number of currently valid lines. */
+    std::uint64_t validLines() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    unsigned setOf(Addr lineAddr) const;
+
+    std::string name_;
+    std::uint64_t sizeBytes_;
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<CacheLine> lines_; ///< [set * ways + way]
+    std::uint64_t lruTick_ = 0;
+};
+
+} // namespace cohmeleon::mem
+
+#endif // COHMELEON_MEM_CACHE_ARRAY_HH

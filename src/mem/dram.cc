@@ -1,0 +1,41 @@
+#include "mem/dram.hh"
+
+namespace cohmeleon::mem
+{
+
+DramController::DramController(std::string name, DramParams params)
+    : name_(std::move(name)), params_(params), channel_(name_ + ".channel")
+{
+}
+
+Cycles
+DramController::access(Cycles now, Addr lineAddr, bool isWrite)
+{
+    const Addr row = lineAddr / params_.rowBytes;
+    Cycles service = params_.lineService;
+    if (row != openRow_) {
+        service += params_.rowMissPenalty;
+        ++rowMisses_;
+        openRow_ = row;
+    } else {
+        ++rowHits_;
+    }
+    if (isWrite)
+        ++writes_;
+    else
+        ++reads_;
+    return channel_.finishAfter(now, service);
+}
+
+void
+DramController::reset()
+{
+    channel_.reset();
+    openRow_ = ~Addr{0};
+    reads_ = 0;
+    writes_ = 0;
+    rowHits_ = 0;
+    rowMisses_ = 0;
+}
+
+} // namespace cohmeleon::mem

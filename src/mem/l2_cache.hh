@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Private L2 cache, used both by processor tiles and by accelerator
+ * tiles operating in the fully-coherent mode (ESP attaches the same
+ * cache IP to both kinds of tile).
+ *
+ * The cache is MESI, writeback, write-allocate. Misses and upgrades
+ * are routed through the MemorySystem facade to the home LLC slice;
+ * the LLC can reach back in (recall/invalidate) through recall().
+ */
+
+#ifndef COHMELEON_MEM_L2_CACHE_HH
+#define COHMELEON_MEM_L2_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/cache_array.hh"
+#include "mem/mem_types.hh"
+#include "sim/server.hh"
+#include "sim/types.hh"
+
+namespace cohmeleon::mem
+{
+
+class MemorySystem;
+
+/** One private, MESI-coherent L2 cache. */
+class L2Cache
+{
+  public:
+    /**
+     * @param id dense id assigned by the MemorySystem (directory bit)
+     * @param tile tile hosting the cache (NoC endpoint)
+     */
+    L2Cache(unsigned id, std::string name, TileId tile,
+            std::uint64_t sizeBytes, unsigned ways, MemorySystem &ms);
+
+    /** Owner-side read of one line. */
+    AccessResult read(Cycles now, Addr lineAddr);
+
+    /** Owner-side full-line write. */
+    AccessResult write(Cycles now, Addr lineAddr);
+
+    /**
+     * Write back every dirty line to the LLC and invalidate the whole
+     * cache (the software-managed flush the non-coherent and
+     * LLC-coherent DMA modes require).
+     */
+    AccessResult flushAll(Cycles now);
+
+    /** Result of an LLC-initiated recall. */
+    struct RecallResult
+    {
+        bool present = false;
+        bool dirty = false;
+        std::uint64_t version = 0;
+    };
+
+    /**
+     * LLC-directed recall of @p lineAddr. Functional part of the
+     * protocol: downgrades to Shared (or invalidates) and surrenders
+     * dirty data. Timing is charged by the caller (the LLC slice).
+     */
+    RecallResult recall(Addr lineAddr, bool invalidate);
+
+    /** Snoop/access port for contention accounting. */
+    Server &port() { return port_; }
+
+    unsigned id() const { return id_; }
+    TileId tile() const { return tile_; }
+    const std::string &name() const { return name_; }
+    CacheArray &array() { return array_; }
+    const CacheArray &array() const { return array_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    std::uint64_t recallsServed() const { return recallsServed_; }
+
+    /** Invalidate everything and zero statistics. */
+    void reset();
+
+  private:
+    /** Handle the victim slot before refilling it. @return wb time. */
+    Cycles evict(Cycles now, CacheLine *victim);
+
+    unsigned id_;
+    std::string name_;
+    TileId tile_;
+    MemorySystem &ms_;
+    CacheArray array_;
+    Server port_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+    std::uint64_t recallsServed_ = 0;
+};
+
+} // namespace cohmeleon::mem
+
+#endif // COHMELEON_MEM_L2_CACHE_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Result/parameter types shared between the private caches, the LLC
+ * slices, and the MemorySystem facade (split out to break the include
+ * cycle between those headers).
+ */
+
+#ifndef COHMELEON_MEM_MEM_TYPES_HH
+#define COHMELEON_MEM_MEM_TYPES_HH
+
+#include <cstdint>
+
+#include "mem/dram.hh"
+#include "sim/types.hh"
+
+namespace cohmeleon::mem
+{
+
+/** Timing constants of the cache hierarchy. */
+struct MemTimingParams
+{
+    Cycles l2HitLatency = 2;   ///< private-cache hit latency
+    Cycles l2PortOccupancy = 1; ///< per-access slot on an L2 port
+    Cycles l2WalkPerLine = 1;  ///< flush-walk cost per line slot
+    Cycles llcLatency = 8;     ///< LLC lookup latency
+    Cycles llcOccupancy = 2;   ///< per-access slot on an LLC slice port
+    Cycles llcWalkPerLine = 1; ///< LLC flush-walk cost per line slot
+    unsigned reqBytes = 8;     ///< control-message payload bytes
+    DramParams dram;           ///< per-channel DRAM timing
+};
+
+/** Outcome of a memory operation that may touch DRAM. */
+struct AccessResult
+{
+    Cycles done = 0;            ///< completion time
+    unsigned dramAccesses = 0;  ///< off-chip line transfers caused
+    bool llcHit = false;        ///< served from on-chip state
+};
+
+/** Outcome of an L2 miss fill from the LLC. */
+struct FillResult
+{
+    Cycles done = 0;           ///< data-arrival time at the L2
+    std::uint64_t version = 0; ///< version stamp of the filled data
+    bool exclusive = false;    ///< whether E (vs. S) was granted
+    unsigned dramAccesses = 0; ///< off-chip line transfers caused
+};
+
+} // namespace cohmeleon::mem
+
+#endif // COHMELEON_MEM_MEM_TYPES_HH

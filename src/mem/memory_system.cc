@@ -1,0 +1,260 @@
+#include "mem/memory_system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::mem
+{
+
+MemorySystem::MemorySystem(noc::NocModel &noc, const AddressMap &map,
+                           const MemTimingParams &timing,
+                           std::uint64_t llcSliceBytes, unsigned llcWays,
+                           std::vector<TileId> memTiles)
+    : noc_(noc), map_(map), timing_(timing), memTiles_(std::move(memTiles))
+{
+    fatalIf(memTiles_.size() != map.numPartitions(),
+            "need one memory tile per address partition");
+    for (unsigned p = 0; p < map.numPartitions(); ++p) {
+        const std::string base = "mem" + std::to_string(p);
+        drams_.push_back(std::make_unique<DramController>(base + ".ddr",
+                                                          timing.dram));
+        slices_.push_back(std::make_unique<LlcPartition>(
+            p, base + ".llc", memTiles_[p], llcSliceBytes, llcWays,
+            *drams_[p], *this));
+    }
+}
+
+L2Cache &
+MemorySystem::addL2(const std::string &name, TileId tile,
+                    std::uint64_t sizeBytes, unsigned ways)
+{
+    fatalIf(l2s_.size() >= 64,
+            "directory sharer mask supports at most 64 private caches");
+    const unsigned id = static_cast<unsigned>(l2s_.size());
+    l2s_.push_back(std::make_unique<L2Cache>(id, name, tile, sizeBytes,
+                                             ways, *this));
+    return *l2s_.back();
+}
+
+FillResult
+MemorySystem::getS(Cycles now, Addr lineAddr, L2Cache &req)
+{
+    const unsigned p = map_.partitionOf(lineAddr);
+    const Cycles arrive =
+        noc_.transfer(now, req.tile(), memTiles_[p],
+                      noc::Plane::kCohReq, timing_.reqBytes);
+    return slices_[p]->getS(arrive, lineAddr, req);
+}
+
+FillResult
+MemorySystem::getM(Cycles now, Addr lineAddr, L2Cache &req)
+{
+    const unsigned p = map_.partitionOf(lineAddr);
+    const Cycles arrive =
+        noc_.transfer(now, req.tile(), memTiles_[p],
+                      noc::Plane::kCohReq, timing_.reqBytes);
+    return slices_[p]->getM(arrive, lineAddr, req);
+}
+
+Cycles
+MemorySystem::putWriteback(Cycles now, Addr lineAddr, L2Cache &from,
+                           std::uint64_t version)
+{
+    const unsigned p = map_.partitionOf(lineAddr);
+    const Cycles arrive =
+        noc_.transfer(now, from.tile(), memTiles_[p],
+                      noc::Plane::kCohReq, kLineBytes);
+    return slices_[p]->putWriteback(arrive, lineAddr, from, version);
+}
+
+void
+MemorySystem::putClean(Addr lineAddr, L2Cache &from)
+{
+    sliceFor(lineAddr).putClean(lineAddr, from);
+}
+
+AccessResult
+MemorySystem::dmaRead(Cycles now, Addr lineAddr, bool coherent,
+                      TileId reqTile)
+{
+    const unsigned p = map_.partitionOf(lineAddr);
+    const Cycles arrive =
+        noc_.transfer(now, reqTile, memTiles_[p], noc::Plane::kDmaReq,
+                      timing_.reqBytes);
+    return slices_[p]->dmaRead(arrive, lineAddr, coherent, reqTile);
+}
+
+AccessResult
+MemorySystem::dmaWrite(Cycles now, Addr lineAddr, bool coherent,
+                       TileId reqTile)
+{
+    const unsigned p = map_.partitionOf(lineAddr);
+    const Cycles arrive = noc_.transfer(
+        now, reqTile, memTiles_[p], noc::Plane::kDmaReq, kLineBytes);
+    AccessResult res =
+        slices_[p]->dmaWrite(arrive, lineAddr, coherent, reqTile);
+    res.done = noc_.transfer(res.done, memTiles_[p], reqTile,
+                             noc::Plane::kDmaRsp, timing_.reqBytes);
+    return res;
+}
+
+AccessResult
+MemorySystem::dramRead(Cycles now, Addr lineAddr, TileId reqTile)
+{
+    const unsigned p = map_.partitionOf(lineAddr);
+    const Cycles arrive =
+        noc_.transfer(now, reqTile, memTiles_[p], noc::Plane::kDmaReq,
+                      timing_.reqBytes);
+    const Cycles d = drams_[p]->access(arrive, lineAddr, false);
+    versions_.checkRead(lineAddr, versions_.dramVersion(lineAddr),
+                        "non-coh-dma");
+    AccessResult res;
+    res.dramAccesses = 1;
+    res.done = noc_.transfer(d, memTiles_[p], reqTile,
+                             noc::Plane::kDmaRsp, kLineBytes);
+    return res;
+}
+
+AccessResult
+MemorySystem::dramWrite(Cycles now, Addr lineAddr, TileId reqTile)
+{
+    const unsigned p = map_.partitionOf(lineAddr);
+    const Cycles arrive = noc_.transfer(
+        now, reqTile, memTiles_[p], noc::Plane::kDmaReq, kLineBytes);
+    const Cycles d = drams_[p]->access(arrive, lineAddr, true);
+    versions_.setDramVersion(lineAddr, versions_.bumpLatest(lineAddr));
+    AccessResult res;
+    res.dramAccesses = 1;
+    res.done = noc_.transfer(d, memTiles_[p], reqTile,
+                             noc::Plane::kDmaRsp, timing_.reqBytes);
+    return res;
+}
+
+AccessResult
+MemorySystem::flushL2s(Cycles now, const std::vector<L2Cache *> &which)
+{
+    AccessResult res;
+    res.done = now;
+    auto flushOne = [&](L2Cache &l2) {
+        const AccessResult r = l2.flushAll(now);
+        res.done = std::max(res.done, r.done);
+        res.dramAccesses += r.dramAccesses;
+    };
+    if (which.empty()) {
+        for (auto &l2 : l2s_)
+            flushOne(*l2);
+    } else {
+        for (L2Cache *l2 : which)
+            flushOne(*l2);
+    }
+    return res;
+}
+
+AccessResult
+MemorySystem::flushLlc(Cycles now)
+{
+    AccessResult res;
+    res.done = now;
+    for (auto &slice : slices_) {
+        const AccessResult r = slice->flushAll(now);
+        res.done = std::max(res.done, r.done);
+        res.dramAccesses += r.dramAccesses;
+    }
+    return res;
+}
+
+std::uint64_t
+MemorySystem::totalDramAccesses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &d : drams_)
+        total += d->accesses();
+    return total;
+}
+
+std::vector<std::string>
+MemorySystem::checkDirectoryInvariants()
+{
+    std::vector<std::string> problems;
+    auto report = [&](const std::string &msg) {
+        if (problems.size() < 32)
+            problems.push_back(msg);
+    };
+    auto hex = [](Addr a) {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "0x%llx",
+                      static_cast<unsigned long long>(a));
+        return std::string(buf);
+    };
+
+    // Private-cache side: inclusion and registration.
+    for (const auto &l2 : l2s_) {
+        l2->array().forEachValid([&](CacheLine &line) {
+            CacheLine *home =
+                sliceFor(line.lineAddr).array().find(line.lineAddr);
+            if (!home) {
+                report(l2->name() + " holds " + hex(line.lineAddr) +
+                       " (" + toString(line.state) +
+                       ") absent from the LLC (inclusion)");
+                return;
+            }
+            const std::uint64_t bit = std::uint64_t{1} << l2->id();
+            if (line.state == CState::kShared) {
+                if (!(home->sharers & bit))
+                    report(l2->name() + " shares " +
+                           hex(line.lineAddr) +
+                           " without a directory sharer bit");
+            } else {
+                if (home->owner != static_cast<int>(l2->id()))
+                    report(l2->name() + " owns " + hex(line.lineAddr) +
+                           " but the directory owner is " +
+                           std::to_string(home->owner));
+            }
+        });
+    }
+
+    // Directory side: no dangling registrations.
+    for (auto &slice : slices_) {
+        slice->array().forEachValid([&](CacheLine &line) {
+            if (line.owner >= 0) {
+                const auto &owner =
+                    *l2s_[static_cast<unsigned>(line.owner)];
+                const CacheLine *held =
+                    l2s_[static_cast<unsigned>(line.owner)]
+                        ->array()
+                        .find(line.lineAddr);
+                if (!held || held->state == CState::kShared)
+                    report(slice->name() + " lists " + owner.name() +
+                           " as owner of " + hex(line.lineAddr) +
+                           " which it does not own");
+            }
+            std::uint64_t mask = line.sharers;
+            while (mask) {
+                const unsigned id =
+                    static_cast<unsigned>(__builtin_ctzll(mask));
+                mask &= mask - 1;
+                if (id >= l2s_.size() ||
+                    !l2s_[id]->array().find(line.lineAddr))
+                    report(slice->name() + " has a dangling sharer " +
+                           std::to_string(id) + " for " +
+                           hex(line.lineAddr));
+            }
+        });
+    }
+    return problems;
+}
+
+void
+MemorySystem::reset()
+{
+    for (auto &l2 : l2s_)
+        l2->reset();
+    for (auto &slice : slices_)
+        slice->reset();
+    for (auto &d : drams_)
+        d->reset();
+    versions_.reset();
+}
+
+} // namespace cohmeleon::mem

@@ -1,0 +1,157 @@
+#include "mem/page_allocator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::mem
+{
+
+Allocation::Allocation(std::vector<Addr> pageBases, std::uint64_t bytes,
+                       std::uint64_t pageBytes)
+    : pageBases_(std::move(pageBases)), bytes_(bytes), pageBytes_(pageBytes)
+{
+}
+
+Addr
+Allocation::addrOfOffset(std::uint64_t offset) const
+{
+    panic_if(offset >= bytes_, "offset ", offset, " beyond allocation of ",
+             bytes_, " bytes");
+    const std::uint64_t page = offset / pageBytes_;
+    return pageBases_[page] + (offset % pageBytes_);
+}
+
+Addr
+Allocation::addrOfLine(std::uint64_t line) const
+{
+    return addrOfOffset(line * kLineBytes);
+}
+
+std::uint64_t
+Allocation::footprintOnPartition(const AddressMap &map, unsigned p) const
+{
+    std::uint64_t total = 0;
+    std::uint64_t remaining = bytes_;
+    for (Addr base : pageBases_) {
+        const std::uint64_t inPage = std::min(remaining, pageBytes_);
+        if (map.partitionOf(base) == p)
+            total += inPage;
+        remaining -= inPage;
+    }
+    return total;
+}
+
+std::vector<unsigned>
+Allocation::partitionsUsed(const AddressMap &map) const
+{
+    std::vector<unsigned> parts;
+    std::uint64_t remaining = bytes_;
+    for (Addr base : pageBases_) {
+        if (remaining == 0)
+            break;
+        const unsigned p = map.partitionOf(base);
+        if (std::find(parts.begin(), parts.end(), p) == parts.end())
+            parts.push_back(p);
+        remaining -= std::min(remaining, pageBytes_);
+    }
+    std::sort(parts.begin(), parts.end());
+    return parts;
+}
+
+PageAllocator::PageAllocator(const AddressMap &map, std::uint64_t pageBytes)
+    : map_(map), pageBytes_(pageBytes)
+{
+    fatalIf(pageBytes == 0 || pageBytes % kLineBytes != 0,
+            "page size must be a positive multiple of the line size");
+    fatalIf(map.partitionBytes() % pageBytes != 0,
+            "partition size must be a multiple of the page size");
+
+    freeLists_.resize(map.numPartitions());
+    const std::uint64_t pagesPerPartition =
+        map.partitionBytes() / pageBytes;
+    for (unsigned p = 0; p < map.numPartitions(); ++p) {
+        auto &list = freeLists_[p];
+        list.reserve(pagesPerPartition);
+        // Push in reverse so allocation proceeds from the partition base.
+        for (std::uint64_t i = pagesPerPartition; i-- > 0;)
+            list.push_back(map.base(p) + i * pageBytes);
+    }
+}
+
+Addr
+PageAllocator::takePage(unsigned partition)
+{
+    auto &list = freeLists_[partition];
+    panic_if(list.empty(), "takePage on exhausted partition");
+    const Addr page = list.back();
+    list.pop_back();
+    return page;
+}
+
+Allocation
+PageAllocator::allocate(std::uint64_t bytes, StripePolicy policy)
+{
+    fatalIf(bytes == 0, "cannot allocate zero bytes");
+    const std::uint64_t pages = (bytes + pageBytes_ - 1) / pageBytes_;
+    fatalIf(pages > freePages(), "out of simulated DRAM: need ", pages,
+            " pages, have ", freePages());
+
+    std::vector<Addr> bases;
+    bases.reserve(pages);
+
+    if (policy == StripePolicy::kSingle) {
+        // Pick the partition with the most free pages that can hold it
+        // all; fall back to round-robin when none can.
+        unsigned best = 0;
+        std::uint64_t bestFree = 0;
+        for (unsigned p = 0; p < freeLists_.size(); ++p) {
+            if (freeLists_[p].size() > bestFree) {
+                bestFree = freeLists_[p].size();
+                best = p;
+            }
+        }
+        if (bestFree >= pages) {
+            for (std::uint64_t i = 0; i < pages; ++i)
+                bases.push_back(takePage(best));
+            return Allocation(std::move(bases), bytes, pageBytes_);
+        }
+    }
+
+    // Round-robin striping, skipping exhausted partitions.
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        unsigned tried = 0;
+        while (freeLists_[rrCursor_].empty()) {
+            rrCursor_ = (rrCursor_ + 1) % freeLists_.size();
+            panic_if(++tried > freeLists_.size(),
+                     "free page accounting is inconsistent");
+        }
+        bases.push_back(takePage(rrCursor_));
+        rrCursor_ = (rrCursor_ + 1) % freeLists_.size();
+    }
+    return Allocation(std::move(bases), bytes, pageBytes_);
+}
+
+void
+PageAllocator::free(const Allocation &alloc)
+{
+    for (Addr base : alloc.pageBases())
+        freeLists_[map_.partitionOf(base)].push_back(base);
+}
+
+std::uint64_t
+PageAllocator::freePages() const
+{
+    std::uint64_t total = 0;
+    for (const auto &list : freeLists_)
+        total += list.size();
+    return total;
+}
+
+std::uint64_t
+PageAllocator::freePagesOn(unsigned partition) const
+{
+    return freeLists_[partition].size();
+}
+
+} // namespace cohmeleon::mem

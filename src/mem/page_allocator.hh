@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Big-page allocator for accelerator data.
+ *
+ * ESP allocates accelerator data in big Linux pages so the page table
+ * fits in the accelerator tile's TLB (paper Section 5). We model that
+ * with a fixed big-page size and an allocator that can stripe the
+ * pages of one allocation round-robin across memory partitions (so a
+ * large workload exercises several LLC slices and DDR controllers) or
+ * keep them within a single partition.
+ */
+
+#ifndef COHMELEON_MEM_PAGE_ALLOCATOR_HH
+#define COHMELEON_MEM_PAGE_ALLOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/addr_map.hh"
+#include "sim/types.hh"
+
+namespace cohmeleon::mem
+{
+
+/** How an allocation's pages are distributed over partitions. */
+enum class StripePolicy
+{
+    kRoundRobin, ///< page i -> partition (start + i) % N (ESP default)
+    kSingle,     ///< all pages from the least-loaded partition
+};
+
+/** A contiguous-looking buffer backed by scattered big pages. */
+class Allocation
+{
+  public:
+    Allocation() = default;
+    Allocation(std::vector<Addr> pageBases, std::uint64_t bytes,
+               std::uint64_t pageBytes);
+
+    bool valid() const { return bytes_ != 0; }
+    std::uint64_t bytes() const { return bytes_; }
+    std::uint64_t pageBytes() const { return pageBytes_; }
+    std::size_t numPages() const { return pageBases_.size(); }
+    const std::vector<Addr> &pageBases() const { return pageBases_; }
+
+    /** Number of cache lines covered by the live bytes. */
+    std::uint64_t lines() const { return linesFor(bytes_); }
+
+    /** Physical address of logical byte offset @p offset. */
+    Addr addrOfOffset(std::uint64_t offset) const;
+
+    /** Physical address of logical line index @p line. */
+    Addr addrOfLine(std::uint64_t line) const;
+
+    /** Bytes of this allocation that live in partition @p p. */
+    std::uint64_t footprintOnPartition(const AddressMap &map,
+                                       unsigned p) const;
+
+    /** Partitions with a nonzero share of this allocation, ascending. */
+    std::vector<unsigned> partitionsUsed(const AddressMap &map) const;
+
+  private:
+    std::vector<Addr> pageBases_;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t pageBytes_ = 0;
+};
+
+/** Free-list big-page allocator over the partitioned space. */
+class PageAllocator
+{
+  public:
+    PageAllocator(const AddressMap &map, std::uint64_t pageBytes);
+
+    /**
+     * Allocate @p bytes (rounded up to whole pages).
+     *
+     * @throws FatalError when memory is exhausted.
+     */
+    Allocation allocate(std::uint64_t bytes,
+                        StripePolicy policy = StripePolicy::kRoundRobin);
+
+    /** Return an allocation's pages to the free lists. */
+    void free(const Allocation &alloc);
+
+    std::uint64_t pageBytes() const { return pageBytes_; }
+    std::uint64_t freePages() const;
+    std::uint64_t freePagesOn(unsigned partition) const;
+
+  private:
+    Addr takePage(unsigned partition);
+
+    const AddressMap &map_;
+    std::uint64_t pageBytes_;
+    std::vector<std::vector<Addr>> freeLists_; ///< per partition
+    unsigned rrCursor_ = 0;
+};
+
+} // namespace cohmeleon::mem
+
+#endif // COHMELEON_MEM_PAGE_ALLOCATOR_HH

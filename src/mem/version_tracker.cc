@@ -1,0 +1,68 @@
+#include "mem/version_tracker.hh"
+
+#include <sstream>
+
+namespace cohmeleon::mem
+{
+
+std::uint64_t
+VersionTracker::bumpLatest(Addr lineAddr)
+{
+    if (!enabled_)
+        return 0;
+    const std::uint64_t v = ++counter_;
+    latest_[lineAddr] = v;
+    return v;
+}
+
+std::uint64_t
+VersionTracker::latest(Addr lineAddr) const
+{
+    const auto it = latest_.find(lineAddr);
+    return it == latest_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+VersionTracker::dramVersion(Addr lineAddr) const
+{
+    const auto it = dram_.find(lineAddr);
+    return it == dram_.end() ? 0 : it->second;
+}
+
+void
+VersionTracker::setDramVersion(Addr lineAddr, std::uint64_t version)
+{
+    if (!enabled_)
+        return;
+    dram_[lineAddr] = version;
+}
+
+void
+VersionTracker::checkRead(Addr lineAddr, std::uint64_t held,
+                          const char *reader)
+{
+    if (!enabled_)
+        return;
+    const std::uint64_t want = latest(lineAddr);
+    if (held == want)
+        return;
+    ++violations_;
+    if (violationLog_.size() < kMaxLoggedViolations) {
+        std::ostringstream os;
+        os << reader << " read line 0x" << std::hex << lineAddr
+           << std::dec << " version " << held << ", latest is " << want;
+        violationLog_.push_back(os.str());
+    }
+}
+
+void
+VersionTracker::reset()
+{
+    counter_ = 0;
+    violations_ = 0;
+    latest_.clear();
+    dram_.clear();
+    violationLog_.clear();
+}
+
+} // namespace cohmeleon::mem

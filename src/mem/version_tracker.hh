@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Coherence correctness checker.
+ *
+ * Every write anywhere in the system stamps the written line with a
+ * globally increasing version. Cached copies and the DRAM image carry
+ * the stamp of the data they hold. Whenever a consumer reads a line,
+ * the held stamp is compared against the newest stamp for that line;
+ * a mismatch means the protocol (or the software-managed flushing a
+ * coherence mode requires) served stale data.
+ *
+ * The runtime performs the flushes each mode requires, so production
+ * runs must report zero violations; the property tests also drive the
+ * modes *without* the required flushes and assert that the checker
+ * catches the resulting staleness.
+ */
+
+#ifndef COHMELEON_MEM_VERSION_TRACKER_HH
+#define COHMELEON_MEM_VERSION_TRACKER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cohmeleon::mem
+{
+
+/** Global latest-write registry plus the DRAM version image. */
+class VersionTracker
+{
+  public:
+    /** Record a new write to @p lineAddr. @return the new stamp. */
+    std::uint64_t bumpLatest(Addr lineAddr);
+
+    /** Newest stamp for @p lineAddr (0 if never written). */
+    std::uint64_t latest(Addr lineAddr) const;
+
+    /** DRAM image: stamp of the data currently in main memory. */
+    std::uint64_t dramVersion(Addr lineAddr) const;
+    void setDramVersion(Addr lineAddr, std::uint64_t version);
+
+    /**
+     * Check a read observation: @p held is the stamp of the data the
+     * reader was served. Counts (and remembers a few) violations.
+     *
+     * @param reader short description for diagnostics
+     */
+    void checkRead(Addr lineAddr, std::uint64_t held,
+                   const char *reader);
+
+    std::uint64_t violations() const { return violations_; }
+    const std::vector<std::string> &violationLog() const
+    {
+        return violationLog_;
+    }
+
+    /** Enable/disable checking (off saves time in large sweeps). */
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    void reset();
+
+  private:
+    static constexpr std::size_t kMaxLoggedViolations = 16;
+
+    bool enabled_ = true;
+    std::uint64_t counter_ = 0;
+    std::uint64_t violations_ = 0;
+    std::unordered_map<Addr, std::uint64_t> latest_;
+    std::unordered_map<Addr, std::uint64_t> dram_;
+    std::vector<std::string> violationLog_;
+};
+
+} // namespace cohmeleon::mem
+
+#endif // COHMELEON_MEM_VERSION_TRACKER_HH

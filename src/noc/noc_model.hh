@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Timing/contention model of ESP's multi-plane 2D-mesh NoC.
+ *
+ * ESP's NoC has 6 32-bit physical planes with one cycle of latency per
+ * router hop. We model each plane's per-tile injection (egress) and
+ * ejection (ingress) links as FIFO servers; a packet charges flit
+ * serialization at both endpoints and pays the hop latency in between.
+ * Endpoint contention is what matters for the phenomena the paper
+ * studies (many accelerators converging on a few memory tiles), so
+ * intermediate-router contention is deliberately not modeled; the
+ * bench/bench_micro binary quantifies the cost of this model.
+ */
+
+#ifndef COHMELEON_NOC_NOC_MODEL_HH
+#define COHMELEON_NOC_NOC_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noc/topology.hh"
+#include "sim/server.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cohmeleon::noc
+{
+
+/** Physical-plane roles, matching ESP's plane assignment. */
+enum class Plane : std::uint8_t
+{
+    kCohReq = 0, ///< coherence requests (GetS/GetM/Put)
+    kCohRsp = 1, ///< coherence responses (data)
+    kCohFwd = 2, ///< forwarded requests (recalls, invalidations)
+    kDmaReq = 3, ///< DMA requests
+    kDmaRsp = 4, ///< DMA responses (data)
+    kMisc = 5,   ///< interrupts, monitors, config
+};
+
+constexpr unsigned kNumPlanes = 6;
+
+/** Static NoC parameters. */
+struct NocParams
+{
+    Cycles hopLatency = 1;  ///< per-router latency (paper: 1 cycle)
+    unsigned flitBytes = 4; ///< 32-bit planes
+    Cycles routerPipeline = 2; ///< fixed injection/ejection overhead
+};
+
+/** Timing model for one SoC's NoC. */
+class NocModel
+{
+  public:
+    NocModel(const MeshTopology &topo, NocParams params);
+
+    /**
+     * Transfer @p payloadBytes from @p src to @p dst on @p plane.
+     *
+     * Charges serialization on the source egress and destination
+     * ingress link of the plane and returns the arrival time of the
+     * packet tail.
+     *
+     * @param now earliest injection time
+     * @return arrival (completion) time at the destination
+     */
+    Cycles transfer(Cycles now, TileId src, TileId dst, Plane plane,
+                    unsigned payloadBytes);
+
+    /** Pure latency of a @p payloadBytes packet with no contention. */
+    Cycles uncontendedLatency(TileId src, TileId dst,
+                              unsigned payloadBytes) const;
+
+    /** Flits needed for a payload (one head flit + payload flits). */
+    unsigned flitsFor(unsigned payloadBytes) const;
+
+    const MeshTopology &topology() const { return topo_; }
+    const NocParams &params() const { return params_; }
+
+    std::uint64_t packets() const { return packets_; }
+    std::uint64_t flits() const { return flits_; }
+
+    /** Clear all link occupancy and statistics. */
+    void reset();
+
+    /** Aggregate wait cycles over all links (congestion indicator). */
+    Cycles totalWaitCycles() const;
+
+  private:
+    Server &egress(TileId tile, Plane plane);
+    Server &ingress(TileId tile, Plane plane);
+
+    const MeshTopology &topo_;
+    NocParams params_;
+    std::vector<Server> egress_;  ///< [tile * kNumPlanes + plane]
+    std::vector<Server> ingress_; ///< [tile * kNumPlanes + plane]
+    std::uint64_t packets_ = 0;
+    std::uint64_t flits_ = 0;
+};
+
+} // namespace cohmeleon::noc
+
+#endif // COHMELEON_NOC_NOC_MODEL_HH

@@ -1,0 +1,47 @@
+#include "noc/topology.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::noc
+{
+
+MeshTopology::MeshTopology(unsigned cols, unsigned rows)
+    : cols_(cols), rows_(rows)
+{
+    fatalIf(cols == 0 || rows == 0, "mesh dimensions must be positive");
+}
+
+Coord
+MeshTopology::coordOf(TileId id) const
+{
+    panic_if(id >= tileCount(), "tile id ", id, " out of range");
+    return Coord{static_cast<int>(id % cols_),
+                 static_cast<int>(id / cols_)};
+}
+
+TileId
+MeshTopology::idOf(Coord c) const
+{
+    panic_if(!contains(c), "coordinate out of mesh bounds");
+    return static_cast<TileId>(c.y) * cols_ + static_cast<TileId>(c.x);
+}
+
+unsigned
+MeshTopology::hops(TileId a, TileId b) const
+{
+    const Coord ca = coordOf(a);
+    const Coord cb = coordOf(b);
+    return static_cast<unsigned>(std::abs(ca.x - cb.x) +
+                                 std::abs(ca.y - cb.y));
+}
+
+bool
+MeshTopology::contains(Coord c) const
+{
+    return c.x >= 0 && c.y >= 0 && c.x < static_cast<int>(cols_) &&
+           c.y < static_cast<int>(rows_);
+}
+
+} // namespace cohmeleon::noc

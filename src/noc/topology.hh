@@ -1,0 +1,56 @@
+/**
+ * @file
+ * 2D-mesh topology: tile coordinates, XY routing distance, and the
+ * mapping between tile ids and grid positions, mirroring ESP's grid of
+ * tiles connected by a 2D-mesh NoC.
+ */
+
+#ifndef COHMELEON_NOC_TOPOLOGY_HH
+#define COHMELEON_NOC_TOPOLOGY_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cohmeleon::noc
+{
+
+/** Grid coordinate of a tile. */
+struct Coord
+{
+    int x = 0; ///< column
+    int y = 0; ///< row
+
+    bool operator==(const Coord &) const = default;
+};
+
+/** Row-major 2D mesh of cols x rows tiles. */
+class MeshTopology
+{
+  public:
+    /** @pre cols >= 1 && rows >= 1 */
+    MeshTopology(unsigned cols, unsigned rows);
+
+    unsigned cols() const { return cols_; }
+    unsigned rows() const { return rows_; }
+    unsigned tileCount() const { return cols_ * rows_; }
+
+    /** Grid position of tile @p id. @pre id < tileCount() */
+    Coord coordOf(TileId id) const;
+
+    /** Tile id at @p c. @pre c within bounds */
+    TileId idOf(Coord c) const;
+
+    /** Manhattan (XY-routed) hop count between two tiles. */
+    unsigned hops(TileId a, TileId b) const;
+
+    bool contains(Coord c) const;
+
+  private:
+    unsigned cols_;
+    unsigned rows_;
+};
+
+} // namespace cohmeleon::noc
+
+#endif // COHMELEON_NOC_TOPOLOGY_HH

@@ -1,0 +1,69 @@
+#include "policy/cohmeleon_policy.hh"
+
+namespace cohmeleon::policy
+{
+
+CohmeleonPolicy::CohmeleonPolicy(CohmeleonParams params)
+    : params_(params), agent_(params.agent)
+{
+}
+
+rl::StateTuple
+CohmeleonPolicy::senseState(const rt::DecisionContext &ctx)
+{
+    const rt::SystemStatus &st = *ctx.status;
+    rl::StateInputs in;
+    in.activeFullyCoh = st.activeFullyCoherent();
+    in.avgNonCohPerTile = st.avgNonCohOnPartitions(ctx.partitions);
+    in.avgToLlcPerTile = st.avgToLlcOnPartitions(ctx.partitions);
+    in.avgTileFootprintBytes = static_cast<std::uint64_t>(
+        st.avgActiveBytesOnPartitions(ctx.partitions));
+    in.accFootprintBytes = ctx.footprintBytes;
+    in.l2Bytes = ctx.l2Bytes;
+    in.llcSliceBytes = ctx.llcSliceBytes;
+    return rl::encodeState(in);
+}
+
+coh::CoherenceMode
+CohmeleonPolicy::decide(const rt::DecisionContext &ctx,
+                        std::uint64_t &tagOut)
+{
+    const rl::StateTuple state = senseState(ctx);
+    const unsigned action =
+        agent_.chooseAction(state.index(), ctx.availableModes);
+    tagOut = static_cast<std::uint64_t>(state.index()) * rl::kNumActions +
+             action;
+    return static_cast<coh::CoherenceMode>(action);
+}
+
+rl::InvocationMeasure
+CohmeleonPolicy::measureOf(const rt::InvocationRecord &rec)
+{
+    // Scale time and traffic by the footprint (in KB) as in
+    // Section 4.2's exec(k,i) and mem(k,i).
+    const double footprintKb =
+        static_cast<double>(rec.footprintBytes) / 1024.0;
+    rl::InvocationMeasure m;
+    m.execScaled = static_cast<double>(rec.wallCycles) / footprintKb;
+    m.commRatio =
+        rec.accTotalCycles > 0
+            ? static_cast<double>(rec.accCommCycles) /
+                  static_cast<double>(rec.accTotalCycles)
+            : 0.0;
+    m.memScaled = rec.ddrApprox / footprintKb;
+    return m;
+}
+
+void
+CohmeleonPolicy::feedback(const rt::InvocationRecord &rec)
+{
+    const unsigned state =
+        static_cast<unsigned>(rec.policyTag / rl::kNumActions);
+    const unsigned action =
+        static_cast<unsigned>(rec.policyTag % rl::kNumActions);
+    const double r =
+        tracker_.reward(rec.acc, measureOf(rec), params_.weights);
+    agent_.learn(state, action, r);
+}
+
+} // namespace cohmeleon::policy

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The Cohmeleon policy: the paper's contribution, wiring the sensed
+ * SystemStatus through the Table-3 state encoder into the Q-learning
+ * agent, and converting finished invocations into the multi-objective
+ * reward that updates the Q-table online.
+ */
+
+#ifndef COHMELEON_POLICY_COHMELEON_POLICY_HH
+#define COHMELEON_POLICY_COHMELEON_POLICY_HH
+
+#include "policy/policy.hh"
+#include "rl/agent.hh"
+#include "rl/reward.hh"
+#include "rl/state_encoder.hh"
+
+namespace cohmeleon::policy
+{
+
+/** Hyper-parameters of one Cohmeleon instance. */
+struct CohmeleonParams
+{
+    rl::RewardWeights weights;   ///< (x, y, z) of Section 4.2
+    rl::AgentParams agent;       ///< epsilon/alpha schedule
+};
+
+/** Learning-based coherence selection (paper Section 4). */
+class CohmeleonPolicy : public rt::CoherencePolicy
+{
+  public:
+    explicit CohmeleonPolicy(CohmeleonParams params = {});
+
+    coh::CoherenceMode decide(const rt::DecisionContext &ctx,
+                              std::uint64_t &tagOut) override;
+    void feedback(const rt::InvocationRecord &rec) override;
+    std::string_view name() const override { return "cohmeleon"; }
+
+    /** Q-table lookup + epsilon draw + status read. */
+    Cycles decisionCost() const override { return 180; }
+
+    void onIterationEnd() override { agent_.advanceIteration(); }
+
+    /** Stop exploration and learning (evaluation phase). */
+    void freeze() { agent_.freeze(); }
+    void unfreeze() { agent_.unfreeze(); }
+
+    rl::QLearningAgent &agent() { return agent_; }
+    rl::RewardTracker &rewardTracker() { return tracker_; }
+    const CohmeleonParams &params() const { return params_; }
+
+    /** Sense + encode, exposed for tests. */
+    static rl::StateTuple senseState(const rt::DecisionContext &ctx);
+
+    /** Scale a finished invocation into the paper's measurements. */
+    static rl::InvocationMeasure measureOf(
+        const rt::InvocationRecord &rec);
+
+  private:
+    CohmeleonParams params_;
+    rl::QLearningAgent agent_;
+    rl::RewardTracker tracker_;
+};
+
+} // namespace cohmeleon::policy
+
+#endif // COHMELEON_POLICY_COHMELEON_POLICY_HH

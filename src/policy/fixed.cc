@@ -1,0 +1,39 @@
+#include "policy/fixed.hh"
+
+namespace cohmeleon::policy
+{
+
+FixedPolicy::FixedPolicy(coh::CoherenceMode mode)
+    : mode_(mode), name_("fixed-" + std::string(coh::toString(mode)))
+{
+}
+
+coh::CoherenceMode
+FixedPolicy::decide(const rt::DecisionContext &ctx, std::uint64_t &tagOut)
+{
+    tagOut = 0;
+    return fallbackMode(mode_, ctx.availableModes);
+}
+
+FixedHeterogeneousPolicy::FixedHeterogeneousPolicy(
+    std::map<std::string, coh::CoherenceMode> table,
+    coh::CoherenceMode fallback)
+    : table_(std::move(table)), fallback_(fallback)
+{
+}
+
+coh::CoherenceMode
+FixedHeterogeneousPolicy::decide(const rt::DecisionContext &ctx,
+                                 std::uint64_t &tagOut)
+{
+    tagOut = 0;
+    // Most specific entry wins: instance name, then type name.
+    auto it = table_.find(std::string(ctx.accName));
+    if (it == table_.end())
+        it = table_.find(std::string(ctx.accType));
+    const coh::CoherenceMode wanted =
+        it != table_.end() ? it->second : fallback_;
+    return fallbackMode(wanted, ctx.availableModes);
+}
+
+} // namespace cohmeleon::policy

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The Fixed policies of Section 4.3: a design-time choice of one
+ * coherence mode, either homogeneous (one mode for every accelerator,
+ * representing nearly all previous work) or heterogeneous (one mode
+ * per accelerator type, built by design-time profiling — see
+ * policy/profiling.hh).
+ */
+
+#ifndef COHMELEON_POLICY_FIXED_HH
+#define COHMELEON_POLICY_FIXED_HH
+
+#include <map>
+#include <string>
+
+#include "policy/policy.hh"
+
+namespace cohmeleon::policy
+{
+
+/** Fixed homogeneous policy: the same mode for every invocation. */
+class FixedPolicy : public rt::CoherencePolicy
+{
+  public:
+    explicit FixedPolicy(coh::CoherenceMode mode);
+
+    coh::CoherenceMode decide(const rt::DecisionContext &ctx,
+                              std::uint64_t &tagOut) override;
+    std::string_view name() const override { return name_; }
+    Cycles decisionCost() const override { return 10; }
+
+    coh::CoherenceMode mode() const { return mode_; }
+
+  private:
+    coh::CoherenceMode mode_;
+    std::string name_;
+};
+
+/** Fixed heterogeneous policy: a per-accelerator-type mode table. */
+class FixedHeterogeneousPolicy : public rt::CoherencePolicy
+{
+  public:
+    explicit FixedHeterogeneousPolicy(
+        std::map<std::string, coh::CoherenceMode> table,
+        coh::CoherenceMode fallback = coh::CoherenceMode::kNonCohDma);
+
+    coh::CoherenceMode decide(const rt::DecisionContext &ctx,
+                              std::uint64_t &tagOut) override;
+    std::string_view name() const override { return "fixed-hetero"; }
+    Cycles decisionCost() const override { return 15; }
+
+    const std::map<std::string, coh::CoherenceMode> &table() const
+    {
+        return table_;
+    }
+
+  private:
+    std::map<std::string, coh::CoherenceMode> table_;
+    coh::CoherenceMode fallback_;
+};
+
+} // namespace cohmeleon::policy
+
+#endif // COHMELEON_POLICY_FIXED_HH

@@ -1,0 +1,39 @@
+#include "policy/manual.hh"
+
+namespace cohmeleon::policy
+{
+
+ManualPolicy::ManualPolicy(std::uint64_t extraSmallThreshold)
+    : extraSmallThreshold_(extraSmallThreshold)
+{
+}
+
+coh::CoherenceMode
+ManualPolicy::decide(const rt::DecisionContext &ctx, std::uint64_t &tagOut)
+{
+    tagOut = 0;
+    const rt::SystemStatus &st = *ctx.status;
+    const std::uint64_t footprint = ctx.footprintBytes;
+
+    coh::CoherenceMode choice;
+    if (footprint <= extraSmallThreshold_) {
+        choice = coh::CoherenceMode::kFullyCoh;
+    } else if (footprint <= ctx.l2Bytes) {
+        const unsigned cohDma =
+            st.activeWithMode(coh::CoherenceMode::kCohDma);
+        const unsigned fullyCoh = st.activeFullyCoherent();
+        choice = cohDma > fullyCoh ? coh::CoherenceMode::kFullyCoh
+                                   : coh::CoherenceMode::kCohDma;
+    } else if (footprint + st.totalActiveFootprint() >
+               ctx.totalLlcBytes) {
+        choice = coh::CoherenceMode::kNonCohDma;
+    } else {
+        const unsigned nonCoh =
+            st.activeWithMode(coh::CoherenceMode::kNonCohDma);
+        choice = nonCoh >= 2 ? coh::CoherenceMode::kLlcCohDma
+                             : coh::CoherenceMode::kCohDma;
+    }
+    return fallbackMode(choice, ctx.availableModes);
+}
+
+} // namespace cohmeleon::policy

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The introspective, manually-tuned runtime heuristic of the paper
+ * (Algorithm 1): a hand-crafted decision tree over the invocation
+ * footprint and the live system status, tuned for ESP's coherence
+ * implementation from tens of thousands of profiled invocations. It
+ * is the strongest baseline Cohmeleon is compared against — and, as
+ * the paper notes, it would need manual re-tuning on other SoCs
+ * (Figure 9 shows it suboptimal on SoC5).
+ */
+
+#ifndef COHMELEON_POLICY_MANUAL_HH
+#define COHMELEON_POLICY_MANUAL_HH
+
+#include "policy/policy.hh"
+
+namespace cohmeleon::policy
+{
+
+/** Algorithm 1, verbatim. */
+class ManualPolicy : public rt::CoherencePolicy
+{
+  public:
+    /**
+     * @param extraSmallThreshold the EXTRA_SMALL_THRESHOLD constant
+     *        (footprints at or below it always run fully coherent)
+     */
+    explicit ManualPolicy(std::uint64_t extraSmallThreshold = 4096);
+
+    coh::CoherenceMode decide(const rt::DecisionContext &ctx,
+                              std::uint64_t &tagOut) override;
+    std::string_view name() const override { return "manual"; }
+    Cycles decisionCost() const override { return 120; }
+
+    std::uint64_t extraSmallThreshold() const
+    {
+        return extraSmallThreshold_;
+    }
+
+  private:
+    std::uint64_t extraSmallThreshold_;
+};
+
+} // namespace cohmeleon::policy
+
+#endif // COHMELEON_POLICY_MANUAL_HH

@@ -1,0 +1,27 @@
+#include "policy/policy.hh"
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::policy
+{
+
+coh::CoherenceMode
+fallbackMode(coh::CoherenceMode wanted, coh::ModeMask avail)
+{
+    if (coh::maskHas(avail, wanted))
+        return wanted;
+    // Degrade along the hardware-coherence axis.
+    static const coh::CoherenceMode order[] = {
+        coh::CoherenceMode::kCohDma,
+        coh::CoherenceMode::kLlcCohDma,
+        coh::CoherenceMode::kNonCohDma,
+        coh::CoherenceMode::kFullyCoh,
+    };
+    for (coh::CoherenceMode m : order) {
+        if (coh::maskHas(avail, m))
+            return m;
+    }
+    panic("tile supports no coherence mode at all");
+}
+
+} // namespace cohmeleon::policy

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Common helpers for coherence-selection policies, plus a scriptable
+ * policy used by the profiler and by tests.
+ */
+
+#ifndef COHMELEON_POLICY_POLICY_HH
+#define COHMELEON_POLICY_POLICY_HH
+
+#include "coh/coherence_mode.hh"
+#include "rt/runtime.hh"
+
+namespace cohmeleon::policy
+{
+
+/**
+ * Resolve @p wanted against the tile's available modes: if available
+ * it is returned unchanged, otherwise the nearest mode in hardware-
+ * coherence degree is chosen (fully-coherent degrades to coherent
+ * DMA, and so on).
+ */
+coh::CoherenceMode fallbackMode(coh::CoherenceMode wanted,
+                                coh::ModeMask avail);
+
+/** A policy that returns whatever mode it was last told to return. */
+class ScriptedPolicy : public rt::CoherencePolicy
+{
+  public:
+    explicit ScriptedPolicy(
+        coh::CoherenceMode mode = coh::CoherenceMode::kNonCohDma)
+        : mode_(mode)
+    {}
+
+    void setMode(coh::CoherenceMode mode) { mode_ = mode; }
+
+    coh::CoherenceMode
+    decide(const rt::DecisionContext &ctx, std::uint64_t &tagOut) override
+    {
+        tagOut = 0;
+        return fallbackMode(mode_, ctx.availableModes);
+    }
+
+    std::string_view name() const override { return "scripted"; }
+    Cycles decisionCost() const override { return 20; }
+
+  private:
+    coh::CoherenceMode mode_;
+};
+
+} // namespace cohmeleon::policy
+
+#endif // COHMELEON_POLICY_POLICY_HH

@@ -1,0 +1,123 @@
+#include "policy/profiling.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "policy/policy.hh"
+#include "rt/runtime.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace cohmeleon::policy
+{
+
+namespace
+{
+
+/** Run one isolated invocation; @return wall cycles and DDR delta. */
+ProfileSample
+measureOne(soc::Soc &soc, AccId acc, coh::CoherenceMode mode,
+           std::uint64_t footprint)
+{
+    soc.reset();
+    ScriptedPolicy scripted(mode);
+    rt::EspRuntime runtime(soc, scripted);
+
+    mem::Allocation alloc = soc.allocator().allocate(footprint);
+
+    // Application-style warm-up: the CPU initializes the data.
+    const Cycles warmDone =
+        soc.cpuWriteRange(soc.eq().now(), 0, alloc, footprint);
+
+    ProfileSample sample;
+    sample.instance = soc.accelerator(acc).config().name;
+    sample.type = soc.accelerator(acc).config().typeName;
+    sample.mode = mode;
+    sample.footprintBytes = footprint;
+
+    bool finished = false;
+    soc.eq().scheduleAt(warmDone, [&] {
+        rt::InvocationRequest req;
+        req.acc = acc;
+        req.footprintBytes = footprint;
+        req.data = &alloc;
+        runtime.invoke(0, req, [&](const rt::InvocationRecord &rec) {
+            sample.wallCycles = rec.wallCycles;
+            sample.ddrMonitorDelta = rec.ddrMonitorDelta;
+            finished = true;
+        });
+    });
+    soc.eq().run();
+    panic_if(!finished, "profiling invocation never completed");
+
+    soc.allocator().free(alloc);
+    return sample;
+}
+
+} // namespace
+
+ProfileResult
+profileAccelerators(soc::Soc &soc, std::vector<std::uint64_t> footprints)
+{
+    if (footprints.empty()) {
+        const auto &cfg = soc.config();
+        footprints = {
+            cfg.accL2Bytes / 2,       // small: fits in the private cache
+            cfg.llcSliceBytes / 2,    // medium: fits in one LLC slice
+            cfg.totalLlcBytes() * 2,  // large: exceeds the whole LLC
+        };
+    }
+
+    ProfileResult result;
+
+    for (AccId acc = 0; acc < soc.numAccs(); ++acc) {
+        const std::string instance =
+            soc.accelerator(acc).config().name;
+        double bestScore = std::numeric_limits<double>::infinity();
+        coh::CoherenceMode best = coh::CoherenceMode::kNonCohDma;
+
+        // wall[mode][sweep index]
+        std::vector<std::vector<double>> wall(
+            coh::kNumModes, std::vector<double>(footprints.size()));
+
+        for (coh::CoherenceMode mode : coh::kAllModes) {
+            if (!coh::maskHas(soc.bridge(acc).availableModes(), mode))
+                continue;
+            for (std::size_t f = 0; f < footprints.size(); ++f) {
+                ProfileSample s =
+                    measureOne(soc, acc, mode, footprints[f]);
+                wall[static_cast<unsigned>(mode)][f] =
+                    static_cast<double>(s.wallCycles);
+                result.samples.push_back(std::move(s));
+            }
+        }
+
+        // Normalize each sweep point by the best mode there, then
+        // score a mode by the geometric mean of its ratios.
+        for (coh::CoherenceMode mode : coh::kAllModes) {
+            if (!coh::maskHas(soc.bridge(acc).availableModes(), mode))
+                continue;
+            std::vector<double> ratios;
+            for (std::size_t f = 0; f < footprints.size(); ++f) {
+                double bestAt =
+                    std::numeric_limits<double>::infinity();
+                for (coh::CoherenceMode m2 : coh::kAllModes) {
+                    const double w = wall[static_cast<unsigned>(m2)][f];
+                    if (w > 0.0)
+                        bestAt = std::min(bestAt, w);
+                }
+                ratios.push_back(
+                    wall[static_cast<unsigned>(mode)][f] / bestAt);
+            }
+            const double score = geometricMean(ratios);
+            if (score < bestScore) {
+                bestScore = score;
+                best = mode;
+            }
+        }
+        result.bestMode[instance] = best;
+    }
+    return result;
+}
+
+} // namespace cohmeleon::policy

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Design-time profiler backing the fixed-heterogeneous baseline.
+ *
+ * Per the paper (Section 4.3), the heterogeneous fixed policy chooses
+ * each accelerator's mode "based on profiling the accelerator's
+ * performance in each mode while sweeping the footprint of the
+ * workload on different invocations". The profiler runs every
+ * accelerator type of an SoC in isolation over a footprint sweep
+ * under each coherence mode and picks, per type, the mode with the
+ * best geometric-mean normalized execution time.
+ */
+
+#ifndef COHMELEON_POLICY_PROFILING_HH
+#define COHMELEON_POLICY_PROFILING_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "coh/coherence_mode.hh"
+#include "soc/soc.hh"
+
+namespace cohmeleon::policy
+{
+
+/** One profiled data point. */
+struct ProfileSample
+{
+    std::string instance; ///< accelerator instance name
+    std::string type;     ///< preset/type name
+    coh::CoherenceMode mode;
+    std::uint64_t footprintBytes;
+    Cycles wallCycles;
+    std::uint64_t ddrMonitorDelta;
+};
+
+/** Full profiling result; the table is keyed by instance name. */
+struct ProfileResult
+{
+    std::map<std::string, coh::CoherenceMode> bestMode;
+    std::vector<ProfileSample> samples;
+};
+
+/**
+ * Profile every accelerator instance of @p soc in isolation (per
+ * instance, not per type: on the traffic-generator SoCs every
+ * instance has its own communication profile).
+ *
+ * @param footprints sweep points; when empty, an S/M/L sweep derived
+ *        from the SoC's cache sizes is used
+ * @note resets @p soc between measurements
+ */
+ProfileResult profileAccelerators(
+    soc::Soc &soc, std::vector<std::uint64_t> footprints = {});
+
+} // namespace cohmeleon::policy
+
+#endif // COHMELEON_POLICY_PROFILING_HH

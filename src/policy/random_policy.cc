@@ -1,0 +1,21 @@
+#include "policy/random_policy.hh"
+
+namespace cohmeleon::policy
+{
+
+RandomPolicy::RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+coh::CoherenceMode
+RandomPolicy::decide(const rt::DecisionContext &ctx, std::uint64_t &tagOut)
+{
+    tagOut = 0;
+    coh::CoherenceMode options[coh::kNumModes];
+    unsigned n = 0;
+    for (coh::CoherenceMode m : coh::kAllModes) {
+        if (coh::maskHas(ctx.availableModes, m))
+            options[n++] = m;
+    }
+    return options[rng_.uniformInt(n)];
+}
+
+} // namespace cohmeleon::policy

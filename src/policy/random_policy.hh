@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The Random baseline of Section 4.3: a uniformly random coherence
+ * mode per invocation (also the behaviour of an untrained Cohmeleon
+ * model with epsilon = 1).
+ */
+
+#ifndef COHMELEON_POLICY_RANDOM_POLICY_HH
+#define COHMELEON_POLICY_RANDOM_POLICY_HH
+
+#include "policy/policy.hh"
+#include "sim/rng.hh"
+
+namespace cohmeleon::policy
+{
+
+/** Uniform random selection among the tile's available modes. */
+class RandomPolicy : public rt::CoherencePolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 11);
+
+    coh::CoherenceMode decide(const rt::DecisionContext &ctx,
+                              std::uint64_t &tagOut) override;
+    std::string_view name() const override { return "rand"; }
+    Cycles decisionCost() const override { return 30; }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace cohmeleon::policy
+
+#endif // COHMELEON_POLICY_RANDOM_POLICY_HH

@@ -1,0 +1,120 @@
+#include "rl/agent.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::rl
+{
+
+QLearningAgent::QLearningAgent(AgentParams params)
+    : params_(params), rng_(params.seed)
+{
+    fatalIf(params.epsilon0 < 0.0 || params.epsilon0 > 1.0,
+            "epsilon0 must be in [0, 1]");
+    fatalIf(params.alpha0 <= 0.0 || params.alpha0 > 1.0,
+            "alpha0 must be in (0, 1]");
+    fatalIf(params.decayIterations == 0,
+            "decay horizon must be positive");
+}
+
+double
+QLearningAgent::decayFactor() const
+{
+    if (iteration_ >= params_.decayIterations)
+        return 0.0;
+    return 1.0 - static_cast<double>(iteration_) /
+                     static_cast<double>(params_.decayIterations);
+}
+
+double
+QLearningAgent::epsilon() const
+{
+    return frozen_ ? 0.0 : params_.epsilon0 * decayFactor();
+}
+
+double
+QLearningAgent::alpha() const
+{
+    return frozen_ ? 0.0 : params_.alpha0 * decayFactor();
+}
+
+unsigned
+QLearningAgent::chooseAction(unsigned state, std::uint8_t availMask)
+{
+    panic_if((availMask & ((1u << kNumActions) - 1)) == 0,
+             "no available action");
+    if (!frozen_) {
+        // Optimistic coverage: while learning, any action never tried
+        // from this state is taken before exploiting. With the
+        // paper's training density every pair gets sampled by the
+        // epsilon schedule anyway; at smaller training budgets this
+        // prevents a first-sampled action with a positive reward from
+        // locking out never-tried alternatives.
+        unsigned untried[kNumActions];
+        unsigned nUntried = 0;
+        for (unsigned a = 0; a < kNumActions; ++a) {
+            if ((availMask & (1u << a)) && !table_.tried(state, a))
+                untried[nUntried++] = a;
+        }
+        if (nUntried > 0)
+            return untried[rng_.uniformInt(nUntried)];
+    }
+    if (!frozen_ && rng_.bernoulli(epsilon())) {
+        // Exploration: uniform over the available actions.
+        unsigned options[kNumActions];
+        unsigned n = 0;
+        for (unsigned a = 0; a < kNumActions; ++a) {
+            if (availMask & (1u << a))
+                options[n++] = a;
+        }
+        return options[rng_.uniformInt(n)];
+    }
+    // Greedy with uniform tie-breaking, so an untrained model (all
+    // zeros) behaves exactly like the Random policy — the paper's
+    // "iteration 0" datapoint — instead of biasing toward action 0.
+    double best = 0.0;
+    unsigned ties[kNumActions];
+    unsigned n = 0;
+    for (unsigned a = 0; a < kNumActions; ++a) {
+        if (!(availMask & (1u << a)))
+            continue;
+        const double q = table_.q(state, a);
+        if (n == 0 || q > best) {
+            best = q;
+            n = 0;
+            ties[n++] = a;
+        } else if (q == best) {
+            ties[n++] = a;
+        }
+    }
+    return n == 1 ? ties[0] : ties[rng_.uniformInt(n)];
+}
+
+void
+QLearningAgent::learn(unsigned state, unsigned action, double reward)
+{
+    if (frozen_)
+        return;
+    const double a = alpha();
+    if (a <= 0.0)
+        return;
+    table_.update(state, action, reward, a);
+}
+
+void
+QLearningAgent::advanceIteration()
+{
+    ++iteration_;
+}
+
+void
+QLearningAgent::reset()
+{
+    table_.resetToZero();
+    iteration_ = 0;
+    frozen_ = false;
+    rng_ = Rng(params_.seed);
+}
+
+} // namespace cohmeleon::rl

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The Q-learning agent: epsilon-greedy action selection over the
+ * coherence Q-table with the paper's training schedule — epsilon and
+ * alpha initialized to 0.5 / 0.25 and decayed linearly to zero over a
+ * selected number of training iterations, after which the model can
+ * be frozen for evaluation (paper Section 5).
+ */
+
+#ifndef COHMELEON_RL_AGENT_HH
+#define COHMELEON_RL_AGENT_HH
+
+#include <cstdint>
+
+#include "rl/qtable.hh"
+#include "sim/rng.hh"
+
+namespace cohmeleon::rl
+{
+
+/** Learning hyper-parameters. */
+struct AgentParams
+{
+    double epsilon0 = 0.5;          ///< initial exploration rate
+    double alpha0 = 0.25;           ///< initial learning rate
+    unsigned decayIterations = 10;  ///< linear decay horizon
+    std::uint64_t seed = 7;         ///< exploration RNG seed
+};
+
+/** Epsilon-greedy Q-learning over the coherence table. */
+class QLearningAgent
+{
+  public:
+    explicit QLearningAgent(AgentParams params);
+
+    /**
+     * Pick an action for @p state among @p availMask: random with
+     * probability epsilon, greedy otherwise.
+     */
+    unsigned chooseAction(unsigned state, std::uint8_t availMask);
+
+    /** Apply the paper's update Q <- (1-a)Q + aR (no-op if frozen). */
+    void learn(unsigned state, unsigned action, double reward);
+
+    /** One training iteration elapsed: decay epsilon and alpha. */
+    void advanceIteration();
+
+    /** Stop learning and exploring (evaluation mode). */
+    void freeze() { frozen_ = true; }
+    void unfreeze() { frozen_ = false; }
+    bool frozen() const { return frozen_; }
+
+    double epsilon() const;
+    double alpha() const;
+    unsigned iteration() const { return iteration_; }
+
+    QTable &table() { return table_; }
+    const QTable &table() const { return table_; }
+    const AgentParams &params() const { return params_; }
+
+    /** Fresh table and schedule. */
+    void reset();
+
+  private:
+    double decayFactor() const;
+
+    AgentParams params_;
+    QTable table_;
+    Rng rng_;
+    unsigned iteration_ = 0;
+    bool frozen_ = false;
+};
+
+} // namespace cohmeleon::rl
+
+#endif // COHMELEON_RL_AGENT_HH

@@ -1,0 +1,120 @@
+#include "rl/qtable.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::rl
+{
+
+QTable::QTable()
+{
+    q_.assign(StateTuple::kNumStates, {});
+    touched_.assign(StateTuple::kNumStates, {});
+}
+
+double
+QTable::q(unsigned state, unsigned action) const
+{
+    panic_if(state >= StateTuple::kNumStates || action >= kNumActions,
+             "Q-table index out of range");
+    return q_[state][action];
+}
+
+void
+QTable::setQ(unsigned state, unsigned action, double value)
+{
+    panic_if(state >= StateTuple::kNumStates || action >= kNumActions,
+             "Q-table index out of range");
+    q_[state][action] = value;
+    touched_[state][action] = true;
+}
+
+unsigned
+QTable::bestAction(unsigned state, std::uint8_t availMask) const
+{
+    panic_if(state >= StateTuple::kNumStates, "state out of range");
+    panic_if((availMask & ((1u << kNumActions) - 1)) == 0,
+             "no available action");
+    int best = -1;
+    for (unsigned a = 0; a < kNumActions; ++a) {
+        if (!(availMask & (1u << a)))
+            continue;
+        if (best < 0 || q_[state][a] > q_[state][best])
+            best = static_cast<int>(a);
+    }
+    return static_cast<unsigned>(best);
+}
+
+void
+QTable::update(unsigned state, unsigned action, double reward,
+               double alpha)
+{
+    panic_if(state >= StateTuple::kNumStates || action >= kNumActions,
+             "Q-table index out of range");
+    q_[state][action] = (1.0 - alpha) * q_[state][action] +
+                        alpha * reward;
+    touched_[state][action] = true;
+}
+
+bool
+QTable::tried(unsigned state, unsigned action) const
+{
+    panic_if(state >= StateTuple::kNumStates || action >= kNumActions,
+             "Q-table index out of range");
+    return touched_[state][action];
+}
+
+std::uint64_t
+QTable::updatedEntries() const
+{
+    std::uint64_t n = 0;
+    for (const auto &row : touched_)
+        for (bool t : row)
+            n += t ? 1 : 0;
+    return n;
+}
+
+void
+QTable::save(std::ostream &os) const
+{
+    os << "cohmeleon-qtable " << StateTuple::kNumStates << ' '
+       << kNumActions << '\n';
+    os.precision(17);
+    for (unsigned s = 0; s < StateTuple::kNumStates; ++s) {
+        for (unsigned a = 0; a < kNumActions; ++a)
+            os << q_[s][a] << (a + 1 < kNumActions ? ' ' : '\n');
+    }
+}
+
+void
+QTable::load(std::istream &is)
+{
+    std::string magic;
+    unsigned states = 0;
+    unsigned actions = 0;
+    is >> magic >> states >> actions;
+    fatalIf(!is || magic != "cohmeleon-qtable" ||
+                states != StateTuple::kNumStates ||
+                actions != kNumActions,
+            "malformed Q-table file header");
+    for (unsigned s = 0; s < StateTuple::kNumStates; ++s) {
+        for (unsigned a = 0; a < kNumActions; ++a) {
+            double v = 0.0;
+            is >> v;
+            fatalIf(!is, "truncated Q-table file");
+            q_[s][a] = v;
+            touched_[s][a] = v != 0.0;
+        }
+    }
+}
+
+void
+QTable::resetToZero()
+{
+    q_.assign(StateTuple::kNumStates, {});
+    touched_.assign(StateTuple::kNumStates, {});
+}
+
+} // namespace cohmeleon::rl

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The coherence Q-table: |S| x |A| = 243 x 4 = 972 Q-values (paper
+ * Section 4.2), with masked argmax for tiles where some modes are
+ * unavailable, and a plain-text save/load format so trained policies
+ * can be persisted and restored.
+ */
+
+#ifndef COHMELEON_RL_QTABLE_HH
+#define COHMELEON_RL_QTABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "rl/state_encoder.hh"
+
+namespace cohmeleon::rl
+{
+
+/** Number of actions (the four coherence modes). */
+constexpr unsigned kNumActions = 4;
+
+/** Dense Q-value table over (state, action). */
+class QTable
+{
+  public:
+    QTable();
+
+    double q(unsigned state, unsigned action) const;
+    void setQ(unsigned state, unsigned action, double value);
+
+    /**
+     * Action with the highest Q-value among those set in
+     * @p availMask (bit i = action i). Ties resolve to the lowest
+     * action index, keeping playback deterministic.
+     * @pre availMask has at least one bit among the low kNumActions
+     */
+    unsigned bestAction(unsigned state, std::uint8_t availMask) const;
+
+    /** Blend @p reward into Q(s,a) with learning rate @p alpha:
+     *  Q <- (1 - alpha) * Q + alpha * reward (paper Section 4.2). */
+    void update(unsigned state, unsigned action, double reward,
+                double alpha);
+
+    /** Number of (s,a) entries ever updated (coverage metric). */
+    std::uint64_t updatedEntries() const;
+
+    /** Whether (s,a) has ever been set or updated. */
+    bool tried(unsigned state, unsigned action) const;
+
+    void save(std::ostream &os) const;
+    /** @throws FatalError on malformed input */
+    void load(std::istream &is);
+
+    void resetToZero();
+
+  private:
+    std::vector<std::array<double, kNumActions>> q_;
+    std::vector<std::array<bool, kNumActions>> touched_;
+};
+
+} // namespace cohmeleon::rl
+
+#endif // COHMELEON_RL_QTABLE_HH

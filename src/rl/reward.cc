@@ -1,0 +1,63 @@
+#include "rl/reward.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::rl
+{
+
+RewardWeights
+RewardWeights::normalized() const
+{
+    const double sum = exec + comm + mem;
+    fatalIf(sum <= 0.0, "reward weights must not all be zero");
+    return {exec / sum, comm / sum, mem / sum};
+}
+
+RewardComponents
+RewardTracker::observe(std::uint32_t k, const InvocationMeasure &m)
+{
+    PerAcc &t = perAcc_[k];
+    if (!t.any) {
+        t.any = true;
+        t.minExec = m.execScaled;
+        t.minComm = m.commRatio;
+        t.minMem = m.memScaled;
+        t.maxMem = m.memScaled;
+    } else {
+        t.minExec = std::min(t.minExec, m.execScaled);
+        t.minComm = std::min(t.minComm, m.commRatio);
+        t.minMem = std::min(t.minMem, m.memScaled);
+        t.maxMem = std::max(t.maxMem, m.memScaled);
+    }
+
+    RewardComponents c;
+    // A zero denominator means the current value *is* the best
+    // possible (e.g. a fully compute-bound run with commRatio 0), so
+    // the component saturates at 1.
+    c.execComp = m.execScaled > 0.0 ? t.minExec / m.execScaled : 1.0;
+    c.commComp = m.commRatio > 0.0 ? t.minComm / m.commRatio : 1.0;
+    const double memRange = t.maxMem - t.minMem;
+    c.memComp = memRange > 0.0
+                    ? 1.0 - (m.memScaled - t.minMem) / memRange
+                    : 1.0;
+    return c;
+}
+
+double
+RewardTracker::reward(std::uint32_t k, const InvocationMeasure &m,
+                      const RewardWeights &w)
+{
+    const RewardComponents c = observe(k, m);
+    const RewardWeights n = w.normalized();
+    return n.exec * c.execComp + n.comm * c.commComp + n.mem * c.memComp;
+}
+
+void
+RewardTracker::reset()
+{
+    perAcc_.clear();
+}
+
+} // namespace cohmeleon::rl

@@ -1,0 +1,71 @@
+#include "rl/state_encoder.hh"
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::rl
+{
+
+unsigned
+StateTuple::index() const
+{
+    return ((((fullyCohAcc * 3u) + nonCohPerTile) * 3u + toLlcPerTile) *
+                3u +
+            tileFootprint) *
+               3u +
+           accFootprint;
+}
+
+StateTuple
+StateTuple::fromIndex(unsigned idx)
+{
+    panic_if(idx >= kNumStates, "state index out of range");
+    StateTuple s;
+    s.accFootprint = static_cast<std::uint8_t>(idx % 3);
+    idx /= 3;
+    s.tileFootprint = static_cast<std::uint8_t>(idx % 3);
+    idx /= 3;
+    s.toLlcPerTile = static_cast<std::uint8_t>(idx % 3);
+    idx /= 3;
+    s.nonCohPerTile = static_cast<std::uint8_t>(idx % 3);
+    idx /= 3;
+    s.fullyCohAcc = static_cast<std::uint8_t>(idx % 3);
+    return s;
+}
+
+std::uint8_t
+bucketCount(double value)
+{
+    // Averages round to the nearest integer count, then saturate at 2+.
+    if (value < 0.5)
+        return 0;
+    if (value < 1.5)
+        return 1;
+    return 2;
+}
+
+std::uint8_t
+bucketFootprint(std::uint64_t bytes, std::uint64_t l2Bytes,
+                std::uint64_t llcSliceBytes)
+{
+    if (bytes <= l2Bytes)
+        return 0;
+    if (bytes <= llcSliceBytes)
+        return 1;
+    return 2;
+}
+
+StateTuple
+encodeState(const StateInputs &in)
+{
+    StateTuple s;
+    s.fullyCohAcc = bucketCount(static_cast<double>(in.activeFullyCoh));
+    s.nonCohPerTile = bucketCount(in.avgNonCohPerTile);
+    s.toLlcPerTile = bucketCount(in.avgToLlcPerTile);
+    s.tileFootprint = bucketFootprint(in.avgTileFootprintBytes,
+                                      in.l2Bytes, in.llcSliceBytes);
+    s.accFootprint = bucketFootprint(in.accFootprintBytes, in.l2Bytes,
+                                     in.llcSliceBytes);
+    return s;
+}
+
+} // namespace cohmeleon::rl

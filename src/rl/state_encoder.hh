@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The 5-attribute state encoding of Table 3.
+ *
+ * A state is a 5-tuple; every attribute takes one of three values,
+ * giving |S| = 3^5 = 243 states:
+ *   - Fully coh acc:       active fully-coherent accelerators (0/1/2+)
+ *   - Non coh acc per tile: avg non-coherent accelerators talking to
+ *                           each memory partition the target needs
+ *   - To LLC per tile:      avg accelerators accessing each LLC
+ *                           partition the target needs
+ *   - Tile footprint:       avg active-data utilization of each
+ *                           needed partition (<=L2 / <=slice / >slice)
+ *   - Acc footprint:        footprint of the target invocation
+ *                           (<=L2 / <=slice / >slice)
+ */
+
+#ifndef COHMELEON_RL_STATE_ENCODER_HH
+#define COHMELEON_RL_STATE_ENCODER_HH
+
+#include <cstdint>
+
+namespace cohmeleon::rl
+{
+
+/** Raw sensed quantities before bucketing. */
+struct StateInputs
+{
+    unsigned activeFullyCoh = 0;
+    double avgNonCohPerTile = 0.0;
+    double avgToLlcPerTile = 0.0;
+    std::uint64_t avgTileFootprintBytes = 0;
+    std::uint64_t accFootprintBytes = 0;
+    std::uint64_t l2Bytes = 0;       ///< private-cache capacity
+    std::uint64_t llcSliceBytes = 0; ///< one LLC partition's capacity
+};
+
+/** Bucketed state tuple; each attribute is in {0, 1, 2}. */
+struct StateTuple
+{
+    std::uint8_t fullyCohAcc = 0;
+    std::uint8_t nonCohPerTile = 0;
+    std::uint8_t toLlcPerTile = 0;
+    std::uint8_t tileFootprint = 0;
+    std::uint8_t accFootprint = 0;
+
+    static constexpr unsigned kNumStates = 243; // 3^5
+
+    /** Row index into the Q-table. */
+    unsigned index() const;
+
+    /** Inverse of index(). @pre idx < kNumStates */
+    static StateTuple fromIndex(unsigned idx);
+
+    bool operator==(const StateTuple &) const = default;
+};
+
+/** Bucket a count-like average into 0 / 1 / 2+. */
+std::uint8_t bucketCount(double value);
+
+/** Bucket a footprint against the cache hierarchy levels. */
+std::uint8_t bucketFootprint(std::uint64_t bytes, std::uint64_t l2Bytes,
+                             std::uint64_t llcSliceBytes);
+
+/** Full Table-3 encoding. */
+StateTuple encodeState(const StateInputs &in);
+
+} // namespace cohmeleon::rl
+
+#endif // COHMELEON_RL_STATE_ENCODER_HH

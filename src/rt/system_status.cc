@@ -1,0 +1,121 @@
+#include "rt/system_status.hh"
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::rt
+{
+
+SystemStatus::Handle
+SystemStatus::onStart(ActiveInvocation inv)
+{
+    const Handle h = nextHandle_++;
+    active_.emplace(h, std::move(inv));
+    return h;
+}
+
+void
+SystemStatus::onEnd(Handle handle)
+{
+    const auto it = active_.find(handle);
+    panic_if(it == active_.end(), "onEnd for unknown invocation");
+    active_.erase(it);
+}
+
+unsigned
+SystemStatus::activeWithMode(coh::CoherenceMode mode) const
+{
+    unsigned n = 0;
+    for (const auto &[h, inv] : active_)
+        n += inv.mode == mode ? 1 : 0;
+    return n;
+}
+
+double
+SystemStatus::avgNonCohOnPartitions(
+    const std::vector<unsigned> &needed) const
+{
+    if (needed.empty())
+        return 0.0;
+    std::uint64_t total = 0;
+    for (unsigned p : needed) {
+        for (const auto &[h, inv] : active_) {
+            if (inv.mode != coh::CoherenceMode::kNonCohDma)
+                continue;
+            for (const PartitionShare &s : inv.shares) {
+                if (s.partition == p && s.bytes > 0) {
+                    ++total;
+                    break;
+                }
+            }
+        }
+    }
+    return static_cast<double>(total) /
+           static_cast<double>(needed.size());
+}
+
+double
+SystemStatus::avgToLlcOnPartitions(
+    const std::vector<unsigned> &needed) const
+{
+    if (needed.empty())
+        return 0.0;
+    std::uint64_t total = 0;
+    for (unsigned p : needed) {
+        for (const auto &[h, inv] : active_) {
+            if (inv.mode == coh::CoherenceMode::kNonCohDma)
+                continue;
+            for (const PartitionShare &s : inv.shares) {
+                if (s.partition == p && s.bytes > 0) {
+                    ++total;
+                    break;
+                }
+            }
+        }
+    }
+    return static_cast<double>(total) /
+           static_cast<double>(needed.size());
+}
+
+std::uint64_t
+SystemStatus::activeBytesOnPartition(unsigned p) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[h, inv] : active_) {
+        for (const PartitionShare &s : inv.shares) {
+            if (s.partition == p)
+                total += s.bytes;
+        }
+    }
+    return total;
+}
+
+double
+SystemStatus::avgActiveBytesOnPartitions(
+    const std::vector<unsigned> &needed) const
+{
+    if (needed.empty())
+        return 0.0;
+    std::uint64_t total = 0;
+    for (unsigned p : needed)
+        total += activeBytesOnPartition(p);
+    return static_cast<double>(total) /
+           static_cast<double>(needed.size());
+}
+
+std::uint64_t
+SystemStatus::totalActiveFootprint() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[h, inv] : active_)
+        total += inv.footprintBytes;
+    return total;
+}
+
+void
+SystemStatus::reset()
+{
+    active_.clear();
+    nextHandle_ = 1;
+}
+
+} // namespace cohmeleon::rt

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The introspective SoC status tracking of Section 4.1/4.3: global
+ * software structures, maintained by the accelerator-invocation API,
+ * that hold the number of active accelerators, their coherence modes,
+ * and their memory footprints (per partition). Policies and the RL
+ * state encoder sense the system exclusively through this class.
+ */
+
+#ifndef COHMELEON_RT_SYSTEM_STATUS_HH
+#define COHMELEON_RT_SYSTEM_STATUS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "coh/coherence_mode.hh"
+#include "sim/types.hh"
+
+namespace cohmeleon::rt
+{
+
+/** Per-partition share of one invocation's data. */
+struct PartitionShare
+{
+    unsigned partition = 0;
+    std::uint64_t bytes = 0;
+};
+
+/** Software-visible record of one in-flight invocation. */
+struct ActiveInvocation
+{
+    AccId acc = 0;
+    coh::CoherenceMode mode = coh::CoherenceMode::kNonCohDma;
+    std::uint64_t footprintBytes = 0;
+    std::vector<PartitionShare> shares;
+};
+
+/** Registry of in-flight accelerator invocations. */
+class SystemStatus
+{
+  public:
+    using Handle = std::uint64_t;
+
+    /** Record the start of an invocation. */
+    Handle onStart(ActiveInvocation inv);
+
+    /** Record its completion. @pre handle is live */
+    void onEnd(Handle handle);
+
+    unsigned activeCount() const
+    {
+        return static_cast<unsigned>(active_.size());
+    }
+
+    /** Number of active invocations running under @p mode. */
+    unsigned activeWithMode(coh::CoherenceMode mode) const;
+
+    unsigned
+    activeFullyCoherent() const
+    {
+        return activeWithMode(coh::CoherenceMode::kFullyCoh);
+    }
+
+    /**
+     * Average, over @p needed partitions, of the number of active
+     * non-coherent-DMA accelerators with data on that partition
+     * (Table 3, "Non coh acc per tile").
+     */
+    double avgNonCohOnPartitions(
+        const std::vector<unsigned> &needed) const;
+
+    /**
+     * Average, over @p needed partitions, of the number of active
+     * accelerators whose mode routes requests through that LLC
+     * partition — LLC-coherent DMA, coherent DMA, or fully coherent
+     * (Table 3, "To LLC per tile").
+     */
+    double avgToLlcOnPartitions(
+        const std::vector<unsigned> &needed) const;
+
+    /** Active bytes mapped onto partition @p p. */
+    std::uint64_t activeBytesOnPartition(unsigned p) const;
+
+    /** Average active bytes over @p needed partitions
+     *  (Table 3, "Tile footprint"). */
+    double avgActiveBytesOnPartitions(
+        const std::vector<unsigned> &needed) const;
+
+    /** Sum of footprints of all active invocations (Algorithm 1's
+     *  active_footprint). */
+    std::uint64_t totalActiveFootprint() const;
+
+    void reset();
+
+  private:
+    Handle nextHandle_ = 1;
+    std::unordered_map<Handle, ActiveInvocation> active_;
+};
+
+} // namespace cohmeleon::rt
+
+#endif // COHMELEON_RT_SYSTEM_STATUS_HH

@@ -1,0 +1,64 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon
+{
+
+void
+EventQueue::schedule(Cycles delay, Callback cb)
+{
+    scheduleAt(now_ + delay, std::move(cb));
+}
+
+void
+EventQueue::scheduleAt(Cycles when, Callback cb)
+{
+    panic_if(when < now_, "scheduling event in the past (", when,
+             " < ", now_, ")");
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because pop() follows immediately.
+    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    now_ = entry.when;
+    ++executed_;
+    entry.cb();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (runOne()) {
+    }
+}
+
+void
+EventQueue::runUntil(Cycles limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit)
+        runOne();
+    if (now_ < limit)
+        now_ = limit;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    now_ = 0;
+    nextSeq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace cohmeleon

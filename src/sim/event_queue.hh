@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global clock domain; events are callbacks scheduled at
+ * absolute cycle timestamps. Ties are broken by insertion order, which
+ * keeps the simulation deterministic.
+ */
+
+#ifndef COHMELEON_SIM_EVENT_QUEUE_HH
+#define COHMELEON_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cohmeleon
+{
+
+/** Minimum-time-first event queue driving the whole simulation. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in cycles. */
+    Cycles now() const { return now_; }
+
+    /** Schedule @p cb to fire @p delay cycles from now. */
+    void schedule(Cycles delay, Callback cb);
+
+    /** Schedule @p cb at absolute time @p when.
+     *  @pre when >= now() */
+    void scheduleAt(Cycles when, Callback cb);
+
+    /** Pop and execute the earliest event.
+     *  @retval false if the queue was empty. */
+    bool runOne();
+
+    /** Run until the queue drains. */
+    void run();
+
+    /** Run events with timestamp <= @p limit; advances now() to
+     *  @p limit even if the queue drains earlier. */
+    void runUntil(Cycles limit);
+
+    /** Number of scheduled-but-unfired events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Total events executed since construction or reset(). */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Drop all pending events and rewind the clock to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Cycles now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace cohmeleon
+
+#endif // COHMELEON_SIM_EVENT_QUEUE_HH

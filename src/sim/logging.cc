@@ -1,0 +1,52 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cohmeleon
+{
+
+namespace
+{
+std::atomic<bool> gQuiet{false};
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    gQuiet.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+quiet()
+{
+    return gQuiet.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet())
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet())
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace cohmeleon

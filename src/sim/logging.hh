@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user-caused conditions (bad configuration, invalid
+ * arguments) and throws FatalError so callers and tests can recover.
+ * panic() is for internal invariant violations and aborts.
+ * warn()/inform() emit status messages without stopping the run.
+ */
+
+#ifndef COHMELEON_SIM_LOGGING_HH
+#define COHMELEON_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cohmeleon
+{
+
+/** Exception thrown by fatal(): the simulation cannot continue due to a
+ *  user-level error (configuration, arguments), not a simulator bug. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail
+{
+
+/** Concatenate a mixed argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort on an internal invariant violation (simulator bug). */
+#define panic(...)                                                     \
+    ::cohmeleon::detail::panicImpl(                                    \
+        __FILE__, __LINE__, ::cohmeleon::detail::concat(__VA_ARGS__))
+
+/** panic() unless @p cond holds. */
+#define panic_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            panic(__VA_ARGS__);                                        \
+    } while (0)
+
+/** Throw FatalError for a user-level error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** fatal() unless @p cond holds. */
+template <typename Cond, typename... Args>
+void
+fatalIf(Cond &&cond, Args &&...args)
+{
+    if (cond)
+        fatal(std::forward<Args>(args)...);
+}
+
+/** Non-fatal warning to stderr (suppressible for quiet test runs). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally silence warn()/inform() (used by benchmarks and tests). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace cohmeleon
+
+#endif // COHMELEON_SIM_LOGGING_HH

@@ -1,0 +1,94 @@
+#include "sim/rng.hh"
+
+#include "sim/logging.hh"
+
+namespace cohmeleon
+{
+
+namespace
+{
+
+/** SplitMix64 step, used only for seeding. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+    // xoshiro must not start from the all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x9e3779b97f4a7c15ull;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    panic_if(bound == 0, "uniformInt bound must be positive");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t value;
+    do {
+        value = next();
+    } while (value >= limit);
+    return value % bound;
+}
+
+std::int64_t
+Rng::uniformRange(std::int64_t lo, std::int64_t hi)
+{
+    panic_if(lo > hi, "uniformRange requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniformReal() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xa0761d6478bd642full);
+}
+
+} // namespace cohmeleon

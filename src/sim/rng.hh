@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * A thin xoshiro256** implementation seeded via SplitMix64; all
+ * stochastic behaviour in the project (traffic generators, random
+ * policies, epsilon-greedy exploration, random application instances)
+ * draws from explicitly-seeded Rng instances so that every experiment
+ * is reproducible bit-for-bit.
+ */
+
+#ifndef COHMELEON_SIM_RNG_HH
+#define COHMELEON_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace cohmeleon
+{
+
+/** Seeded, stream-splittable PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection sampling.
+     *  @pre bound > 0 */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool bernoulli(double p);
+
+    /** Derive an independent child stream (for per-thread RNGs). */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace cohmeleon
+
+#endif // COHMELEON_SIM_RNG_HH

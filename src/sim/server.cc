@@ -1,0 +1,4 @@
+#include "sim/server.hh"
+
+// Server is header-only for inlining; this translation unit anchors the
+// target so the library always has at least one object file for it.

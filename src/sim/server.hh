@@ -1,0 +1,90 @@
+/**
+ * @file
+ * FIFO resource model ("server") with busy-until semantics.
+ *
+ * Every hardware resource that serializes work — a DRAM channel, an
+ * LLC slice port, a NoC endpoint link, an L2 snoop port — is modeled
+ * as a Server. A client asks for @p duration cycles of service
+ * starting no earlier than @p now; the server grants the earliest
+ * start consistent with FIFO order and remembers its busy-until time.
+ * This gives queueing delay and bandwidth sharing without per-cycle
+ * simulation.
+ */
+
+#ifndef COHMELEON_SIM_SERVER_HH
+#define COHMELEON_SIM_SERVER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace cohmeleon
+{
+
+/** Single FIFO queueing resource. */
+class Server
+{
+  public:
+    Server() = default;
+    explicit Server(std::string name) : name_(std::move(name)) {}
+
+    /**
+     * Reserve @p duration cycles of service requested at @p now.
+     *
+     * @return the cycle at which service starts (>= now).
+     */
+    Cycles
+    acquire(Cycles now, Cycles duration)
+    {
+        const Cycles start = std::max(now, nextFree_);
+        nextFree_ = start + duration;
+        busyCycles_ += duration;
+        waitCycles_ += start - now;
+        ++requests_;
+        return start;
+    }
+
+    /** acquire() and return the completion time instead of the start. */
+    Cycles
+    finishAfter(Cycles now, Cycles duration)
+    {
+        return acquire(now, duration) + duration;
+    }
+
+    /** Earliest cycle at which new work could begin. */
+    Cycles nextFree() const { return nextFree_; }
+
+    /** Total cycles of granted service. */
+    Cycles busyCycles() const { return busyCycles_; }
+
+    /** Total cycles requests spent queued before service. */
+    Cycles waitCycles() const { return waitCycles_; }
+
+    /** Number of acquire() calls. */
+    std::uint64_t requests() const { return requests_; }
+
+    const std::string &name() const { return name_; }
+
+    /** Forget all state (start of a new experiment). */
+    void
+    reset()
+    {
+        nextFree_ = 0;
+        busyCycles_ = 0;
+        waitCycles_ = 0;
+        requests_ = 0;
+    }
+
+  private:
+    std::string name_;
+    Cycles nextFree_ = 0;
+    Cycles busyCycles_ = 0;
+    Cycles waitCycles_ = 0;
+    std::uint64_t requests_ = 0;
+};
+
+} // namespace cohmeleon
+
+#endif // COHMELEON_SIM_SERVER_HH

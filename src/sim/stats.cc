@@ -1,0 +1,63 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon
+{
+
+StatGroup::~StatGroup()
+{
+    for (Counter *c : counters_)
+        delete c;
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    for (Counter *c : counters_) {
+        if (c->name() == name)
+            return *c;
+    }
+    counters_.push_back(new Counter(name));
+    return *counters_.back();
+}
+
+const Counter *
+StatGroup::find(const std::string &name) const
+{
+    for (const Counter *c : counters_) {
+        if (c->name() == name)
+            return c;
+    }
+    return nullptr;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Counter *c : counters_)
+        c->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const Counter *c : counters_)
+        os << name_ << '.' << c->name() << ' ' << c->value() << '\n';
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    panic_if(values.empty(), "geometricMean of empty vector");
+    double logSum = 0.0;
+    for (double v : values) {
+        panic_if(v <= 0.0, "geometricMean requires positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace cohmeleon

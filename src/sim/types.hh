@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental types shared by every subsystem of the Cohmeleon
+ * simulator: cycle counts, physical addresses, tile identifiers, and
+ * cache-line helpers.
+ */
+
+#ifndef COHMELEON_SIM_TYPES_HH
+#define COHMELEON_SIM_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cohmeleon
+{
+
+/** Simulated time, measured in clock cycles of the single SoC domain. */
+using Cycles = std::uint64_t;
+
+/** Physical byte address in the partitioned global address space. */
+using Addr = std::uint64_t;
+
+/** Index of a tile in the SoC grid (row-major). */
+using TileId = std::uint32_t;
+
+/** Index of an accelerator instance within an SoC. */
+using AccId = std::uint32_t;
+
+/** Cache-line geometry (fixed across the project, as in ESP). */
+constexpr unsigned kLineShift = 6;
+constexpr unsigned kLineBytes = 1u << kLineShift;
+
+/** Align @p addr down to the containing cache-line boundary. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Line index of @p addr (address divided by the line size). */
+constexpr Addr
+lineIndex(Addr addr)
+{
+    return addr >> kLineShift;
+}
+
+/** Number of lines needed to cover @p bytes starting line-aligned. */
+constexpr std::uint64_t
+linesFor(std::uint64_t bytes)
+{
+    return (bytes + kLineBytes - 1) / kLineBytes;
+}
+
+} // namespace cohmeleon
+
+#endif // COHMELEON_SIM_TYPES_HH

@@ -1,0 +1,39 @@
+#include "soc/monitors.hh"
+
+namespace cohmeleon::soc
+{
+
+HardwareMonitors::HardwareMonitors(mem::MemorySystem &ms) : ms_(ms) {}
+
+std::uint32_t
+HardwareMonitors::readDdrAccessReg(unsigned p) const
+{
+    return static_cast<std::uint32_t>(ms_.dram(p).accesses());
+}
+
+std::uint32_t
+HardwareMonitors::delta32(std::uint32_t before, std::uint32_t after)
+{
+    // Unsigned subtraction wraps correctly across one overflow.
+    return after - before;
+}
+
+std::uint64_t
+HardwareMonitors::ddrAccesses64(unsigned p) const
+{
+    return ms_.dram(p).accesses();
+}
+
+std::uint64_t
+HardwareMonitors::ddrAccessesTotal() const
+{
+    return ms_.totalDramAccesses();
+}
+
+unsigned
+HardwareMonitors::numDdrRegs() const
+{
+    return ms_.numPartitions();
+}
+
+} // namespace cohmeleon::soc

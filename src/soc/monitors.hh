@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The lightweight hardware monitoring system of Section 4.3:
+ * memory-mapped 32-bit counter registers distributed across tiles and
+ * read by the device driver. Off-chip access counters are
+ * free-running (read before/after an invocation, "potentially
+ * accounting for overflow"); the accelerator cycle counters are reset
+ * at the start of each invocation and read at the end.
+ */
+
+#ifndef COHMELEON_SOC_MONITORS_HH
+#define COHMELEON_SOC_MONITORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory_system.hh"
+
+namespace cohmeleon::soc
+{
+
+/** Software-visible monitor register file. */
+class HardwareMonitors
+{
+  public:
+    explicit HardwareMonitors(mem::MemorySystem &ms);
+
+    /** 32-bit snapshot of partition @p p's off-chip access counter. */
+    std::uint32_t readDdrAccessReg(unsigned p) const;
+
+    /** Wrap-aware difference of two 32-bit register snapshots. */
+    static std::uint32_t delta32(std::uint32_t before,
+                                 std::uint32_t after);
+
+    /** Full-width truth (for tests; not software-visible). */
+    std::uint64_t ddrAccesses64(unsigned p) const;
+    std::uint64_t ddrAccessesTotal() const;
+
+    unsigned numDdrRegs() const;
+
+  private:
+    mem::MemorySystem &ms_;
+};
+
+} // namespace cohmeleon::soc
+
+#endif // COHMELEON_SOC_MONITORS_HH

@@ -1,0 +1,320 @@
+#include "soc/soc_presets.hh"
+
+#include "acc/presets.hh"
+#include "sim/logging.hh"
+
+namespace cohmeleon::soc
+{
+
+namespace
+{
+
+using acc::AccessPattern;
+using acc::TrafficProfile;
+
+/**
+ * Deterministic "mixed properties" traffic-generator profile for
+ * instance @p i, cycling over the parameter axes of the paper's
+ * traffic generator so a population of tgens covers streaming /
+ * strided / irregular patterns, compute- and memory-bound behaviour,
+ * different reuse factors, read/write mixes, and in-place storage.
+ */
+TrafficProfile
+mixedTgenProfile(unsigned i)
+{
+    static const AccessPattern patterns[] = {
+        AccessPattern::kStreaming, AccessPattern::kStreaming,
+        AccessPattern::kStrided, AccessPattern::kIrregular};
+    static const unsigned bursts[] = {16, 32, 64, 8};
+    static const double factors[] = {0.05, 0.1, 0.18, 0.25, 0.6, 1.6};
+    static const double reuses[] = {1.0, 2.0, 3.0, 4.0};
+    static const double rwRatios[] = {1.0, 2.0, 4.0, 8.0};
+
+    TrafficProfile p;
+    p.pattern = patterns[i % 4];
+    p.burstLines = bursts[(i / 2) % 4];
+    p.computeFactor = factors[i % 6];
+    p.computeExponent = (i % 5 == 0) ? 1.5 : 1.0;
+    p.reusePasses = reuses[(i / 3) % 4];
+    p.readWriteRatio = rwRatios[(i / 4) % 4];
+    p.strideLines = (i % 2) ? 8 : 4;
+    p.accessFraction = (i % 3 == 0) ? 0.5 : 0.75;
+    p.inPlace = (i % 3 == 0);
+    return p;
+}
+
+TrafficProfile
+streamingTgenProfile(unsigned i)
+{
+    TrafficProfile p = mixedTgenProfile(i);
+    p.pattern = AccessPattern::kStreaming;
+    p.burstLines = (i % 2) ? 64 : 32;
+    p.accessFraction = 1.0;
+    return p;
+}
+
+TrafficProfile
+irregularTgenProfile(unsigned i)
+{
+    TrafficProfile p = mixedTgenProfile(i);
+    p.pattern = AccessPattern::kIrregular;
+    p.burstLines = (i % 2) ? 2 : 4;
+    p.accessFraction = (i % 2) ? 0.5 : 0.7;
+    return p;
+}
+
+void
+addTgens(SocConfig &cfg, unsigned count, TgenFlavor flavor,
+         unsigned noPrivateCacheTail = 0)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        AccInstanceCfg a;
+        a.type = "tgen";
+        a.name = "tgen" + std::to_string(i);
+        switch (flavor) {
+          case TgenFlavor::kMixed:
+            a.profile = mixedTgenProfile(i);
+            break;
+          case TgenFlavor::kStreaming:
+            a.profile = streamingTgenProfile(i);
+            break;
+          case TgenFlavor::kIrregular:
+            a.profile = irregularTgenProfile(i);
+            break;
+        }
+        a.privateCache = i < count - noPrivateCacheTail;
+        cfg.accs.push_back(std::move(a));
+    }
+}
+
+void
+addPreset(SocConfig &cfg, std::string type, std::string name = "")
+{
+    AccInstanceCfg a;
+    a.type = std::move(type);
+    a.name = std::move(name);
+    cfg.accs.push_back(std::move(a));
+}
+
+} // namespace
+
+SocConfig
+makeSoc0(TgenFlavor flavor)
+{
+    SocConfig cfg;
+    cfg.name = flavor == TgenFlavor::kMixed ? "soc0"
+               : flavor == TgenFlavor::kStreaming ? "soc0-streaming"
+                                                  : "soc0-irregular";
+    cfg.meshCols = 5;
+    cfg.meshRows = 5;
+    cfg.cpus = 4;
+    cfg.memTiles = 4;
+    cfg.llcSliceBytes = 512 * 1024;
+    cfg.l2Bytes = 64 * 1024;
+    cfg.accL2Bytes = 64 * 1024;
+    cfg.seed = 100;
+    addTgens(cfg, 12, flavor);
+    return cfg;
+}
+
+SocConfig
+makeSoc1()
+{
+    SocConfig cfg;
+    cfg.name = "soc1";
+    cfg.meshCols = 4;
+    cfg.meshRows = 4;
+    cfg.cpus = 2;
+    cfg.memTiles = 4;
+    cfg.llcSliceBytes = 256 * 1024;
+    cfg.l2Bytes = 32 * 1024;
+    cfg.accL2Bytes = 32 * 1024;
+    cfg.seed = 101;
+    addTgens(cfg, 7, TgenFlavor::kMixed);
+    return cfg;
+}
+
+SocConfig
+makeSoc2()
+{
+    SocConfig cfg;
+    cfg.name = "soc2";
+    cfg.meshCols = 4;
+    cfg.meshRows = 4;
+    cfg.cpus = 4;
+    cfg.memTiles = 2;
+    cfg.llcSliceBytes = 512 * 1024;
+    cfg.l2Bytes = 32 * 1024;
+    cfg.accL2Bytes = 32 * 1024;
+    cfg.seed = 102;
+    addTgens(cfg, 9, TgenFlavor::kMixed);
+    return cfg;
+}
+
+SocConfig
+makeSoc3()
+{
+    SocConfig cfg;
+    cfg.name = "soc3";
+    cfg.meshCols = 5;
+    cfg.meshRows = 5;
+    cfg.cpus = 4;
+    cfg.memTiles = 4;
+    cfg.llcSliceBytes = 256 * 1024;
+    cfg.l2Bytes = 64 * 1024;
+    cfg.accL2Bytes = 64 * 1024;
+    cfg.seed = 103;
+    // Five accelerators could not include a private cache on the
+    // paper's FPGA due to resource constraints.
+    addTgens(cfg, 16, TgenFlavor::kMixed, 5);
+    return cfg;
+}
+
+SocConfig
+makeSoc4()
+{
+    SocConfig cfg;
+    cfg.name = "soc4";
+    cfg.meshCols = 5;
+    cfg.meshRows = 4;
+    cfg.cpus = 2;
+    cfg.memTiles = 4;
+    cfg.llcSliceBytes = 256 * 1024;
+    cfg.l2Bytes = 32 * 1024;
+    cfg.accL2Bytes = 32 * 1024;
+    cfg.seed = 104;
+    // One instance of each case-study accelerator (11 total; the
+    // NVDLA is folded into the count as in Table 4).
+    for (std::string_view t :
+         {"autoencoder", "cholesky", "conv2d", "fft", "gemm", "mlp",
+          "mriq", "nightvision", "sort", "spmv", "viterbi"})
+        addPreset(cfg, std::string(t));
+    return cfg;
+}
+
+SocConfig
+makeSoc5()
+{
+    SocConfig cfg;
+    cfg.name = "soc5";
+    cfg.meshCols = 4;
+    cfg.meshRows = 4;
+    cfg.cpus = 1;
+    cfg.memTiles = 4;
+    cfg.llcSliceBytes = 256 * 1024;
+    cfg.l2Bytes = 32 * 1024;
+    cfg.accL2Bytes = 32 * 1024;
+    cfg.seed = 105;
+    // V2V en/decoding plus CNN inference for object recognition.
+    addPreset(cfg, "fft", "fft0");
+    addPreset(cfg, "fft", "fft1");
+    addPreset(cfg, "viterbi", "viterbi0");
+    addPreset(cfg, "viterbi", "viterbi1");
+    addPreset(cfg, "conv2d", "conv2d0");
+    addPreset(cfg, "conv2d", "conv2d1");
+    addPreset(cfg, "gemm", "gemm0");
+    addPreset(cfg, "gemm", "gemm1");
+    return cfg;
+}
+
+SocConfig
+makeSoc6()
+{
+    SocConfig cfg;
+    cfg.name = "soc6";
+    cfg.meshCols = 4;
+    cfg.meshRows = 4;
+    cfg.cpus = 1;
+    cfg.memTiles = 2;
+    cfg.llcSliceBytes = 256 * 1024;
+    cfg.l2Bytes = 32 * 1024;
+    cfg.accL2Bytes = 32 * 1024;
+    cfg.seed = 106;
+    // Three copies of the undarken -> denoise -> classify pipeline.
+    for (int i = 0; i < 3; ++i) {
+        addPreset(cfg, "nightvision", "nightvision" + std::to_string(i));
+        addPreset(cfg, "autoencoder", "autoencoder" + std::to_string(i));
+        addPreset(cfg, "mlp", "mlp" + std::to_string(i));
+    }
+    return cfg;
+}
+
+SocConfig
+makeMotivationSoc()
+{
+    SocConfig cfg;
+    cfg.name = "motivation";
+    cfg.meshCols = 5;
+    cfg.meshRows = 4;
+    cfg.cpus = 2;
+    cfg.memTiles = 2;
+    cfg.llcSliceBytes = 512 * 1024;
+    cfg.l2Bytes = 32 * 1024;
+    cfg.accL2Bytes = 32 * 1024;
+    cfg.seed = 99;
+    for (std::string_view t : acc::presetNames())
+        addPreset(cfg, std::string(t));
+    return cfg;
+}
+
+SocConfig
+makeParallelSoc()
+{
+    SocConfig cfg;
+    cfg.name = "parallel";
+    cfg.meshCols = 5;
+    cfg.meshRows = 4;
+    cfg.cpus = 4;
+    cfg.memTiles = 2;
+    cfg.llcSliceBytes = 512 * 1024;
+    cfg.l2Bytes = 32 * 1024;
+    cfg.accL2Bytes = 32 * 1024;
+    cfg.seed = 98;
+    for (int i = 0; i < 3; ++i) {
+        addPreset(cfg, "fft", "fft" + std::to_string(i));
+        addPreset(cfg, "nightvision", "nightvision" + std::to_string(i));
+        addPreset(cfg, "sort", "sort" + std::to_string(i));
+        addPreset(cfg, "spmv", "spmv" + std::to_string(i));
+    }
+    return cfg;
+}
+
+SocConfig
+makeSocByName(std::string_view name)
+{
+    if (name == "soc0")
+        return makeSoc0();
+    if (name == "soc0-streaming")
+        return makeSoc0(TgenFlavor::kStreaming);
+    if (name == "soc0-irregular")
+        return makeSoc0(TgenFlavor::kIrregular);
+    if (name == "soc1")
+        return makeSoc1();
+    if (name == "soc2")
+        return makeSoc2();
+    if (name == "soc3")
+        return makeSoc3();
+    if (name == "soc4")
+        return makeSoc4();
+    if (name == "soc5")
+        return makeSoc5();
+    if (name == "soc6")
+        return makeSoc6();
+    if (name == "motivation")
+        return makeMotivationSoc();
+    if (name == "parallel")
+        return makeParallelSoc();
+    fatal("unknown SoC preset '", std::string(name), "'");
+}
+
+const std::vector<std::string_view> &
+figure9SocNames()
+{
+    static const std::vector<std::string_view> names = {
+        "soc0-streaming", "soc0-irregular", "soc1", "soc2",
+        "soc3",           "soc4",           "soc5", "soc6",
+    };
+    return names;
+}
+
+} // namespace cohmeleon::soc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The seven evaluation SoCs of the paper (Table 4), plus the
+ * motivation SoCs of Section 3 and traffic-generator variants used by
+ * Figure 9 (SoC0 with all-streaming and all-irregular accelerators).
+ */
+
+#ifndef COHMELEON_SOC_SOC_PRESETS_HH
+#define COHMELEON_SOC_SOC_PRESETS_HH
+
+#include <string_view>
+#include <vector>
+
+#include "soc/soc.hh"
+
+namespace cohmeleon::soc
+{
+
+/** Flavor of traffic-generator population for SoC0..SoC3. */
+enum class TgenFlavor
+{
+    kMixed,     ///< diverse profiles (the default evaluation setup)
+    kStreaming, ///< all-streaming accelerators (Fig. 9, SoC0 variant)
+    kIrregular, ///< all-irregular accelerators (Fig. 9, SoC0 variant)
+};
+
+/** SoC0: 12 tgens, 5x5 mesh, 4 CPUs, 4 DDRs, 512KB slices, 64KB L2. */
+SocConfig makeSoc0(TgenFlavor flavor = TgenFlavor::kMixed);
+
+/** SoC1: 7 tgens, 4x4, 2 CPUs, 4 DDRs, 256KB slices, 32KB L2. */
+SocConfig makeSoc1();
+
+/** SoC2: 9 tgens, 4x4, 4 CPUs, 2 DDRs, 512KB slices, 32KB L2. */
+SocConfig makeSoc2();
+
+/** SoC3: 16 tgens (5 without private cache), 5x5, 4 CPUs, 4 DDRs,
+ *  256KB slices, 64KB L2. */
+SocConfig makeSoc3();
+
+/** SoC4: one of each of the 11 case-study accelerators + NVDLA is
+ *  counted among them (11 accelerators total), 5x4, 2 CPUs, 4 DDRs. */
+SocConfig makeSoc4();
+
+/** SoC5: autonomous-driving domain (2x FFT, 2x Viterbi, 2x Conv2D,
+ *  2x GEMM), 4x4, 1 CPU, 4 DDRs. */
+SocConfig makeSoc5();
+
+/** SoC6: computer-vision domain (3x nightvision+autoencoder+MLP
+ *  pipelines), 4x4, 1 CPU, 2 DDRs. */
+SocConfig makeSoc6();
+
+/** The Section-3 motivation SoC: 12 accelerator instances (one per
+ *  preset), 2 memory tiles with 512KB slices, 32KB private caches. */
+SocConfig makeMotivationSoc();
+
+/** The Section-3 parallel-execution SoC: 3 instances each of FFT,
+ *  nightvision, sort, SPMV. */
+SocConfig makeParallelSoc();
+
+/** Lookup by name ("soc0".."soc6", "soc0-streaming",
+ *  "soc0-irregular", "motivation", "parallel").
+ *  @throws FatalError for unknown names */
+SocConfig makeSocByName(std::string_view name);
+
+/** All Figure-9 configuration names in paper order. */
+const std::vector<std::string_view> &figure9SocNames();
+
+} // namespace cohmeleon::soc
+
+#endif // COHMELEON_SOC_SOC_PRESETS_HH

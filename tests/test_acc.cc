@@ -1,0 +1,405 @@
+/** @file Tests for traffic profiles, presets, the TLB, and the
+ *  accelerator engine (including parameterized sweeps over coherence
+ *  modes and access patterns). */
+
+#include <gtest/gtest.h>
+
+#include "acc/accelerator.hh"
+#include "acc/presets.hh"
+#include "acc/tlb.hh"
+#include "test_util.hh"
+
+using namespace cohmeleon;
+using namespace cohmeleon::acc;
+using coh::CoherenceMode;
+
+// --------------------------------------------------------- TrafficProfile
+
+TEST(TrafficProfile, ValidateRejectsBadValues)
+{
+    TrafficProfile p;
+    p.burstLines = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = {};
+    p.accessFraction = 0.0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = {};
+    p.computeExponent = 3.0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = {};
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(TrafficProfile, PassesFixedVsLog)
+{
+    TrafficProfile p;
+    p.reusePasses = 3.0;
+    EXPECT_EQ(p.passesFor(1024 * 1024), 3u);
+    p.logPasses = true;
+    // 1MB = 16384 lines -> log2 = 14 -> ~7 passes.
+    EXPECT_EQ(p.passesFor(1024 * 1024), 7u);
+    // Log passes grow with footprint.
+    EXPECT_LT(p.passesFor(16 * 1024), p.passesFor(4 * 1024 * 1024));
+}
+
+TEST(TrafficProfile, ComputeScalesWithExponent)
+{
+    TrafficProfile linear;
+    linear.computeFactor = 1.0;
+    linear.computeExponent = 1.0;
+    TrafficProfile superlinear = linear;
+    superlinear.computeExponent = 1.5;
+
+    // At the 64KB reference both agree...
+    EXPECT_EQ(linear.computeCyclesFor(64 * 1024),
+              superlinear.computeCyclesFor(64 * 1024));
+    // ...above it the superlinear kernel does more work per byte.
+    EXPECT_LT(linear.computeCyclesFor(1024 * 1024),
+              superlinear.computeCyclesFor(1024 * 1024));
+    // And compute is proportional to footprint for exponent 1.
+    EXPECT_NEAR(static_cast<double>(
+                    linear.computeCyclesFor(2 * 64 * 1024)),
+                2.0 * static_cast<double>(
+                          linear.computeCyclesFor(64 * 1024)),
+                2.0);
+}
+
+TEST(TrafficProfile, IrregularTouchesFractionOfLines)
+{
+    TrafficProfile p;
+    p.pattern = AccessPattern::kIrregular;
+    p.accessFraction = 0.5;
+    EXPECT_EQ(p.readLinesPerPass(1000), 500u);
+    p.accessFraction = 1.0;
+    EXPECT_EQ(p.readLinesPerPass(1000), 1000u);
+}
+
+TEST(TrafficProfile, PatternNamesRoundTrip)
+{
+    for (AccessPattern p :
+         {AccessPattern::kStreaming, AccessPattern::kStrided,
+          AccessPattern::kIrregular})
+        EXPECT_EQ(patternFromString(toString(p)), p);
+    EXPECT_THROW(patternFromString("zigzag"), FatalError);
+}
+
+// ---------------------------------------------------------------- presets
+
+TEST(Presets, AllTwelveExist)
+{
+    EXPECT_EQ(presetNames().size(), 12u);
+    for (std::string_view name : presetNames()) {
+        const AccConfig cfg = makePreset(name, std::string(name) + "0");
+        EXPECT_EQ(cfg.typeName, name);
+        EXPECT_NO_THROW(cfg.profile.validate());
+        EXPECT_GE(cfg.scratchpadBytes, 2 * kLineBytes);
+    }
+}
+
+TEST(Presets, UnknownNameIsFatal)
+{
+    EXPECT_THROW(makePreset("warp-drive", "w0"), FatalError);
+    EXPECT_FALSE(isPreset("warp-drive"));
+    EXPECT_TRUE(isPreset("fft"));
+    EXPECT_TRUE(isPreset("tgen"));
+}
+
+TEST(Presets, ProfilesAreDiverse)
+{
+    // The preset population must cover the paper's axes: at least one
+    // irregular pattern, one in-place, one compute-bound, one
+    // log-pass accelerator.
+    bool irregular = false;
+    bool inPlace = false;
+    bool computeBound = false;
+    bool logPasses = false;
+    for (std::string_view name : presetNames()) {
+        const TrafficProfile &p =
+            makePreset(name, "x").profile;
+        irregular |= p.pattern == AccessPattern::kIrregular;
+        inPlace |= p.inPlace;
+        computeBound |= p.computeFactor > 1.0;
+        logPasses |= p.logPasses;
+    }
+    EXPECT_TRUE(irregular);
+    EXPECT_TRUE(inPlace);
+    EXPECT_TRUE(computeBound);
+    EXPECT_TRUE(logPasses);
+}
+
+TEST(Presets, TrafficGenIsConfigurable)
+{
+    TrafficProfile p = makeTrafficGenProfile();
+    p.burstLines = 8;
+    p.inPlace = true;
+    const AccConfig cfg = makeTrafficGen("tg", p);
+    EXPECT_EQ(cfg.typeName, "tgen");
+    EXPECT_EQ(cfg.profile.burstLines, 8u);
+    EXPECT_TRUE(cfg.profile.inPlace);
+}
+
+// -------------------------------------------------------------------- TLB
+
+TEST(Tlb, LoadCostScalesWithPages)
+{
+    soc::Soc soc(test::tinySocConfig());
+    Tlb &tlb = soc.tlb(0);
+    const mem::Allocation small = soc.allocator().allocate(16 * 1024);
+    const mem::Allocation large = soc.allocator().allocate(256 * 1024);
+    const Cycles tSmall = tlb.load(0, small);
+    const Cycles tLargeStart = tSmall;
+    const Cycles tLarge = tlb.load(tLargeStart, large) - tLargeStart;
+    EXPECT_GT(tLarge, tSmall);
+    EXPECT_EQ(tlb.loads(), 2u);
+    EXPECT_EQ(tlb.entriesLoaded(), small.numPages() + large.numPages());
+}
+
+TEST(Tlb, LoadTouchesDram)
+{
+    soc::Soc soc(test::tinySocConfig());
+    const mem::Allocation a = soc.allocator().allocate(256 * 1024);
+    const std::uint64_t before = soc.ms().totalDramAccesses();
+    soc.tlb(0).load(0, a);
+    EXPECT_GT(soc.ms().totalDramAccesses(), before);
+}
+
+// ---------------------------------------------------- accelerator engine
+
+namespace
+{
+
+/** Run acc id 0 (fft0) of a tiny SoC once, no runtime involved. */
+InvocationMetrics
+runEngine(soc::Soc &soc, AccId id, std::uint64_t footprint,
+          CoherenceMode mode,
+          const TrafficProfile *profileOverride = nullptr)
+{
+    mem::Allocation data = soc.allocator().allocate(footprint);
+    Accelerator &accel = soc.accelerator(id);
+    const TrafficProfile profile =
+        profileOverride ? *profileOverride : accel.config().profile;
+
+    InvocationMetrics out;
+    bool finished = false;
+    accel.start(soc.eq().now(), data, footprint, profile, mode,
+                [&](const InvocationMetrics &m) {
+                    out = m;
+                    finished = true;
+                });
+    soc.eq().run();
+    EXPECT_TRUE(finished);
+    soc.allocator().free(data);
+    return out;
+}
+
+} // namespace
+
+TEST(Accelerator, CompletesAndReportsMetrics)
+{
+    soc::Soc soc(test::tinySocConfig());
+    const InvocationMetrics m =
+        runEngine(soc, 0, 16 * 1024, CoherenceMode::kNonCohDma);
+    EXPECT_GT(m.totalCycles, 0u);
+    EXPECT_GT(m.commCycles, 0u);
+    EXPECT_LE(m.commCycles, m.totalCycles);
+    EXPECT_GT(m.linesRead, 0u);
+    EXPECT_EQ(m.footprintBytes, 16u * 1024);
+    EXPECT_EQ(m.mode, CoherenceMode::kNonCohDma);
+    EXPECT_EQ(soc.accelerator(0).invocationsCompleted(), 1u);
+    EXPECT_FALSE(soc.accelerator(0).busy());
+}
+
+TEST(Accelerator, ReadsEveryLineAtLeastOncePerPass)
+{
+    soc::Soc soc(test::tinySocConfig());
+    const std::uint64_t footprint = 32 * 1024;
+    const InvocationMetrics m =
+        runEngine(soc, 0, footprint, CoherenceMode::kNonCohDma);
+    const auto &profile = soc.accelerator(0).config().profile;
+    const std::uint64_t lines = linesFor(footprint);
+    EXPECT_GE(m.linesRead, lines * profile.passesFor(footprint));
+}
+
+TEST(Accelerator, WriteCountFollowsReadWriteRatio)
+{
+    soc::Soc soc(test::tinySocConfig());
+    TrafficProfile p = makeTrafficGenProfile();
+    p.readWriteRatio = 4.0;
+    const InvocationMetrics m = runEngine(
+        soc, 3, 64 * 1024, CoherenceMode::kNonCohDma, &p);
+    const double ratio = static_cast<double>(m.linesRead) /
+                         static_cast<double>(m.linesWritten);
+    EXPECT_NEAR(ratio, 4.0, 0.5);
+}
+
+TEST(Accelerator, NonCohDmaAccessesAllDataOffChip)
+{
+    soc::Soc soc(test::tinySocConfig());
+    const std::uint64_t footprint = 32 * 1024;
+    const InvocationMetrics m =
+        runEngine(soc, 0, footprint, CoherenceMode::kNonCohDma);
+    // Every read and write goes to DRAM in non-coherent mode.
+    EXPECT_EQ(m.dramAccessesExact, m.linesRead + m.linesWritten);
+    EXPECT_EQ(m.llcHits, 0u);
+}
+
+TEST(Accelerator, LlcModesReuseOnChipData)
+{
+    soc::Soc soc(test::tinySocConfig());
+    // FFT runs multiple in-place passes over 16KB < 32KB slice, so
+    // later passes must hit in the LLC.
+    const InvocationMetrics m =
+        runEngine(soc, 0, 16 * 1024, CoherenceMode::kLlcCohDma);
+    EXPECT_GT(m.llcHits, 0u);
+    EXPECT_LT(m.dramAccessesExact, m.linesRead + m.linesWritten);
+}
+
+TEST(Accelerator, ComputeBoundHasLowCommRatio)
+{
+    soc::Soc soc(test::tinySocConfig());
+    const InvocationMetrics fft =
+        runEngine(soc, 0, 32 * 1024, CoherenceMode::kNonCohDma);
+    soc.reset();
+    const InvocationMetrics mriq =
+        runEngine(soc, 2, 32 * 1024, CoherenceMode::kNonCohDma);
+    const double fftRatio = static_cast<double>(fft.commCycles) /
+                            static_cast<double>(fft.totalCycles);
+    const double mriqRatio = static_cast<double>(mriq.commCycles) /
+                             static_cast<double>(mriq.totalCycles);
+    EXPECT_GT(fftRatio, 0.6);  // FFT is memory-bound
+    EXPECT_LT(mriqRatio, 0.5); // MRI-Q is compute-bound
+    EXPECT_LT(mriqRatio, fftRatio);
+}
+
+TEST(Accelerator, ComputeOverlapsCommunication)
+{
+    // With double buffering, a balanced accelerator's runtime is far
+    // closer to max(comm, compute) than to their sum.
+    soc::Soc soc(test::tinySocConfig());
+    TrafficProfile p = makeTrafficGenProfile();
+    p.computeFactor = 0.3; // comparable comm and compute
+    const InvocationMetrics m = runEngine(
+        soc, 3, 64 * 1024, CoherenceMode::kNonCohDma, &p);
+    const Cycles compute = p.computeCyclesFor(64 * 1024);
+    EXPECT_LT(m.totalCycles, m.commCycles + compute);
+}
+
+TEST(Accelerator, RejectsBadInvocations)
+{
+    soc::Soc soc(test::tinySocConfig());
+    mem::Allocation data = soc.allocator().allocate(16 * 1024);
+    Accelerator &accel = soc.accelerator(0);
+    EXPECT_DEATH(accel.start(0, data, 0, accel.config().profile,
+                             CoherenceMode::kNonCohDma, nullptr),
+                 "footprint");
+    EXPECT_DEATH(accel.start(0, data, 32 * 1024,
+                             accel.config().profile,
+                             CoherenceMode::kNonCohDma, nullptr),
+                 "footprint");
+}
+
+TEST(Accelerator, BackToBackInvocationsFromDoneCallback)
+{
+    soc::Soc soc(test::tinySocConfig());
+    mem::Allocation data = soc.allocator().allocate(8 * 1024);
+    Accelerator &accel = soc.accelerator(0);
+    int completions = 0;
+    accel.start(0, data, 8 * 1024, accel.config().profile,
+                CoherenceMode::kNonCohDma,
+                [&](const InvocationMetrics &) {
+                    ++completions;
+                    accel.start(soc.eq().now(), data, 8 * 1024,
+                                accel.config().profile,
+                                CoherenceMode::kCohDma,
+                                [&](const InvocationMetrics &) {
+                                    ++completions;
+                                });
+                });
+    soc.eq().run();
+    EXPECT_EQ(completions, 2);
+    EXPECT_EQ(accel.invocationsCompleted(), 2u);
+}
+
+// Parameterized sweep: every mode x pattern combination must complete,
+// keep its counters consistent, and never serve stale data.
+namespace
+{
+
+struct EngineCase
+{
+    CoherenceMode mode;
+    AccessPattern pattern;
+};
+
+class EngineSweep : public ::testing::TestWithParam<EngineCase>
+{
+};
+
+} // namespace
+
+TEST_P(EngineSweep, CompletesWithConsistentCounters)
+{
+    const EngineCase c = GetParam();
+    soc::Soc soc(test::tinySocConfig());
+
+    TrafficProfile p = makeTrafficGenProfile();
+    p.pattern = c.pattern;
+    if (c.pattern == AccessPattern::kIrregular) {
+        p.burstLines = 2;
+        p.accessFraction = 0.5;
+    }
+
+    // Warm via CPU so coherence actually has work to do; apply the
+    // flushes the mode requires, as the runtime would.
+    const std::uint64_t footprint = 24 * 1024;
+    mem::Allocation data = soc.allocator().allocate(footprint);
+    Cycles t = soc.cpuWriteRange(0, 0, data, footprint);
+    if (coh::requiresL2Flush(c.mode))
+        t = soc.ms().flushL2s(t).done;
+    if (coh::requiresLlcFlush(c.mode))
+        t = soc.ms().flushLlc(t).done;
+
+    Accelerator &accel = soc.accelerator(3); // the tgen
+    InvocationMetrics m;
+    bool finished = false;
+    soc.eq().scheduleAt(t, [&] {
+        accel.start(t, data, footprint, p, c.mode,
+                    [&](const InvocationMetrics &r) {
+                        m = r;
+                        finished = true;
+                    });
+    });
+    soc.eq().run();
+
+    ASSERT_TRUE(finished);
+    EXPECT_GT(m.totalCycles, 0u);
+    EXPECT_LE(m.commCycles, m.totalCycles);
+    EXPECT_GT(m.linesRead, 0u);
+    EXPECT_LE(m.dramAccessesExact, m.linesRead + m.linesWritten + 8);
+    EXPECT_EQ(soc.ms().versions().violations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModesAllPatterns, EngineSweep,
+    ::testing::Values(
+        EngineCase{CoherenceMode::kNonCohDma, AccessPattern::kStreaming},
+        EngineCase{CoherenceMode::kNonCohDma, AccessPattern::kStrided},
+        EngineCase{CoherenceMode::kNonCohDma, AccessPattern::kIrregular},
+        EngineCase{CoherenceMode::kLlcCohDma, AccessPattern::kStreaming},
+        EngineCase{CoherenceMode::kLlcCohDma, AccessPattern::kStrided},
+        EngineCase{CoherenceMode::kLlcCohDma, AccessPattern::kIrregular},
+        EngineCase{CoherenceMode::kCohDma, AccessPattern::kStreaming},
+        EngineCase{CoherenceMode::kCohDma, AccessPattern::kStrided},
+        EngineCase{CoherenceMode::kCohDma, AccessPattern::kIrregular},
+        EngineCase{CoherenceMode::kFullyCoh, AccessPattern::kStreaming},
+        EngineCase{CoherenceMode::kFullyCoh, AccessPattern::kStrided},
+        EngineCase{CoherenceMode::kFullyCoh, AccessPattern::kIrregular}),
+    [](const auto &info) {
+        std::string name(coh::toString(info.param.mode));
+        name += "_";
+        name += toString(info.param.pattern);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });

@@ -1,0 +1,485 @@
+/** @file Protocol-level tests of the cache hierarchy: MESI
+ *  transitions, directory recalls/invalidations, inclusive evictions,
+ *  software flushes, the three DMA paths, and the coherence-checker
+ *  property that every mode (with the flushes it requires) always
+ *  serves the latest data — while omitting the required flushes is
+ *  detected as staleness. */
+
+#include <gtest/gtest.h>
+
+#include "coh/coherence_mode.hh"
+#include "mem/memory_system.hh"
+#include "noc/noc_model.hh"
+#include "sim/logging.hh"
+
+using namespace cohmeleon;
+using namespace cohmeleon::mem;
+using coh::CoherenceMode;
+
+namespace
+{
+
+class ProtocolTest : public ::testing::Test
+{
+  protected:
+    ProtocolTest()
+        : topo_(3, 3), noc_(topo_, noc::NocParams{}),
+          map_(2, 1024 * 1024),
+          ms_(noc_, map_, MemTimingParams{}, 32 * 1024, 8, {0, 8})
+    {
+        cpu0_ = &ms_.addL2("cpu0.l2", 4, 8 * 1024, 4);
+        cpu1_ = &ms_.addL2("cpu1.l2", 5, 8 * 1024, 4);
+    }
+
+    /** A line address within partition @p part. */
+    Addr
+    lineIn(unsigned part, unsigned index) const
+    {
+        return map_.base(part) + static_cast<Addr>(index) * kLineBytes;
+    }
+
+    noc::MeshTopology topo_;
+    noc::NocModel noc_;
+    AddressMap map_;
+    MemorySystem ms_;
+    L2Cache *cpu0_;
+    L2Cache *cpu1_;
+};
+
+} // namespace
+
+TEST_F(ProtocolTest, ReadMissFillsExclusive)
+{
+    const Addr a = lineIn(0, 1);
+    const AccessResult r = cpu0_->read(0, a);
+    EXPECT_GT(r.done, 0u);
+    EXPECT_EQ(r.dramAccesses, 1u);
+    const CacheLine *line = cpu0_->array().find(a);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, CState::kExclusive);
+    EXPECT_EQ(cpu0_->misses(), 1u);
+}
+
+TEST_F(ProtocolTest, SecondReadHitsLocally)
+{
+    const Addr a = lineIn(0, 1);
+    cpu0_->read(0, a);
+    const AccessResult r = cpu0_->read(1000, a);
+    EXPECT_TRUE(r.llcHit);
+    EXPECT_EQ(r.dramAccesses, 0u);
+    EXPECT_EQ(cpu0_->hits(), 1u);
+    // Hit latency is the private-cache latency, not a trip to the LLC.
+    EXPECT_LE(r.done - 1000, MemTimingParams{}.l2HitLatency +
+                                 MemTimingParams{}.l2PortOccupancy);
+}
+
+TEST_F(ProtocolTest, WriteMakesModifiedAndBumpsVersion)
+{
+    const Addr a = lineIn(0, 2);
+    cpu0_->write(0, a);
+    const CacheLine *line = cpu0_->array().find(a);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, CState::kModified);
+    EXPECT_EQ(line->version, ms_.versions().latest(a));
+}
+
+TEST_F(ProtocolTest, SilentExclusiveToModifiedUpgrade)
+{
+    const Addr a = lineIn(0, 3);
+    cpu0_->read(0, a); // E
+    const std::uint64_t missesBefore = cpu0_->misses();
+    cpu0_->write(1000, a); // E -> M, no directory traffic
+    EXPECT_EQ(cpu0_->misses(), missesBefore);
+    EXPECT_EQ(cpu0_->array().find(a)->state, CState::kModified);
+}
+
+TEST_F(ProtocolTest, ReadOfDirtyRemoteLineRecallsIt)
+{
+    const Addr a = lineIn(0, 4);
+    cpu0_->write(0, a); // M in cpu0
+    const AccessResult r = cpu1_->read(1000, a);
+    EXPECT_EQ(r.dramAccesses, 0u); // served on chip via recall
+    EXPECT_EQ(ms_.versions().violations(), 0u);
+    // cpu0 was downgraded to Shared.
+    EXPECT_EQ(cpu0_->array().find(a)->state, CState::kShared);
+    EXPECT_EQ(cpu0_->recallsServed(), 1u);
+    EXPECT_EQ(ms_.slice(0).recalls(), 1u);
+}
+
+TEST_F(ProtocolTest, SharedReadGrantsSharedNotExclusive)
+{
+    const Addr a = lineIn(0, 5);
+    cpu0_->read(0, a);
+    cpu1_->read(1000, a);
+    EXPECT_EQ(cpu1_->array().find(a)->state, CState::kShared);
+}
+
+TEST_F(ProtocolTest, UpgradeInvalidatesOtherSharers)
+{
+    const Addr a = lineIn(0, 6);
+    cpu0_->read(0, a);
+    cpu1_->read(1000, a); // both share
+    cpu1_->write(2000, a); // upgrade invalidates cpu0
+    EXPECT_EQ(cpu0_->array().find(a), nullptr);
+    EXPECT_EQ(cpu1_->array().find(a)->state, CState::kModified);
+    // cpu0 reads again and must see cpu1's data.
+    cpu0_->read(3000, a);
+    EXPECT_EQ(ms_.versions().violations(), 0u);
+}
+
+TEST_F(ProtocolTest, WriteToRemoteDirtyLineMigratesOwnership)
+{
+    const Addr a = lineIn(0, 7);
+    cpu0_->write(0, a);
+    cpu1_->write(1000, a);
+    EXPECT_EQ(cpu0_->array().find(a), nullptr);
+    EXPECT_EQ(cpu1_->array().find(a)->state, CState::kModified);
+    EXPECT_EQ(cpu1_->array().find(a)->version,
+              ms_.versions().latest(a));
+}
+
+TEST_F(ProtocolTest, CapacityEvictionWritesBackDirtyData)
+{
+    // 8KB L2 = 128 lines; write 200 distinct lines.
+    for (unsigned i = 0; i < 200; ++i)
+        cpu0_->write(i * 100, lineIn(0, i));
+    EXPECT_GT(cpu0_->writebacks(), 0u);
+    // Every line is still readable with its latest version.
+    for (unsigned i = 0; i < 200; ++i)
+        cpu1_->read(100000 + i * 100, lineIn(0, i));
+    EXPECT_EQ(ms_.versions().violations(), 0u);
+}
+
+TEST_F(ProtocolTest, LlcEvictionRecallsOwnerInclusive)
+{
+    // One LLC slice holds 512 lines (32KB); stream 600 dirty lines
+    // through partition 0 so the LLC must evict lines still owned.
+    for (unsigned i = 0; i < 600; ++i)
+        cpu0_->write(i * 50, lineIn(0, i));
+    EXPECT_GT(ms_.slice(0).evictions(), 0u);
+    // Everything still readable, nothing stale.
+    for (unsigned i = 0; i < 600; ++i)
+        cpu1_->read(1000000 + i * 100, lineIn(0, i));
+    EXPECT_EQ(ms_.versions().violations(), 0u);
+}
+
+TEST_F(ProtocolTest, FlushWritesBackAndInvalidates)
+{
+    for (unsigned i = 0; i < 20; ++i)
+        cpu0_->write(i * 100, lineIn(0, i));
+    const AccessResult r = cpu0_->flushAll(10000);
+    EXPECT_GT(r.done, 10000u);
+    EXPECT_EQ(cpu0_->array().validLines(), 0u);
+    // The LLC now owns the latest data.
+    for (unsigned i = 0; i < 20; ++i) {
+        const CacheLine *line = ms_.slice(0).array().find(lineIn(0, i));
+        ASSERT_NE(line, nullptr);
+        EXPECT_TRUE(line->dirty);
+        EXPECT_EQ(line->version, ms_.versions().latest(lineIn(0, i)));
+    }
+}
+
+TEST_F(ProtocolTest, FlushOfCleanCacheCostsOnlyTheWalk)
+{
+    cpu0_->read(0, lineIn(0, 1));
+    const Cycles t0 = 10000;
+    const AccessResult r = cpu0_->flushAll(t0);
+    const Cycles walk = cpu0_->array().lineCapacity() *
+                        MemTimingParams{}.l2WalkPerLine;
+    EXPECT_EQ(r.done, t0 + walk);
+}
+
+TEST_F(ProtocolTest, LlcFlushDrainsDirtyToDram)
+{
+    for (unsigned i = 0; i < 20; ++i)
+        cpu0_->write(i * 100, lineIn(0, i));
+    ms_.flushL2s(10000);
+    const std::uint64_t writesBefore = ms_.dram(0).writes();
+    const AccessResult r = ms_.flushLlc(60000);
+    EXPECT_GE(r.dramAccesses, 20u);
+    EXPECT_GE(ms_.dram(0).writes(), writesBefore + 20);
+    // DRAM now holds the latest versions.
+    for (unsigned i = 0; i < 20; ++i) {
+        EXPECT_EQ(ms_.versions().dramVersion(lineIn(0, i)),
+                  ms_.versions().latest(lineIn(0, i)));
+    }
+}
+
+TEST_F(ProtocolTest, LlcFlushWithLiveOwnersRecallsFirst)
+{
+    cpu0_->write(0, lineIn(0, 1)); // M in cpu0, owner in directory
+    ms_.flushLlc(1000);            // must recall before flushing
+    EXPECT_EQ(cpu0_->array().find(lineIn(0, 1)), nullptr);
+    EXPECT_EQ(ms_.versions().dramVersion(lineIn(0, 1)),
+              ms_.versions().latest(lineIn(0, 1)));
+}
+
+// ----------------------------------------------------------- DMA paths
+
+TEST_F(ProtocolTest, NonCohDmaReadsDramDirectly)
+{
+    const Addr a = lineIn(1, 3);
+    const std::uint64_t llcMisses = ms_.slice(1).misses();
+    const AccessResult r = ms_.dramRead(0, a, 2);
+    EXPECT_EQ(r.dramAccesses, 1u);
+    EXPECT_EQ(ms_.slice(1).misses(), llcMisses); // LLC untouched
+    EXPECT_EQ(ms_.slice(1).array().find(a), nullptr);
+}
+
+TEST_F(ProtocolTest, NonCohDmaAfterFullFlushIsCoherent)
+{
+    const Addr a = lineIn(0, 9);
+    cpu0_->write(0, a);
+    ms_.flushL2s(1000);
+    ms_.flushLlc(50000);
+    ms_.dramRead(200000, a, 2);
+    EXPECT_EQ(ms_.versions().violations(), 0u);
+}
+
+TEST_F(ProtocolTest, NonCohDmaWithoutFlushReadsStaleData)
+{
+    const Addr a = lineIn(0, 10);
+    cpu0_->write(0, a); // dirty in cpu0, never flushed
+    ms_.dramRead(1000, a, 2);
+    EXPECT_GT(ms_.versions().violations(), 0u);
+}
+
+TEST_F(ProtocolTest, LlcCohDmaHitsWarmLlcData)
+{
+    const Addr a = lineIn(0, 11);
+    cpu0_->write(0, a);
+    ms_.flushL2s(1000); // data now dirty in the LLC
+    const AccessResult r = ms_.dmaRead(60000, a, false, 2);
+    EXPECT_TRUE(r.llcHit);
+    EXPECT_EQ(r.dramAccesses, 0u);
+    EXPECT_EQ(ms_.versions().violations(), 0u);
+}
+
+TEST_F(ProtocolTest, LlcCohDmaWithoutL2FlushReadsStaleData)
+{
+    const Addr a = lineIn(0, 12);
+    cpu0_->read(0, a);   // warm the LLC copy
+    cpu0_->write(10, a); // newer data only in the L2
+    ms_.dmaRead(1000, a, false, 2);
+    EXPECT_GT(ms_.versions().violations(), 0u);
+}
+
+TEST_F(ProtocolTest, CohDmaRecallsWithoutAnyFlush)
+{
+    const Addr a = lineIn(0, 13);
+    cpu0_->write(0, a); // dirty private data
+    const AccessResult r = ms_.dmaRead(1000, a, true, 2);
+    EXPECT_EQ(ms_.versions().violations(), 0u);
+    EXPECT_EQ(r.dramAccesses, 0u); // recall, not DRAM
+    EXPECT_GT(ms_.slice(0).recalls(), 0u);
+}
+
+TEST_F(ProtocolTest, CohDmaWriteInvalidatesCachedCopies)
+{
+    const Addr a = lineIn(0, 14);
+    cpu0_->read(0, a);
+    cpu1_->read(100, a); // both share
+    ms_.dmaWrite(1000, a, true, 2);
+    EXPECT_EQ(cpu0_->array().find(a), nullptr);
+    EXPECT_EQ(cpu1_->array().find(a), nullptr);
+    cpu0_->read(2000, a);
+    EXPECT_EQ(ms_.versions().violations(), 0u);
+}
+
+TEST_F(ProtocolTest, DmaWriteLandsDirtyInLlc)
+{
+    const Addr a = lineIn(1, 15);
+    ms_.dmaWrite(0, a, false, 2);
+    const CacheLine *line = ms_.slice(1).array().find(a);
+    ASSERT_NE(line, nullptr);
+    EXPECT_TRUE(line->dirty);
+    EXPECT_EQ(line->version, ms_.versions().latest(a));
+}
+
+TEST_F(ProtocolTest, DmaWriteAllocatesWithoutFetch)
+{
+    const Addr a = lineIn(1, 16);
+    const std::uint64_t reads = ms_.dram(1).reads();
+    ms_.dmaWrite(0, a, false, 2);
+    EXPECT_EQ(ms_.dram(1).reads(), reads); // full-line write, no RMW
+}
+
+TEST_F(ProtocolTest, NonCohDmaWriteGoesStraightToDram)
+{
+    const Addr a = lineIn(1, 17);
+    const std::uint64_t writes = ms_.dram(1).writes();
+    ms_.dramWrite(0, a, 2);
+    EXPECT_EQ(ms_.dram(1).writes(), writes + 1);
+    EXPECT_EQ(ms_.versions().dramVersion(a), ms_.versions().latest(a));
+}
+
+TEST_F(ProtocolTest, CpuSeesNonCohDmaOutputAfterFlushes)
+{
+    // The full non-coherent protocol: flush, DMA writes to DRAM, CPU
+    // reads (missing everywhere) must observe the DMA's data.
+    const Addr a = lineIn(0, 18);
+    cpu0_->write(0, a);
+    ms_.flushL2s(1000);
+    ms_.flushLlc(50000);
+    ms_.dramWrite(200000, a, 2);
+    cpu0_->read(300000, a);
+    EXPECT_EQ(ms_.versions().violations(), 0u);
+}
+
+TEST_F(ProtocolTest, RoutesByPartition)
+{
+    const Addr p0 = lineIn(0, 20);
+    const Addr p1 = lineIn(1, 20);
+    ms_.dmaRead(0, p0, false, 2);
+    ms_.dmaRead(0, p1, false, 2);
+    EXPECT_EQ(ms_.slice(0).misses(), 1u);
+    EXPECT_EQ(ms_.slice(1).misses(), 1u);
+    EXPECT_EQ(ms_.dram(0).reads(), 1u);
+    EXPECT_EQ(ms_.dram(1).reads(), 1u);
+}
+
+TEST_F(ProtocolTest, ContentionSlowsConcurrentDma)
+{
+    // Two bursts issued at the same time to the same partition take
+    // longer than one alone due to channel/port/NoC serialization.
+    const unsigned n = 64;
+    Cycles aloneEnd = 0;
+    for (unsigned i = 0; i < n; ++i)
+        aloneEnd = std::max(aloneEnd,
+                            ms_.dramRead(0, lineIn(0, i), 2).done);
+    ms_.reset();
+    Cycles bothEnd = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        bothEnd = std::max(bothEnd,
+                           ms_.dramRead(0, lineIn(0, i), 2).done);
+        bothEnd = std::max(
+            bothEnd, ms_.dramRead(0, lineIn(0, 512 + i), 6).done);
+    }
+    EXPECT_GT(bothEnd, aloneEnd + aloneEnd / 2);
+}
+
+TEST_F(ProtocolTest, ResetClearsCachesAndCounters)
+{
+    cpu0_->write(0, lineIn(0, 1));
+    ms_.dmaRead(100, lineIn(0, 2), false, 2);
+    ms_.reset();
+    EXPECT_EQ(cpu0_->array().validLines(), 0u);
+    EXPECT_EQ(ms_.slice(0).array().validLines(), 0u);
+    EXPECT_EQ(ms_.totalDramAccesses(), 0u);
+    EXPECT_EQ(ms_.versions().violations(), 0u);
+}
+
+TEST_F(ProtocolTest, MaxL2CountEnforced)
+{
+    // 2 exist; adding 63 more crosses the 64-cache directory limit.
+    for (unsigned i = 0; i < 62; ++i)
+        ms_.addL2("extra" + std::to_string(i), 1, 4 * 1024, 4);
+    EXPECT_THROW(ms_.addL2("one-too-many", 1, 4 * 1024, 4),
+                 FatalError);
+}
+
+// ------------------------------------------- property sweep over modes
+
+namespace
+{
+
+struct ModeFlushCase
+{
+    CoherenceMode mode;
+    bool doFlushes;    ///< perform the flushes the mode requires
+    bool expectStale;  ///< should the checker fire?
+};
+
+class ModeCoherenceTest
+    : public ProtocolTest,
+      public ::testing::WithParamInterface<ModeFlushCase>
+{
+};
+
+} // namespace
+
+TEST_P(ModeCoherenceTest, DmaReadObservesLatestIffProtocolFollowed)
+{
+    const ModeFlushCase c = GetParam();
+    // CPU produces 32 lines of input (some still dirty in its L2).
+    for (unsigned i = 0; i < 32; ++i)
+        cpu0_->write(i * 20, lineIn(0, i));
+
+    Cycles t = 10000;
+    if (c.doFlushes) {
+        if (coh::requiresL2Flush(c.mode))
+            t = ms_.flushL2s(t).done;
+        if (coh::requiresLlcFlush(c.mode))
+            t = ms_.flushLlc(t).done;
+    }
+
+    for (unsigned i = 0; i < 32; ++i) {
+        const Addr a = lineIn(0, i);
+        switch (c.mode) {
+          case CoherenceMode::kNonCohDma:
+            ms_.dramRead(t, a, 2);
+            break;
+          case CoherenceMode::kLlcCohDma:
+            ms_.dmaRead(t, a, false, 2);
+            break;
+          case CoherenceMode::kCohDma:
+            ms_.dmaRead(t, a, true, 2);
+            break;
+          case CoherenceMode::kFullyCoh:
+            // Modeled by a private cache; exercised in test_rt.
+            ms_.dmaRead(t, a, true, 2);
+            break;
+        }
+    }
+    if (c.expectStale)
+        EXPECT_GT(ms_.versions().violations(), 0u);
+    else
+        EXPECT_EQ(ms_.versions().violations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ModeCoherenceTest,
+    ::testing::Values(
+        ModeFlushCase{CoherenceMode::kNonCohDma, true, false},
+        ModeFlushCase{CoherenceMode::kNonCohDma, false, true},
+        ModeFlushCase{CoherenceMode::kLlcCohDma, true, false},
+        ModeFlushCase{CoherenceMode::kLlcCohDma, false, true},
+        ModeFlushCase{CoherenceMode::kCohDma, true, false},
+        ModeFlushCase{CoherenceMode::kCohDma, false, false}),
+    [](const auto &info) {
+        std::string name(coh::toString(info.param.mode));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + (info.param.doFlushes ? "_flushed" : "_unflushed");
+    });
+
+// --------------------------------------------------- mode helper checks
+
+TEST(CoherenceMode, NamesRoundTrip)
+{
+    for (CoherenceMode m : coh::kAllModes)
+        EXPECT_EQ(coh::modeFromString(coh::toString(m)), m);
+    EXPECT_THROW(coh::modeFromString("bogus"), FatalError);
+}
+
+TEST(CoherenceMode, FlushRequirements)
+{
+    EXPECT_TRUE(coh::requiresL2Flush(CoherenceMode::kNonCohDma));
+    EXPECT_TRUE(coh::requiresLlcFlush(CoherenceMode::kNonCohDma));
+    EXPECT_TRUE(coh::requiresL2Flush(CoherenceMode::kLlcCohDma));
+    EXPECT_FALSE(coh::requiresLlcFlush(CoherenceMode::kLlcCohDma));
+    EXPECT_FALSE(coh::requiresL2Flush(CoherenceMode::kCohDma));
+    EXPECT_FALSE(coh::requiresL2Flush(CoherenceMode::kFullyCoh));
+    EXPECT_TRUE(coh::needsPrivateCache(CoherenceMode::kFullyCoh));
+}
+
+TEST(CoherenceMode, MaskHelpers)
+{
+    const coh::ModeMask mask =
+        coh::maskOf(CoherenceMode::kNonCohDma) |
+        coh::maskOf(CoherenceMode::kCohDma);
+    EXPECT_TRUE(coh::maskHas(mask, CoherenceMode::kNonCohDma));
+    EXPECT_FALSE(coh::maskHas(mask, CoherenceMode::kFullyCoh));
+    EXPECT_EQ(coh::kAllModesMask, 0b1111);
+}

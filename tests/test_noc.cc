@@ -1,0 +1,164 @@
+/** @file Unit tests for the mesh topology and NoC timing model. */
+
+#include <gtest/gtest.h>
+
+#include "noc/noc_model.hh"
+#include "noc/topology.hh"
+#include "sim/logging.hh"
+
+using namespace cohmeleon;
+using namespace cohmeleon::noc;
+
+TEST(Topology, CoordinateRoundTrip)
+{
+    MeshTopology t(5, 4);
+    EXPECT_EQ(t.tileCount(), 20u);
+    for (TileId id = 0; id < t.tileCount(); ++id)
+        EXPECT_EQ(t.idOf(t.coordOf(id)), id);
+}
+
+TEST(Topology, RowMajorLayout)
+{
+    MeshTopology t(4, 3);
+    EXPECT_EQ(t.coordOf(0), (Coord{0, 0}));
+    EXPECT_EQ(t.coordOf(3), (Coord{3, 0}));
+    EXPECT_EQ(t.coordOf(4), (Coord{0, 1}));
+    EXPECT_EQ(t.coordOf(11), (Coord{3, 2}));
+}
+
+TEST(Topology, ManhattanHops)
+{
+    MeshTopology t(4, 4);
+    EXPECT_EQ(t.hops(0, 0), 0u);
+    EXPECT_EQ(t.hops(0, 3), 3u);
+    EXPECT_EQ(t.hops(0, 15), 6u);
+    EXPECT_EQ(t.hops(5, 10), 2u);
+    EXPECT_EQ(t.hops(10, 5), 2u); // symmetric
+}
+
+TEST(Topology, ContainsChecksBounds)
+{
+    MeshTopology t(3, 3);
+    EXPECT_TRUE(t.contains({0, 0}));
+    EXPECT_TRUE(t.contains({2, 2}));
+    EXPECT_FALSE(t.contains({3, 0}));
+    EXPECT_FALSE(t.contains({-1, 0}));
+}
+
+TEST(Topology, RejectsEmptyMesh)
+{
+    EXPECT_THROW(MeshTopology(0, 3), FatalError);
+    EXPECT_THROW(MeshTopology(3, 0), FatalError);
+}
+
+namespace
+{
+
+NocParams
+defaultParams()
+{
+    return NocParams{};
+}
+
+} // namespace
+
+TEST(NocModel, FlitsForPayload)
+{
+    MeshTopology t(4, 4);
+    NocModel noc(t, defaultParams());
+    EXPECT_EQ(noc.flitsFor(0), 1u);  // head only
+    EXPECT_EQ(noc.flitsFor(4), 2u);  // head + 1 payload
+    EXPECT_EQ(noc.flitsFor(64), 17u);
+    EXPECT_EQ(noc.flitsFor(5), 3u);  // rounds up
+}
+
+TEST(NocModel, UncontendedLatencyScalesWithHops)
+{
+    MeshTopology t(4, 4);
+    NocModel noc(t, defaultParams());
+    const Cycles near = noc.uncontendedLatency(0, 1, 64);
+    const Cycles far = noc.uncontendedLatency(0, 15, 64);
+    EXPECT_EQ(far - near, 5u); // 6 hops vs 1 hop, 1 cycle each
+}
+
+TEST(NocModel, TransferMatchesUncontendedWhenIdle)
+{
+    MeshTopology t(4, 4);
+    NocModel noc(t, defaultParams());
+    const Cycles arrival = noc.transfer(100, 0, 15, Plane::kCohReq, 64);
+    // injection start (100) + 1 + hops + eject serialization + pipe.
+    EXPECT_GT(arrival, 100u);
+    EXPECT_LE(arrival, 100 + noc.uncontendedLatency(0, 15, 64) + 17);
+}
+
+TEST(NocModel, LocalDeliveryIsCheap)
+{
+    MeshTopology t(4, 4);
+    NocModel noc(t, defaultParams());
+    EXPECT_EQ(noc.transfer(10, 3, 3, Plane::kDmaReq, 64),
+              10 + defaultParams().routerPipeline);
+}
+
+TEST(NocModel, SameLinkContentionSerializes)
+{
+    MeshTopology t(4, 4);
+    NocModel noc(t, defaultParams());
+    const Cycles first = noc.transfer(0, 0, 5, Plane::kDmaRsp, 64);
+    const Cycles second = noc.transfer(0, 0, 5, Plane::kDmaRsp, 64);
+    EXPECT_GT(second, first);
+    EXPECT_GE(second - first, 17u); // one packet of serialization
+}
+
+TEST(NocModel, DifferentPlanesDoNotContend)
+{
+    MeshTopology t(4, 4);
+    NocModel noc(t, defaultParams());
+    const Cycles a = noc.transfer(0, 0, 5, Plane::kCohReq, 64);
+    const Cycles b = noc.transfer(0, 0, 5, Plane::kCohRsp, 64);
+    EXPECT_EQ(a, b);
+}
+
+TEST(NocModel, DisjointPathsDoNotContend)
+{
+    MeshTopology t(4, 4);
+    NocModel noc(t, defaultParams());
+    const Cycles a = noc.transfer(0, 0, 1, Plane::kDmaReq, 64);
+    const Cycles b = noc.transfer(0, 14, 15, Plane::kDmaReq, 64);
+    EXPECT_EQ(a - 0, b - 0 - (noc.topology().hops(14, 15) -
+                              noc.topology().hops(0, 1)));
+}
+
+TEST(NocModel, CountsPacketsAndFlits)
+{
+    MeshTopology t(4, 4);
+    NocModel noc(t, defaultParams());
+    noc.transfer(0, 0, 5, Plane::kCohReq, 8);
+    noc.transfer(0, 5, 0, Plane::kCohRsp, 64);
+    EXPECT_EQ(noc.packets(), 2u);
+    EXPECT_EQ(noc.flits(), 3u + 17u);
+}
+
+TEST(NocModel, ResetClearsState)
+{
+    MeshTopology t(4, 4);
+    NocModel noc(t, defaultParams());
+    noc.transfer(0, 0, 5, Plane::kCohReq, 64);
+    noc.transfer(0, 0, 5, Plane::kCohReq, 64);
+    EXPECT_GT(noc.totalWaitCycles(), 0u);
+    noc.reset();
+    EXPECT_EQ(noc.packets(), 0u);
+    EXPECT_EQ(noc.totalWaitCycles(), 0u);
+    EXPECT_EQ(noc.transfer(0, 0, 5, Plane::kCohReq, 64),
+              noc.transfer(0, 0, 5, Plane::kCohRsp, 64));
+}
+
+TEST(NocModel, ManySmallPacketsRespectBandwidth)
+{
+    MeshTopology t(4, 4);
+    NocModel noc(t, defaultParams());
+    Cycles last = 0;
+    for (int i = 0; i < 100; ++i)
+        last = noc.transfer(0, 0, 5, Plane::kDmaRsp, 64);
+    // 100 packets x 17 flits each must serialize on the links.
+    EXPECT_GE(last, 100u * 17u);
+}

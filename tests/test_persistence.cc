@@ -1,0 +1,115 @@
+/** @file Tests for model persistence, the SoC statistics dump, and
+ *  the experiment-protocol options added on top of the paper. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "app/experiment.hh"
+#include "policy/cohmeleon_policy.hh"
+#include "test_util.hh"
+
+using namespace cohmeleon;
+
+TEST(Persistence, TrainedPolicySurvivesSaveLoad)
+{
+    // Train a small policy, persist its Q-table, restore it into a
+    // fresh policy, and check frozen decisions are identical.
+    const soc::SocConfig cfg = test::tinySocConfig();
+    policy::CohmeleonParams params;
+    params.agent.decayIterations = 3;
+    policy::CohmeleonPolicy trained(params);
+
+    soc::Soc naming(cfg);
+    app::RandomAppParams ap;
+    ap.phases = 2;
+    ap.maxThreads = 3;
+    app::trainCohmeleon(trained, cfg,
+                        app::generateRandomApp(naming, Rng(5), ap), 3);
+
+    std::stringstream persisted;
+    trained.agent().table().save(persisted);
+
+    policy::CohmeleonPolicy restored(params);
+    restored.agent().table().load(persisted);
+    restored.freeze();
+
+    // Frozen decisions agree on every state with a unique argmax.
+    for (unsigned s = 0; s < rl::StateTuple::kNumStates; ++s) {
+        const unsigned a =
+            trained.agent().table().bestAction(s, coh::kAllModesMask);
+        const unsigned b =
+            restored.agent().table().bestAction(s, coh::kAllModesMask);
+        ASSERT_EQ(a, b) << "state " << s;
+    }
+}
+
+TEST(Persistence, RestoredPolicyRunsApplications)
+{
+    const soc::SocConfig cfg = test::tinySocConfig();
+    policy::CohmeleonParams params;
+    params.agent.decayIterations = 2;
+    policy::CohmeleonPolicy trained(params);
+    soc::Soc naming(cfg);
+    app::RandomAppParams ap;
+    ap.phases = 2;
+    ap.maxThreads = 2;
+    const app::AppSpec spec =
+        app::generateRandomApp(naming, Rng(9), ap);
+    app::trainCohmeleon(trained, cfg, spec, 2);
+
+    std::stringstream persisted;
+    trained.agent().table().save(persisted);
+    policy::CohmeleonPolicy restored(params);
+    restored.agent().table().load(persisted);
+    restored.freeze();
+
+    const app::AppResult result =
+        app::runPolicyOnApp(restored, cfg, spec);
+    EXPECT_GT(result.totalExecCycles(), 0u);
+}
+
+TEST(StatsDump, MentionsEveryComponent)
+{
+    soc::Soc soc(test::tinySocConfig());
+    mem::Allocation a = soc.allocator().allocate(16 * 1024);
+    soc.cpuWriteRange(0, 0, a, 16 * 1024);
+
+    std::ostringstream os;
+    soc.dumpStats(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("cpu0.l2"), std::string::npos);
+    EXPECT_NE(text.find("fft0.l2"), std::string::npos);
+    EXPECT_NE(text.find("mem0.llc"), std::string::npos);
+    EXPECT_NE(text.find("mem1.ddr"), std::string::npos);
+    EXPECT_NE(text.find("noc:"), std::string::npos);
+    EXPECT_NE(text.find("hit%"), std::string::npos);
+}
+
+TEST(ExperimentOptions, TrainAppParamsOverrideAppParams)
+{
+    const soc::SocConfig cfg = test::tinySocConfig();
+    soc::Soc naming(cfg);
+
+    app::EvalOptions opts;
+    opts.appParams.phases = 2;
+    opts.trainAppParams = app::denseTrainingParams();
+
+    const app::AppSpec evalApp = app::generateRandomApp(
+        naming, Rng(opts.evalSeed), opts.appParams);
+    const app::AppSpec trainApp = app::generateRandomApp(
+        naming, Rng(opts.trainSeed), *opts.trainAppParams);
+    EXPECT_EQ(evalApp.phases.size(), 2u);
+    EXPECT_EQ(trainApp.phases.size(),
+              app::denseTrainingParams().phases);
+    EXPECT_GT(trainApp.totalInvocations(),
+              evalApp.totalInvocations());
+}
+
+TEST(ExperimentOptions, DenseParamsFavorCheapSizes)
+{
+    const app::RandomAppParams p = app::denseTrainingParams();
+    EXPECT_GE(p.phases, 8u);
+    EXPECT_GE(p.maxLoops, 3u);
+    EXPECT_GT(p.wS + p.wM, p.wL + p.wXL);
+}

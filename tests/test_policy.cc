@@ -1,0 +1,341 @@
+/** @file Tests for the coherence-selection policies: fixed
+ *  homogeneous/heterogeneous, random, the manual Algorithm 1 (all
+ *  branches), the design-time profiler, and the Cohmeleon policy. */
+
+#include <gtest/gtest.h>
+
+#include "policy/cohmeleon_policy.hh"
+#include "policy/fixed.hh"
+#include "policy/manual.hh"
+#include "policy/profiling.hh"
+#include "policy/random_policy.hh"
+#include "test_util.hh"
+
+using namespace cohmeleon;
+using namespace cohmeleon::policy;
+using coh::CoherenceMode;
+
+namespace
+{
+
+/** Build a DecisionContext over a live SystemStatus. */
+struct CtxFixture
+{
+    rt::SystemStatus status;
+    rt::DecisionContext ctx;
+
+    CtxFixture()
+    {
+        ctx.status = &status;
+        ctx.accName = "fft0";
+        ctx.accType = "fft";
+        ctx.partitions = {0, 1};
+        ctx.availableModes = coh::kAllModesMask;
+        ctx.l2Bytes = 32 * 1024;
+        ctx.llcSliceBytes = 256 * 1024;
+        ctx.totalLlcBytes = 512 * 1024;
+        ctx.footprintBytes = 64 * 1024;
+    }
+
+    rt::SystemStatus::Handle
+    addActive(CoherenceMode mode, std::uint64_t bytes)
+    {
+        rt::ActiveInvocation inv;
+        inv.acc = 0;
+        inv.mode = mode;
+        inv.footprintBytes = bytes;
+        inv.shares = {{0, bytes / 2}, {1, bytes / 2}};
+        return status.onStart(std::move(inv));
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------- fixed
+
+TEST(FixedPolicy, AlwaysReturnsItsMode)
+{
+    CtxFixture f;
+    std::uint64_t tag = 0;
+    for (CoherenceMode m : coh::kAllModes) {
+        FixedPolicy p(m);
+        EXPECT_EQ(p.decide(f.ctx, tag), m);
+        EXPECT_EQ(p.name(),
+                  "fixed-" + std::string(coh::toString(m)));
+    }
+}
+
+TEST(FixedPolicy, DegradesWhenModeUnavailable)
+{
+    CtxFixture f;
+    f.ctx.availableModes = static_cast<coh::ModeMask>(
+        coh::kAllModesMask &
+        ~coh::maskOf(CoherenceMode::kFullyCoh));
+    FixedPolicy p(CoherenceMode::kFullyCoh);
+    std::uint64_t tag = 0;
+    EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kCohDma);
+}
+
+TEST(FixedHeterogeneous, InstanceEntryBeatsTypeEntry)
+{
+    CtxFixture f;
+    FixedHeterogeneousPolicy p({
+        {"fft", CoherenceMode::kNonCohDma},
+        {"fft0", CoherenceMode::kFullyCoh},
+    });
+    std::uint64_t tag = 0;
+    EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kFullyCoh);
+    f.ctx.accName = "fft1"; // falls back to the type entry
+    EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kNonCohDma);
+    f.ctx.accName = "gemm0";
+    f.ctx.accType = "gemm"; // absent: policy-level fallback
+    EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kNonCohDma);
+}
+
+// --------------------------------------------------------------- random
+
+TEST(RandomPolicy, CoversAllAvailableModes)
+{
+    CtxFixture f;
+    RandomPolicy p(3);
+    std::array<int, 4> counts{};
+    std::uint64_t tag = 0;
+    for (int i = 0; i < 4000; ++i)
+        ++counts[static_cast<unsigned>(p.decide(f.ctx, tag))];
+    for (int c : counts)
+        EXPECT_GT(c, 700);
+}
+
+TEST(RandomPolicy, NeverPicksUnavailableMode)
+{
+    CtxFixture f;
+    f.ctx.availableModes = static_cast<coh::ModeMask>(
+        coh::kAllModesMask &
+        ~coh::maskOf(CoherenceMode::kFullyCoh));
+    RandomPolicy p(5);
+    std::uint64_t tag = 0;
+    for (int i = 0; i < 500; ++i)
+        EXPECT_NE(p.decide(f.ctx, tag), CoherenceMode::kFullyCoh);
+}
+
+// --------------------------------------------------------- Algorithm 1
+
+TEST(ManualPolicy, ExtraSmallGoesFullyCoherent)
+{
+    CtxFixture f;
+    f.ctx.footprintBytes = 2048;
+    ManualPolicy p;
+    std::uint64_t tag = 0;
+    EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kFullyCoh);
+}
+
+TEST(ManualPolicy, L2SizedPicksByActiveCounts)
+{
+    CtxFixture f;
+    f.ctx.footprintBytes = 16 * 1024; // <= 32KB L2
+    ManualPolicy p;
+    std::uint64_t tag = 0;
+    // No activity: coh-dma (active_coh_dma == active_fully_coh == 0).
+    EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kCohDma);
+    // More coherent-DMA than fully-coherent activity: fully-coh.
+    f.addActive(CoherenceMode::kCohDma, 8 * 1024);
+    EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kFullyCoh);
+    // Balance restored: back to coh-dma.
+    f.addActive(CoherenceMode::kFullyCoh, 8 * 1024);
+    EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kCohDma);
+}
+
+TEST(ManualPolicy, LlcOverflowGoesNonCoherent)
+{
+    CtxFixture f;
+    ManualPolicy p;
+    std::uint64_t tag = 0;
+    // footprint + active footprint > total LLC (512KB).
+    f.ctx.footprintBytes = 300 * 1024;
+    f.addActive(CoherenceMode::kCohDma, 300 * 1024);
+    EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kNonCohDma);
+}
+
+TEST(ManualPolicy, MidSizePicksByNonCohPressure)
+{
+    CtxFixture f;
+    ManualPolicy p;
+    std::uint64_t tag = 0;
+    f.ctx.footprintBytes = 64 * 1024; // > L2, fits in LLC
+    EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kCohDma);
+    // Two or more active non-coherent accelerators: llc-coh-dma.
+    f.addActive(CoherenceMode::kNonCohDma, 16 * 1024);
+    f.addActive(CoherenceMode::kNonCohDma, 16 * 1024);
+    EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kLlcCohDma);
+}
+
+TEST(ManualPolicy, RespectsAvailability)
+{
+    CtxFixture f;
+    f.ctx.footprintBytes = 1024;
+    f.ctx.availableModes = static_cast<coh::ModeMask>(
+        coh::kAllModesMask &
+        ~coh::maskOf(CoherenceMode::kFullyCoh));
+    ManualPolicy p;
+    std::uint64_t tag = 0;
+    EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kCohDma);
+}
+
+// --------------------------------------------------------- SystemStatus
+
+TEST(SystemStatus, TableThreeQueries)
+{
+    rt::SystemStatus st;
+    rt::ActiveInvocation inv;
+    inv.mode = CoherenceMode::kNonCohDma;
+    inv.footprintBytes = 100;
+    inv.shares = {{0, 60}, {1, 40}};
+    st.onStart(inv);
+    inv.mode = CoherenceMode::kFullyCoh;
+    inv.shares = {{0, 100}};
+    const auto h2 = st.onStart(inv);
+
+    EXPECT_EQ(st.activeCount(), 2u);
+    EXPECT_EQ(st.activeFullyCoherent(), 1u);
+    EXPECT_EQ(st.activeWithMode(CoherenceMode::kNonCohDma), 1u);
+    EXPECT_DOUBLE_EQ(st.avgNonCohOnPartitions({0, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(st.avgNonCohOnPartitions({1}), 1.0);
+    EXPECT_DOUBLE_EQ(st.avgToLlcOnPartitions({0}), 1.0);
+    EXPECT_DOUBLE_EQ(st.avgToLlcOnPartitions({1}), 0.0);
+    EXPECT_EQ(st.activeBytesOnPartition(0), 160u);
+    EXPECT_EQ(st.activeBytesOnPartition(1), 40u);
+    EXPECT_DOUBLE_EQ(st.avgActiveBytesOnPartitions({0, 1}), 100.0);
+    EXPECT_EQ(st.totalActiveFootprint(), 200u);
+
+    st.onEnd(h2);
+    EXPECT_EQ(st.activeCount(), 1u);
+    EXPECT_EQ(st.activeFullyCoherent(), 0u);
+}
+
+// ------------------------------------------------------------ cohmeleon
+
+TEST(CohmeleonPolicy, TagRoundTripsStateAndAction)
+{
+    CtxFixture f;
+    CohmeleonPolicy p;
+    std::uint64_t tag = 0;
+    const CoherenceMode m = p.decide(f.ctx, tag);
+    const unsigned action = static_cast<unsigned>(tag % rl::kNumActions);
+    const unsigned state = static_cast<unsigned>(tag / rl::kNumActions);
+    EXPECT_EQ(static_cast<unsigned>(m), action);
+    EXPECT_EQ(state, CohmeleonPolicy::senseState(f.ctx).index());
+}
+
+TEST(CohmeleonPolicy, SensedStateReflectsStatus)
+{
+    CtxFixture f;
+    f.addActive(CoherenceMode::kFullyCoh, 600 * 1024);
+    f.addActive(CoherenceMode::kNonCohDma, 64 * 1024);
+    f.ctx.footprintBytes = 16 * 1024;
+    const rl::StateTuple s = CohmeleonPolicy::senseState(f.ctx);
+    EXPECT_EQ(s.fullyCohAcc, 1);
+    EXPECT_EQ(s.nonCohPerTile, 1);
+    EXPECT_EQ(s.toLlcPerTile, 1);
+    EXPECT_EQ(s.tileFootprint, 2); // 332KB avg > 256KB slice
+    EXPECT_EQ(s.accFootprint, 0);  // fits in L2
+}
+
+TEST(CohmeleonPolicy, FeedbackUpdatesTheChosenEntry)
+{
+    CtxFixture f;
+    CohmeleonParams params;
+    params.agent.epsilon0 = 0.0; // deterministic greedy
+    CohmeleonPolicy p(params);
+    std::uint64_t tag = 0;
+    p.decide(f.ctx, tag);
+
+    rt::InvocationRecord rec;
+    rec.acc = 0;
+    rec.footprintBytes = 64 * 1024;
+    rec.wallCycles = 10000;
+    rec.accTotalCycles = 8000;
+    rec.accCommCycles = 4000;
+    rec.ddrApprox = 100.0;
+    rec.policyTag = tag;
+    p.feedback(rec);
+
+    const unsigned state = static_cast<unsigned>(tag / rl::kNumActions);
+    const unsigned action = static_cast<unsigned>(tag % rl::kNumActions);
+    EXPECT_GT(p.agent().table().q(state, action), 0.0);
+}
+
+TEST(CohmeleonPolicy, MeasureScalesByFootprint)
+{
+    rt::InvocationRecord rec;
+    rec.footprintBytes = 2048; // 2 KB
+    rec.wallCycles = 1000;
+    rec.accTotalCycles = 500;
+    rec.accCommCycles = 250;
+    rec.ddrApprox = 64.0;
+    const rl::InvocationMeasure m = CohmeleonPolicy::measureOf(rec);
+    EXPECT_DOUBLE_EQ(m.execScaled, 500.0); // 1000 / 2KB
+    EXPECT_DOUBLE_EQ(m.commRatio, 0.5);
+    EXPECT_DOUBLE_EQ(m.memScaled, 32.0);
+}
+
+TEST(CohmeleonPolicy, FrozenPolicyIsDeterministic)
+{
+    CtxFixture f;
+    CohmeleonPolicy p;
+    p.agent().table().setQ(
+        CohmeleonPolicy::senseState(f.ctx).index(), 1, 1.0);
+    p.freeze();
+    std::uint64_t tag = 0;
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(p.decide(f.ctx, tag), CoherenceMode::kLlcCohDma);
+}
+
+// ------------------------------------------------------------- profiler
+
+TEST(Profiler, ProducesAModePerInstance)
+{
+    soc::Soc soc(test::tinySocConfig());
+    // Small sweep keeps the test fast.
+    const ProfileResult prof = profileAccelerators(
+        soc, {test::kTinySmall, test::kTinyMedium});
+    EXPECT_EQ(prof.bestMode.size(), 4u); // one entry per instance
+    EXPECT_TRUE(prof.bestMode.count("fft0"));
+    EXPECT_TRUE(prof.bestMode.count("spmv0"));
+    // 4 instances x 4 modes x 2 footprints samples.
+    EXPECT_EQ(prof.samples.size(), 4u * 4 * 2);
+    for (const ProfileSample &s : prof.samples)
+        EXPECT_GT(s.wallCycles, 0u);
+}
+
+TEST(Profiler, SkipsUnavailableModes)
+{
+    soc::SocConfig cfg = test::tinySocConfig();
+    for (auto &a : cfg.accs)
+        a.privateCache = false;
+    soc::Soc soc(cfg);
+    const ProfileResult prof =
+        profileAccelerators(soc, {test::kTinySmall});
+    for (const ProfileSample &s : prof.samples)
+        EXPECT_NE(s.mode, CoherenceMode::kFullyCoh);
+    for (const auto &[name, mode] : prof.bestMode)
+        EXPECT_NE(mode, CoherenceMode::kFullyCoh);
+}
+
+// --------------------------------------------------------------- helper
+
+TEST(Fallback, PicksWantedWhenAvailable)
+{
+    for (CoherenceMode m : coh::kAllModes)
+        EXPECT_EQ(fallbackMode(m, coh::kAllModesMask), m);
+}
+
+TEST(Fallback, DegradesInOrder)
+{
+    const coh::ModeMask noFull = static_cast<coh::ModeMask>(
+        coh::kAllModesMask & ~coh::maskOf(CoherenceMode::kFullyCoh));
+    EXPECT_EQ(fallbackMode(CoherenceMode::kFullyCoh, noFull),
+              CoherenceMode::kCohDma);
+    EXPECT_EQ(fallbackMode(CoherenceMode::kFullyCoh,
+                           coh::maskOf(CoherenceMode::kNonCohDma)),
+              CoherenceMode::kNonCohDma);
+}

@@ -1,0 +1,403 @@
+/** @file Tests for the RL module: Table-3 state encoding, the
+ *  Q-table, the Section-4.2 reward, and the epsilon-greedy agent with
+ *  the paper's decay schedule. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rl/agent.hh"
+#include "rl/qtable.hh"
+#include "rl/reward.hh"
+#include "rl/state_encoder.hh"
+#include "sim/logging.hh"
+
+using namespace cohmeleon;
+using namespace cohmeleon::rl;
+
+// ----------------------------------------------------------- state space
+
+TEST(StateEncoder, IndexIsBijective)
+{
+    std::vector<bool> seen(StateTuple::kNumStates, false);
+    for (unsigned idx = 0; idx < StateTuple::kNumStates; ++idx) {
+        const StateTuple s = StateTuple::fromIndex(idx);
+        EXPECT_EQ(s.index(), idx);
+        EXPECT_FALSE(seen[idx]);
+        seen[idx] = true;
+    }
+}
+
+TEST(StateEncoder, StateSpaceIs243)
+{
+    EXPECT_EQ(StateTuple::kNumStates, 243u); // 3^5, Table 3
+    EXPECT_EQ(kNumActions, 4u);
+    // Q-table entries: 243 * 4 = 972, as in the paper.
+    EXPECT_EQ(StateTuple::kNumStates * kNumActions, 972u);
+}
+
+TEST(StateEncoder, CountBuckets)
+{
+    EXPECT_EQ(bucketCount(0.0), 0);
+    EXPECT_EQ(bucketCount(0.4), 0);
+    EXPECT_EQ(bucketCount(0.5), 1);
+    EXPECT_EQ(bucketCount(1.0), 1);
+    EXPECT_EQ(bucketCount(1.49), 1);
+    EXPECT_EQ(bucketCount(1.5), 2);
+    EXPECT_EQ(bucketCount(7.0), 2); // saturates at "2+"
+}
+
+TEST(StateEncoder, FootprintBuckets)
+{
+    const std::uint64_t l2 = 32 * 1024;
+    const std::uint64_t slice = 256 * 1024;
+    EXPECT_EQ(bucketFootprint(1, l2, slice), 0);
+    EXPECT_EQ(bucketFootprint(l2, l2, slice), 0);       // <= L2
+    EXPECT_EQ(bucketFootprint(l2 + 1, l2, slice), 1);   // <= slice
+    EXPECT_EQ(bucketFootprint(slice, l2, slice), 1);
+    EXPECT_EQ(bucketFootprint(slice + 1, l2, slice), 2); // > slice
+}
+
+TEST(StateEncoder, FullEncoding)
+{
+    StateInputs in;
+    in.activeFullyCoh = 3;           // -> 2+
+    in.avgNonCohPerTile = 1.0;       // -> 1
+    in.avgToLlcPerTile = 0.2;        // -> 0
+    in.avgTileFootprintBytes = 300 * 1024;
+    in.accFootprintBytes = 10 * 1024;
+    in.l2Bytes = 32 * 1024;
+    in.llcSliceBytes = 256 * 1024;
+    const StateTuple s = encodeState(in);
+    EXPECT_EQ(s.fullyCohAcc, 2);
+    EXPECT_EQ(s.nonCohPerTile, 1);
+    EXPECT_EQ(s.toLlcPerTile, 0);
+    EXPECT_EQ(s.tileFootprint, 2);
+    EXPECT_EQ(s.accFootprint, 0);
+    EXPECT_LT(s.index(), StateTuple::kNumStates);
+}
+
+TEST(StateEncoder, IdleSystemEncodesToFootprintOnlyStates)
+{
+    StateInputs in;
+    in.l2Bytes = 32 * 1024;
+    in.llcSliceBytes = 256 * 1024;
+    in.accFootprintBytes = 1024;
+    const StateTuple s = encodeState(in);
+    EXPECT_EQ(s.fullyCohAcc, 0);
+    EXPECT_EQ(s.nonCohPerTile, 0);
+    EXPECT_EQ(s.toLlcPerTile, 0);
+    EXPECT_EQ(s.tileFootprint, 0);
+}
+
+// ---------------------------------------------------------------- QTable
+
+TEST(QTable, StartsAtZero)
+{
+    QTable q;
+    for (unsigned s = 0; s < StateTuple::kNumStates; s += 17)
+        for (unsigned a = 0; a < kNumActions; ++a)
+            EXPECT_DOUBLE_EQ(q.q(s, a), 0.0);
+    EXPECT_EQ(q.updatedEntries(), 0u);
+}
+
+TEST(QTable, UpdateBlendsWithAlpha)
+{
+    QTable q;
+    q.update(5, 2, 1.0, 0.25);
+    EXPECT_DOUBLE_EQ(q.q(5, 2), 0.25);
+    q.update(5, 2, 1.0, 0.25);
+    EXPECT_DOUBLE_EQ(q.q(5, 2), 0.4375); // 0.75*0.25 + 0.25
+    EXPECT_EQ(q.updatedEntries(), 1u);
+}
+
+TEST(QTable, BestActionRespectsMask)
+{
+    QTable q;
+    q.setQ(7, 3, 0.9);
+    q.setQ(7, 1, 0.5);
+    EXPECT_EQ(q.bestAction(7, 0b1111), 3u);
+    EXPECT_EQ(q.bestAction(7, 0b0111), 1u); // fully-coh unavailable
+    EXPECT_EQ(q.bestAction(7, 0b0001), 0u);
+}
+
+TEST(QTable, BestActionTiesPickLowestIndex)
+{
+    QTable q;
+    EXPECT_EQ(q.bestAction(0, 0b1111), 0u);
+    EXPECT_EQ(q.bestAction(0, 0b1100), 2u);
+}
+
+TEST(QTable, SaveLoadRoundTrip)
+{
+    QTable q;
+    q.setQ(0, 0, 0.125);
+    q.setQ(100, 3, -2.5);
+    q.setQ(242, 1, 7.75);
+    std::stringstream ss;
+    q.save(ss);
+
+    QTable r;
+    r.load(ss);
+    EXPECT_DOUBLE_EQ(r.q(0, 0), 0.125);
+    EXPECT_DOUBLE_EQ(r.q(100, 3), -2.5);
+    EXPECT_DOUBLE_EQ(r.q(242, 1), 7.75);
+    EXPECT_DOUBLE_EQ(r.q(50, 2), 0.0);
+}
+
+TEST(QTable, LoadRejectsGarbage)
+{
+    QTable q;
+    std::stringstream ss("not-a-qtable 1 2\n");
+    EXPECT_THROW(q.load(ss), FatalError);
+    std::stringstream truncated("cohmeleon-qtable 243 4\n1.0 2.0\n");
+    EXPECT_THROW(q.load(truncated), FatalError);
+}
+
+// ---------------------------------------------------------------- reward
+
+TEST(Reward, WeightsNormalize)
+{
+    const RewardWeights w{2.0, 1.0, 1.0};
+    const RewardWeights n = w.normalized();
+    EXPECT_DOUBLE_EQ(n.exec, 0.5);
+    EXPECT_DOUBLE_EQ(n.comm, 0.25);
+    EXPECT_DOUBLE_EQ(n.mem, 0.25);
+    EXPECT_THROW((RewardWeights{0, 0, 0}.normalized()), FatalError);
+}
+
+TEST(Reward, FirstInvocationScoresPerfect)
+{
+    RewardTracker t;
+    const RewardComponents c = t.observe(0, {10.0, 0.5, 100.0});
+    EXPECT_DOUBLE_EQ(c.execComp, 1.0);
+    EXPECT_DOUBLE_EQ(c.commComp, 1.0);
+    EXPECT_DOUBLE_EQ(c.memComp, 1.0); // max == min
+}
+
+TEST(Reward, WorseExecLowersExecComponent)
+{
+    RewardTracker t;
+    t.observe(0, {10.0, 0.5, 100.0});
+    const RewardComponents c = t.observe(0, {20.0, 0.5, 100.0});
+    EXPECT_DOUBLE_EQ(c.execComp, 0.5); // min(10)/20
+    EXPECT_DOUBLE_EQ(c.commComp, 1.0);
+}
+
+TEST(Reward, MemComponentIsMinMaxScaled)
+{
+    RewardTracker t;
+    t.observe(0, {10.0, 0.5, 100.0});
+    t.observe(0, {10.0, 0.5, 300.0});
+    // Mid-range memory traffic maps to the middle of [0, 1].
+    const RewardComponents c = t.observe(0, {10.0, 0.5, 200.0});
+    EXPECT_DOUBLE_EQ(c.memComp, 0.5);
+    // A new minimum maps to 1; the maximum maps to 0.
+    EXPECT_DOUBLE_EQ(t.observe(0, {10.0, 0.5, 100.0}).memComp, 1.0);
+    EXPECT_DOUBLE_EQ(t.observe(0, {10.0, 0.5, 300.0}).memComp, 0.0);
+}
+
+TEST(Reward, ZeroMemTrafficBecomesNewMin)
+{
+    RewardTracker t;
+    t.observe(0, {10.0, 0.5, 50.0});
+    const RewardComponents c = t.observe(0, {10.0, 0.5, 0.0});
+    EXPECT_DOUBLE_EQ(c.memComp, 1.0);
+}
+
+TEST(Reward, ZeroCommRatioSaturatesAtOne)
+{
+    RewardTracker t;
+    const RewardComponents c = t.observe(0, {10.0, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(c.commComp, 1.0);
+}
+
+TEST(Reward, PerAcceleratorTrackersAreIndependent)
+{
+    RewardTracker t;
+    t.observe(0, {10.0, 0.5, 100.0});
+    // Accelerator 1 starts fresh: its first observation is perfect.
+    const RewardComponents c = t.observe(1, {99.0, 0.9, 900.0});
+    EXPECT_DOUBLE_EQ(c.execComp, 1.0);
+}
+
+TEST(Reward, CombinedRewardUsesWeights)
+{
+    RewardTracker t;
+    t.observe(0, {10.0, 0.5, 100.0});
+    t.observe(0, {10.0, 0.5, 300.0});
+    // exec 0.5, comm 1.0, mem 0.0 with weights (0.5, 0.25, 0.25).
+    const double r = t.reward(0, {20.0, 0.5, 300.0},
+                              RewardWeights{0.5, 0.25, 0.25});
+    EXPECT_DOUBLE_EQ(r, 0.5 * 0.5 + 0.25 * 1.0 + 0.25 * 0.0);
+}
+
+TEST(Reward, RewardIsAlwaysInUnitInterval)
+{
+    RewardTracker t;
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        InvocationMeasure m;
+        m.execScaled = rng.uniformReal() * 1000 + 1;
+        m.commRatio = rng.uniformReal();
+        m.memScaled = rng.uniformReal() * 100;
+        const double r = t.reward(i % 3, m, RewardWeights{});
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, 1.0);
+    }
+}
+
+TEST(Reward, ResetForgetsMinima)
+{
+    RewardTracker t;
+    t.observe(0, {10.0, 0.5, 100.0});
+    t.reset();
+    EXPECT_DOUBLE_EQ(t.observe(0, {50.0, 0.5, 100.0}).execComp, 1.0);
+}
+
+// ----------------------------------------------------------------- agent
+
+TEST(Agent, PaperScheduleDecaysLinearlyToZero)
+{
+    AgentParams p;
+    p.epsilon0 = 0.5;
+    p.alpha0 = 0.25;
+    p.decayIterations = 10;
+    QLearningAgent agent(p);
+    EXPECT_DOUBLE_EQ(agent.epsilon(), 0.5);
+    EXPECT_DOUBLE_EQ(agent.alpha(), 0.25);
+    for (int i = 0; i < 5; ++i)
+        agent.advanceIteration();
+    EXPECT_DOUBLE_EQ(agent.epsilon(), 0.25);
+    EXPECT_DOUBLE_EQ(agent.alpha(), 0.125);
+    for (int i = 0; i < 5; ++i)
+        agent.advanceIteration();
+    EXPECT_DOUBLE_EQ(agent.epsilon(), 0.0);
+    EXPECT_DOUBLE_EQ(agent.alpha(), 0.0);
+    agent.advanceIteration(); // past the horizon stays at zero
+    EXPECT_DOUBLE_EQ(agent.epsilon(), 0.0);
+}
+
+TEST(Agent, FrozenAgentIsGreedyAndDoesNotLearn)
+{
+    QLearningAgent agent(AgentParams{});
+    agent.table().setQ(3, 2, 1.0);
+    agent.freeze();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(agent.chooseAction(3, 0b1111), 2u);
+    agent.learn(3, 0, 100.0);
+    EXPECT_DOUBLE_EQ(agent.table().q(3, 0), 0.0);
+}
+
+TEST(Agent, ExploresWithEpsilonProbability)
+{
+    AgentParams p;
+    p.epsilon0 = 1.0; // always explore
+    p.decayIterations = 1000000;
+    QLearningAgent agent(p);
+    // Mark every action tried so the coverage rule does not apply.
+    for (unsigned a = 0; a < kNumActions; ++a)
+        agent.table().setQ(0, a, a == 1 ? 5.0 : 1.0);
+    std::array<int, 4> counts{};
+    for (int i = 0; i < 4000; ++i)
+        ++counts[agent.chooseAction(0, 0b1111)];
+    // Uniform exploration: each action ~1000 draws.
+    for (int c : counts)
+        EXPECT_GT(c, 700);
+}
+
+TEST(Agent, GreedyWhenEpsilonZero)
+{
+    AgentParams p;
+    p.epsilon0 = 0.0;
+    QLearningAgent agent(p);
+    for (unsigned a = 0; a < kNumActions; ++a)
+        agent.table().setQ(9, a, a == 3 ? 2.0 : 0.5);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(agent.chooseAction(9, 0b1111), 3u);
+}
+
+TEST(Agent, TriesEveryActionOnceBeforeExploiting)
+{
+    // Optimistic coverage: in a fresh state, the first four choices
+    // (with learning after each) must cover all four actions.
+    AgentParams p;
+    p.epsilon0 = 0.0; // isolate the coverage rule from exploration
+    QLearningAgent agent(p);
+    std::array<bool, 4> seen{};
+    for (int i = 0; i < 4; ++i) {
+        const unsigned a = agent.chooseAction(42, 0b1111);
+        EXPECT_FALSE(seen[a]) << "action repeated before coverage";
+        seen[a] = true;
+        agent.learn(42, a, 0.9); // positive reward must not lock in
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+    // Frozen playback ignores the rule and exploits.
+    agent.freeze();
+    const unsigned greedy = agent.chooseAction(42, 0b1111);
+    EXPECT_TRUE(agent.table().tried(42, greedy));
+}
+
+TEST(Agent, ExplorationRespectsAvailabilityMask)
+{
+    AgentParams p;
+    p.epsilon0 = 1.0;
+    p.decayIterations = 1000000;
+    QLearningAgent agent(p);
+    for (int i = 0; i < 200; ++i) {
+        const unsigned a = agent.chooseAction(0, 0b0101);
+        EXPECT_TRUE(a == 0 || a == 2);
+    }
+}
+
+TEST(Agent, LearnsABanditProblem)
+{
+    // Action 2 pays 1.0, others pay 0.2: after training with decay,
+    // the greedy policy must pick action 2 in every state used.
+    AgentParams p;
+    p.decayIterations = 50;
+    p.seed = 9;
+    QLearningAgent agent(p);
+    Rng noise(4);
+    for (unsigned it = 0; it < 50; ++it) {
+        for (int k = 0; k < 20; ++k) {
+            const unsigned s = static_cast<unsigned>(
+                noise.uniformInt(4)); // a few states
+            const unsigned a = agent.chooseAction(s, 0b1111);
+            const double r = (a == 2 ? 1.0 : 0.2) +
+                             0.05 * noise.uniformReal();
+            agent.learn(s, a, r);
+        }
+        agent.advanceIteration();
+    }
+    agent.freeze();
+    for (unsigned s = 0; s < 4; ++s)
+        EXPECT_EQ(agent.chooseAction(s, 0b1111), 2u) << "state " << s;
+}
+
+TEST(Agent, ResetRestoresInitialState)
+{
+    QLearningAgent agent(AgentParams{});
+    agent.table().setQ(1, 1, 3.0);
+    agent.advanceIteration();
+    agent.freeze();
+    agent.reset();
+    EXPECT_DOUBLE_EQ(agent.table().q(1, 1), 0.0);
+    EXPECT_EQ(agent.iteration(), 0u);
+    EXPECT_FALSE(agent.frozen());
+    EXPECT_DOUBLE_EQ(agent.epsilon(), agent.params().epsilon0);
+}
+
+TEST(Agent, RejectsBadHyperParameters)
+{
+    AgentParams p;
+    p.epsilon0 = 1.5;
+    EXPECT_THROW(QLearningAgent{p}, FatalError);
+    p = {};
+    p.alpha0 = 0.0;
+    EXPECT_THROW(QLearningAgent{p}, FatalError);
+    p = {};
+    p.decayIterations = 0;
+    EXPECT_THROW(QLearningAgent{p}, FatalError);
+}

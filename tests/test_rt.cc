@@ -1,0 +1,337 @@
+/** @file Tests for the invocation runtime: the sense/decide/actuate/
+ *  evaluate flow, flush semantics per mode, status tracking, the
+ *  footprint-proportional DDR attribution, overheads, and the
+ *  per-accelerator request queue. */
+
+#include <gtest/gtest.h>
+
+#include "acc/presets.hh"
+#include "policy/policy.hh"
+#include "rt/runtime.hh"
+#include "test_util.hh"
+
+using namespace cohmeleon;
+using namespace cohmeleon::rt;
+using coh::CoherenceMode;
+using test::runIsolated;
+
+namespace
+{
+
+class RuntimeTest : public ::testing::Test
+{
+  protected:
+    RuntimeTest()
+        : soc_(test::tinySocConfig()), policy_(), runtime_(soc_, policy_)
+    {
+    }
+
+    soc::Soc soc_;
+    policy::ScriptedPolicy policy_;
+    EspRuntime runtime_;
+};
+
+} // namespace
+
+TEST_F(RuntimeTest, RecordsAreComplete)
+{
+    const InvocationRecord r =
+        runIsolated(soc_, runtime_, policy_, 0,
+                    CoherenceMode::kCohDma, test::kTinyMedium);
+    EXPECT_EQ(r.acc, 0u);
+    EXPECT_EQ(r.accType, "fft");
+    EXPECT_EQ(r.mode, CoherenceMode::kCohDma);
+    EXPECT_EQ(r.footprintBytes, test::kTinyMedium);
+    EXPECT_GT(r.wallCycles, 0u);
+    EXPECT_GT(r.accTotalCycles, 0u);
+    EXPECT_GE(r.accTotalCycles, r.accCommCycles);
+    EXPECT_GT(r.tlbCycles, 0u);
+    EXPECT_GT(r.swOverheadCycles, 0u);
+    EXPECT_EQ(r.endTime - r.invokeTime, r.wallCycles);
+}
+
+TEST_F(RuntimeTest, WallTimeIncludesOverheads)
+{
+    const InvocationRecord r =
+        runIsolated(soc_, runtime_, policy_, 0,
+                    CoherenceMode::kNonCohDma, test::kTinySmall);
+    EXPECT_GE(r.wallCycles, r.accTotalCycles + r.flushCycles +
+                                r.tlbCycles + r.swOverheadCycles);
+}
+
+TEST_F(RuntimeTest, FlushOnlyForModesThatNeedIt)
+{
+    const InvocationRecord nonCoh =
+        runIsolated(soc_, runtime_, policy_, 0,
+                    CoherenceMode::kNonCohDma, test::kTinyMedium);
+    soc_.reset();
+    runtime_.reset();
+    const InvocationRecord llcCoh =
+        runIsolated(soc_, runtime_, policy_, 0,
+                    CoherenceMode::kLlcCohDma, test::kTinyMedium);
+    soc_.reset();
+    runtime_.reset();
+    const InvocationRecord cohDma =
+        runIsolated(soc_, runtime_, policy_, 0,
+                    CoherenceMode::kCohDma, test::kTinyMedium);
+    soc_.reset();
+    runtime_.reset();
+    const InvocationRecord fullCoh =
+        runIsolated(soc_, runtime_, policy_, 0,
+                    CoherenceMode::kFullyCoh, test::kTinyMedium);
+
+    EXPECT_GT(nonCoh.flushCycles, 0u);
+    EXPECT_GT(llcCoh.flushCycles, 0u);
+    EXPECT_EQ(cohDma.flushCycles, 0u);
+    EXPECT_EQ(fullCoh.flushCycles, 0u);
+    // The non-coherent flush also walks the LLC, so it costs more.
+    EXPECT_GT(nonCoh.flushCycles, llcCoh.flushCycles);
+}
+
+TEST_F(RuntimeTest, EveryModeStaysCoherent)
+{
+    for (CoherenceMode mode : coh::kAllModes) {
+        soc_.reset();
+        runtime_.reset();
+        runIsolated(soc_, runtime_, policy_, 0, mode,
+                    test::kTinyMedium);
+        EXPECT_EQ(soc_.ms().versions().violations(), 0u)
+            << "stale data under " << coh::toString(mode);
+    }
+}
+
+TEST_F(RuntimeTest, ChainedModesStayCoherent)
+{
+    // The hard case: one accelerator's output feeds the next under a
+    // *different* coherence mode, exercising cross-mode handoff.
+    mem::Allocation data =
+        soc_.allocator().allocate(test::kTinyMedium);
+    const Cycles warm =
+        soc_.cpuWriteRange(0, 0, data, test::kTinyMedium);
+
+    const CoherenceMode sequence[] = {
+        CoherenceMode::kFullyCoh, CoherenceMode::kNonCohDma,
+        CoherenceMode::kCohDma, CoherenceMode::kLlcCohDma,
+        CoherenceMode::kFullyCoh};
+    std::size_t next = 0;
+
+    std::function<void()> invokeNext = [&] {
+        if (next >= std::size(sequence))
+            return;
+        policy_.setMode(sequence[next]);
+        ++next;
+        InvocationRequest req;
+        req.acc = next % 2; // alternate fft0 / spmv0
+        req.footprintBytes = test::kTinyMedium;
+        req.data = &data;
+        runtime_.invoke(0, req,
+                        [&](const InvocationRecord &) { invokeNext(); });
+    };
+    soc_.eq().scheduleAt(warm, [&] { invokeNext(); });
+    soc_.eq().run();
+
+    EXPECT_EQ(next, std::size(sequence));
+    EXPECT_EQ(soc_.ms().versions().violations(), 0u);
+    // CPU consumes the final output.
+    soc_.cpuReadRange(soc_.eq().now(), 0, data, test::kTinyMedium);
+    EXPECT_EQ(soc_.ms().versions().violations(), 0u);
+}
+
+TEST_F(RuntimeTest, StatusTracksActiveInvocations)
+{
+    mem::Allocation data =
+        soc_.allocator().allocate(test::kTinyMedium);
+    policy_.setMode(CoherenceMode::kCohDma);
+
+    bool sawActive = false;
+    InvocationRequest req;
+    req.acc = 0;
+    req.footprintBytes = test::kTinyMedium;
+    req.data = &data;
+    runtime_.invoke(0, req, [&](const InvocationRecord &) {
+        EXPECT_EQ(runtime_.status().activeCount(), 0u);
+    });
+    // Mid-flight, exactly one invocation is active.
+    soc_.eq().schedule(1, [&] {
+        sawActive = runtime_.status().activeCount() == 1 &&
+                    runtime_.status().activeWithMode(
+                        CoherenceMode::kCohDma) == 1;
+    });
+    soc_.eq().run();
+    EXPECT_TRUE(sawActive);
+    EXPECT_EQ(runtime_.invocationsCompleted(), 1u);
+}
+
+TEST_F(RuntimeTest, SharedAcceleratorRequestsQueue)
+{
+    mem::Allocation a = soc_.allocator().allocate(test::kTinySmall);
+    mem::Allocation b = soc_.allocator().allocate(test::kTinySmall);
+    policy_.setMode(CoherenceMode::kCohDma);
+
+    std::vector<int> order;
+    InvocationRequest req;
+    req.acc = 0;
+    req.footprintBytes = test::kTinySmall;
+    req.data = &a;
+    runtime_.invoke(0, req,
+                    [&](const InvocationRecord &) { order.push_back(1); });
+    req.data = &b;
+    runtime_.invoke(1, req,
+                    [&](const InvocationRecord &) { order.push_back(2); });
+    soc_.eq().run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(RuntimeTest, DdrAttributionAloneGetsFullDelta)
+{
+    const InvocationRecord r =
+        runIsolated(soc_, runtime_, policy_, 0,
+                    CoherenceMode::kNonCohDma, test::kTinyMedium,
+                    /*warm=*/false);
+    // Alone in the system, the approximation equals the full delta.
+    EXPECT_NEAR(r.ddrApprox, static_cast<double>(r.ddrMonitorDelta),
+                1.0);
+    EXPECT_GT(r.ddrExact, 0u);
+    // And the monitor delta covers at least the exact DMA traffic.
+    EXPECT_GE(r.ddrMonitorDelta + 4, r.ddrExact);
+}
+
+TEST_F(RuntimeTest, ExactAttributionSwitch)
+{
+    runtime_.setUseExactAttribution(true);
+    const InvocationRecord r =
+        runIsolated(soc_, runtime_, policy_, 0,
+                    CoherenceMode::kNonCohDma, test::kTinyMedium);
+    EXPECT_DOUBLE_EQ(r.ddrApprox, static_cast<double>(r.ddrExact));
+}
+
+TEST_F(RuntimeTest, ConcurrentAttributionSplitsByFootprint)
+{
+    // Two concurrent invocations with footprints 1:3 on the same
+    // partitions: the attribution shares must follow the ratio.
+    mem::Allocation small = soc_.allocator().allocate(16 * 1024);
+    mem::Allocation large = soc_.allocator().allocate(48 * 1024);
+    policy_.setMode(CoherenceMode::kNonCohDma);
+
+    // Same traffic profile on both tiles so data moved is
+    // proportional to footprint.
+    const acc::TrafficProfile profile = acc::makeTrafficGenProfile();
+
+    InvocationRecord rSmall;
+    InvocationRecord rLarge;
+    InvocationRequest req;
+    req.profileOverride = profile;
+    req.acc = 0;
+    req.footprintBytes = 16 * 1024;
+    req.data = &small;
+    runtime_.invoke(0, req,
+                    [&](const InvocationRecord &r) { rSmall = r; });
+    req.acc = 3;
+    req.footprintBytes = 48 * 1024;
+    req.data = &large;
+    runtime_.invoke(1, req,
+                    [&](const InvocationRecord &r) { rLarge = r; });
+    soc_.eq().run();
+
+    EXPECT_GT(rSmall.ddrApprox, 0.0);
+    EXPECT_GT(rLarge.ddrApprox, 0.0);
+    // While both run, the larger footprint soaks up more of the
+    // shared counters (it also simply moves more data).
+    EXPECT_GT(rLarge.ddrApprox, rSmall.ddrApprox);
+}
+
+TEST_F(RuntimeTest, PolicySeesAvailableModes)
+{
+    // Make spmv0's tile cache-less and verify the context says so.
+    soc::SocConfig cfg = test::tinySocConfig();
+    cfg.accs[1].privateCache = false;
+    soc::Soc soc(cfg);
+
+    struct Probe : policy::ScriptedPolicy
+    {
+        coh::ModeMask seen = 0;
+        coh::CoherenceMode
+        decide(const DecisionContext &ctx, std::uint64_t &tag) override
+        {
+            seen = ctx.availableModes;
+            return ScriptedPolicy::decide(ctx, tag);
+        }
+    } probe;
+    EspRuntime runtime(soc, probe);
+
+    probe.setMode(CoherenceMode::kFullyCoh); // must degrade
+    runIsolated(soc, runtime, probe, 1, CoherenceMode::kFullyCoh,
+                test::kTinySmall);
+    EXPECT_FALSE(coh::maskHas(probe.seen, CoherenceMode::kFullyCoh));
+    EXPECT_EQ(soc.ms().versions().violations(), 0u);
+}
+
+TEST_F(RuntimeTest, DecisionContextCarriesPartitions)
+{
+    struct Probe : policy::ScriptedPolicy
+    {
+        std::vector<unsigned> partitions;
+        std::uint64_t footprint = 0;
+        std::string accName;
+        coh::CoherenceMode
+        decide(const DecisionContext &ctx, std::uint64_t &tag) override
+        {
+            partitions = ctx.partitions;
+            footprint = ctx.footprintBytes;
+            accName = std::string(ctx.accName);
+            return ScriptedPolicy::decide(ctx, tag);
+        }
+    } probe;
+    EspRuntime runtime(soc_, probe);
+
+    // 48KB over 16KB pages stripes across both partitions.
+    runIsolated(soc_, runtime, probe, 0, CoherenceMode::kCohDma,
+                48 * 1024);
+    EXPECT_EQ(probe.partitions.size(), 2u);
+    EXPECT_EQ(probe.footprint, 48u * 1024);
+    EXPECT_EQ(probe.accName, "fft0");
+}
+
+TEST_F(RuntimeTest, InvalidRequestsAreFatal)
+{
+    mem::Allocation data = soc_.allocator().allocate(4096);
+    InvocationRequest req;
+    req.acc = 99;
+    req.footprintBytes = 4096;
+    req.data = &data;
+    EXPECT_THROW(runtime_.invoke(0, req, nullptr), FatalError);
+    req.acc = 0;
+    req.footprintBytes = 0;
+    EXPECT_THROW(runtime_.invoke(0, req, nullptr), FatalError);
+    req.footprintBytes = 8192; // larger than the allocation
+    EXPECT_THROW(runtime_.invoke(0, req, nullptr), FatalError);
+    req.footprintBytes = 4096;
+    EXPECT_THROW(runtime_.invoke(7, req, nullptr), FatalError);
+}
+
+TEST_F(RuntimeTest, ProfileOverrideIsUsed)
+{
+    mem::Allocation data =
+        soc_.allocator().allocate(test::kTinyMedium);
+    policy_.setMode(CoherenceMode::kNonCohDma);
+
+    acc::TrafficProfile quiet = acc::makeTrafficGenProfile();
+    quiet.readWriteRatio = 16.0; // almost no writes
+
+    InvocationRecord rDefault;
+    InvocationRecord rQuiet;
+    InvocationRequest req;
+    req.acc = 3;
+    req.footprintBytes = test::kTinyMedium;
+    req.data = &data;
+    runtime_.invoke(0, req,
+                    [&](const InvocationRecord &r) { rDefault = r; });
+    soc_.eq().run();
+    req.profileOverride = quiet;
+    runtime_.invoke(0, req,
+                    [&](const InvocationRecord &r) { rQuiet = r; });
+    soc_.eq().run();
+
+    // Fewer writes -> fewer exact DMA accesses.
+    EXPECT_LT(rQuiet.ddrExact, rDefault.ddrExact);
+}

@@ -1,0 +1,344 @@
+/** @file Unit tests for the simulation kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/server.hh"
+#include "sim/stats.hh"
+
+using namespace cohmeleon;
+
+// ---------------------------------------------------------------- events
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(1, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 2u);
+}
+
+TEST(EventQueue, ZeroDelaySelfScheduleAdvancesSeq)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(0, [&] {
+        if (++fired < 3)
+            eq.schedule(0, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_GE(fired, 2);
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockToLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.schedule(50, [&] { ++fired; });
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(5, [] {});
+    eq.schedule(9, [] {});
+    eq.runOne();
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 10u);
+}
+
+// ---------------------------------------------------------------- server
+
+TEST(Server, IdleServerGrantsImmediately)
+{
+    Server s;
+    EXPECT_EQ(s.acquire(100, 10), 100u);
+    EXPECT_EQ(s.nextFree(), 110u);
+}
+
+TEST(Server, BusyServerQueuesFifo)
+{
+    Server s;
+    EXPECT_EQ(s.acquire(0, 10), 0u);
+    EXPECT_EQ(s.acquire(0, 10), 10u);
+    EXPECT_EQ(s.acquire(5, 10), 20u);
+    EXPECT_EQ(s.nextFree(), 30u);
+}
+
+TEST(Server, LateArrivalAfterIdleGap)
+{
+    Server s;
+    s.acquire(0, 10);
+    EXPECT_EQ(s.acquire(100, 5), 100u);
+}
+
+TEST(Server, FinishAfterReturnsCompletion)
+{
+    Server s;
+    EXPECT_EQ(s.finishAfter(3, 7), 10u);
+}
+
+TEST(Server, TracksBusyAndWaitCycles)
+{
+    Server s;
+    s.acquire(0, 10);
+    s.acquire(0, 10); // waits 10
+    EXPECT_EQ(s.busyCycles(), 20u);
+    EXPECT_EQ(s.waitCycles(), 10u);
+    EXPECT_EQ(s.requests(), 2u);
+}
+
+TEST(Server, ResetRestoresIdle)
+{
+    Server s;
+    s.acquire(0, 100);
+    s.reset();
+    EXPECT_EQ(s.nextFree(), 0u);
+    EXPECT_EQ(s.busyCycles(), 0u);
+    EXPECT_EQ(s.acquire(1, 1), 1u);
+}
+
+TEST(Server, ZeroDurationDoesNotAdvance)
+{
+    Server s;
+    EXPECT_EQ(s.acquire(5, 0), 5u);
+    EXPECT_EQ(s.nextFree(), 5u);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.uniformInt(13), 13u);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng r(7);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++seen[r.uniformInt(8)];
+    for (int count : seen)
+        EXPECT_GT(count, 300); // ~500 expected per bucket
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng r(9);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.uniformRange(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        sawLo |= v == 3;
+        sawHi |= v == 6;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniformReal();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, SplitStreamsAreIndependentButDeterministic)
+{
+    Rng a(5);
+    Rng b(5);
+    Rng as = a.split();
+    Rng bs = b.split();
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(as.next(), bs.next());
+    // The child differs from a fresh parent stream.
+    Rng a2(5);
+    EXPECT_NE(as.next(), a2.next());
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(Stats, CounterBasics)
+{
+    Counter c("hits");
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, SummaryTracksMinMeanMax)
+{
+    Summary s;
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(Stats, EmptySummaryIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Stats, StatGroupRegistersAndDumps)
+{
+    StatGroup g("cache");
+    g.counter("hits").inc(3);
+    g.counter("misses").inc(1);
+    EXPECT_EQ(&g.counter("hits"), &g.counter("hits"));
+    EXPECT_EQ(g.find("hits")->value(), 3u);
+    EXPECT_EQ(g.find("absent"), nullptr);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("cache.hits 3"), std::string::npos);
+    g.resetAll();
+    EXPECT_EQ(g.find("hits")->value(), 0u);
+}
+
+TEST(Stats, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(geometricMean({5.0}), 5.0);
+    EXPECT_NEAR(geometricMean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+}
+
+// --------------------------------------------------------------- logging
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom ", 42), FatalError);
+    try {
+        fatal("code ", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "code 7");
+    }
+}
+
+TEST(Logging, FatalIfOnlyThrowsWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "nope"));
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+    setQuiet(true);
+}

@@ -1,0 +1,160 @@
+/** @file Randomized stress tests: long interleavings of CPU accesses,
+ *  DMA in every mode (with the flushes each mode requires), full
+ *  invocations under every policy — always ending with zero coherence
+ *  violations and a consistent directory. */
+
+#include <gtest/gtest.h>
+
+#include "app/app_runner.hh"
+#include "app/random_app.hh"
+#include "policy/cohmeleon_policy.hh"
+#include "policy/manual.hh"
+#include "policy/random_policy.hh"
+#include "test_util.hh"
+
+using namespace cohmeleon;
+using coh::CoherenceMode;
+
+namespace
+{
+
+/** Raw protocol fuzz: random CPU reads/writes and coherent DMA ops
+ *  over a small line pool, checking versions and the directory. */
+void
+fuzzProtocol(std::uint64_t seed, unsigned ops)
+{
+    soc::Soc soc(test::tinySocConfig());
+    mem::MemorySystem &ms = soc.ms();
+    Rng rng(seed);
+
+    constexpr unsigned kLines = 600; // spans both partitions + evicts
+    Cycles t = 0;
+    for (unsigned i = 0; i < ops; ++i) {
+        const Addr line =
+            (rng.uniformInt(kLines) * soc.map().partitionBytes() /
+             kLines) &
+            ~static_cast<Addr>(kLineBytes - 1);
+        t += 10;
+        switch (rng.uniformInt(6)) {
+          case 0:
+            ms.l2(rng.uniformInt(ms.numL2s())).read(t, line);
+            break;
+          case 1:
+            ms.l2(rng.uniformInt(ms.numL2s())).write(t, line);
+            break;
+          case 2:
+            ms.dmaRead(t, line, true, 5); // coherent DMA
+            break;
+          case 3:
+            ms.dmaWrite(t, line, true, 5);
+            break;
+          case 4:
+            ms.l2(rng.uniformInt(ms.numL2s())).flushAll(t);
+            break;
+          default:
+            // Non-coherent access with the full flush protocol.
+            t = ms.flushL2s(t).done;
+            t = ms.flushLlc(t).done;
+            if (rng.bernoulli(0.5))
+                ms.dramRead(t, line, 5);
+            else
+                ms.dramWrite(t, line, 5);
+            break;
+        }
+    }
+
+    EXPECT_EQ(ms.versions().violations(), 0u) << "seed " << seed;
+    const auto problems = ms.checkDirectoryInvariants();
+    EXPECT_TRUE(problems.empty())
+        << "seed " << seed << ": " << problems.front();
+}
+
+} // namespace
+
+class ProtocolFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ProtocolFuzz, NoStaleDataNoDirectoryRot)
+{
+    fuzzProtocol(GetParam(), 3000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(StressApp, RandomAppsUnderEveryPolicyStayCoherent)
+{
+    const soc::SocConfig cfg = test::tinySocConfig();
+    app::RandomAppParams params;
+    params.phases = 3;
+    params.maxThreads = 4;
+
+    policy::RandomPolicy randomPolicy(3);
+    policy::ManualPolicy manualPolicy;
+    policy::CohmeleonPolicy cohmeleonPolicy;
+    rt::CoherencePolicy *policies[] = {&randomPolicy, &manualPolicy,
+                                       &cohmeleonPolicy};
+    for (rt::CoherencePolicy *policy : policies) {
+        for (std::uint64_t seed = 10; seed < 13; ++seed) {
+            soc::Soc soc(cfg);
+            rt::EspRuntime runtime(soc, *policy);
+            app::AppRunner runner(soc, runtime);
+            runner.setCollectRecords(false);
+            runner.runApp(
+                app::generateRandomApp(soc, Rng(seed), params));
+            EXPECT_EQ(soc.ms().versions().violations(), 0u)
+                << policy->name() << " seed " << seed;
+            const auto problems =
+                soc.ms().checkDirectoryInvariants();
+            EXPECT_TRUE(problems.empty())
+                << policy->name() << ": " << problems.front();
+        }
+    }
+}
+
+TEST(StressApp, LongChainsAcrossPartitionsAndModes)
+{
+    // Chains whose datasets stripe across both partitions, driven by
+    // the random policy so modes flip between chain stages.
+    soc::Soc soc(test::tinySocConfig());
+    policy::RandomPolicy policy(77);
+    rt::EspRuntime runtime(soc, policy);
+    app::AppRunner runner(soc, runtime);
+
+    app::AppSpec spec;
+    spec.name = "chains";
+    app::PhaseSpec phase;
+    phase.name = "chained";
+    for (int t = 0; t < 3; ++t) {
+        phase.threads.push_back(
+            {{{"fft0", 48 * 1024},
+              {"spmv0", 48 * 1024},
+              {"tgen0", 48 * 1024}},
+             3});
+    }
+    spec.phases.push_back(phase);
+    runner.runApp(spec);
+
+    EXPECT_EQ(soc.ms().versions().violations(), 0u);
+    EXPECT_TRUE(soc.ms().checkDirectoryInvariants().empty());
+}
+
+TEST(StressApp, DirectoryCheckerDetectsCorruption)
+{
+    // Sanity of the checker itself: cook the directory and expect a
+    // complaint.
+    soc::Soc soc(test::tinySocConfig());
+    mem::MemorySystem &ms = soc.ms();
+    const Addr line = 0;
+    ms.l2(0).write(0, line);
+    ASSERT_TRUE(ms.checkDirectoryInvariants().empty());
+
+    // Forge a dangling sharer bit on the home LLC line.
+    mem::CacheLine *home = ms.sliceFor(line).array().find(line);
+    ASSERT_NE(home, nullptr);
+    home->sharers |= 1ull << 1; // l2(1) does not hold it
+    const auto problems = ms.checkDirectoryInvariants();
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems.front().find("dangling"), std::string::npos);
+}

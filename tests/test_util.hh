@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared fixtures for the Cohmeleon test suite: a tiny, fast SoC and
+ * helpers to run isolated invocations synchronously.
+ */
+
+#ifndef COHMELEON_TESTS_TEST_UTIL_HH
+#define COHMELEON_TESTS_TEST_UTIL_HH
+
+#include <functional>
+
+#include "policy/policy.hh"
+#include "rt/runtime.hh"
+#include "sim/logging.hh"
+#include "soc/soc.hh"
+
+namespace cohmeleon::test
+{
+
+/**
+ * A small SoC that keeps tests fast: 4x3 mesh, 2 CPUs, 2 memory
+ * tiles with 32KB LLC slices, 8KB private caches, two accelerators
+ * (one FFT-like streaming, one SPMV-like irregular) plus one MRI-Q
+ * (compute-bound) and one traffic generator.
+ */
+inline soc::SocConfig
+tinySocConfig()
+{
+    soc::SocConfig cfg;
+    cfg.name = "tiny";
+    cfg.meshCols = 4;
+    cfg.meshRows = 3;
+    cfg.cpus = 2;
+    cfg.memTiles = 2;
+    cfg.llcSliceBytes = 32 * 1024;
+    cfg.llcWays = 8;
+    cfg.l2Bytes = 8 * 1024;
+    cfg.l2Ways = 4;
+    cfg.accL2Bytes = 8 * 1024;
+    cfg.accL2Ways = 4;
+    cfg.dramPartitionBytes = 8ull * 1024 * 1024;
+    cfg.pageBytes = 16 * 1024;
+    cfg.seed = 42;
+    for (const char *pair : {"fft:fft0", "spmv:spmv0", "mriq:mriq0",
+                             "tgen:tgen0"}) {
+        const std::string text(pair);
+        const std::size_t colon = text.find(':');
+        soc::AccInstanceCfg a;
+        a.type = text.substr(0, colon);
+        a.name = text.substr(colon + 1);
+        cfg.accs.push_back(std::move(a));
+    }
+    return cfg;
+}
+
+/** Footprint classes for the tiny SoC. */
+constexpr std::uint64_t kTinySmall = 4 * 1024;   // < 8KB private cache
+constexpr std::uint64_t kTinyMedium = 16 * 1024; // < 32KB LLC slice
+constexpr std::uint64_t kTinyLarge = 256 * 1024; // > 64KB total LLC
+
+/** Run one warmed, isolated invocation to completion. */
+inline rt::InvocationRecord
+runIsolated(soc::Soc &soc, rt::EspRuntime &runtime,
+            policy::ScriptedPolicy &policy, AccId acc,
+            coh::CoherenceMode mode, std::uint64_t footprint,
+            bool warm = true)
+{
+    policy.setMode(mode);
+    mem::Allocation data = soc.allocator().allocate(footprint);
+    Cycles start = soc.eq().now();
+    if (warm)
+        start = soc.cpuWriteRange(start, 0, data, footprint);
+
+    rt::InvocationRecord record;
+    bool finished = false;
+    soc.eq().scheduleAt(start, [&] {
+        rt::InvocationRequest req;
+        req.acc = acc;
+        req.footprintBytes = footprint;
+        req.data = &data;
+        runtime.invoke(0, req, [&](const rt::InvocationRecord &r) {
+            record = r;
+            finished = true;
+        });
+    });
+    soc.eq().run();
+    if (!finished)
+        panic("isolated invocation did not finish");
+    soc.allocator().free(data);
+    return record;
+}
+
+} // namespace cohmeleon::test
+
+#endif // COHMELEON_TESTS_TEST_UTIL_HH

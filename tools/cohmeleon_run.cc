@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Command-line driver: run an application (from a config file or the
+ * random generator) on any preset SoC under any coherence policy.
+ *
+ *   cohmeleon_run --soc soc1 --policy cohmeleon --train 10
+ *   cohmeleon_run --soc soc5 --policy manual --app pipeline.cfg
+ *   cohmeleon_run --soc soc0 --policy cohmeleon --save-qtable q.txt
+ *   cohmeleon_run --soc soc0 --policy cohmeleon --load-qtable q.txt
+ *
+ * Prints the per-phase results, the coherence-decision breakdown,
+ * and (with --stats) the full SoC statistics block.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "app/app_runner.hh"
+#include "app/config_parser.hh"
+#include "app/experiment.hh"
+#include "policy/cohmeleon_policy.hh"
+#include "sim/logging.hh"
+#include "soc/soc_presets.hh"
+
+using namespace cohmeleon;
+
+namespace
+{
+
+struct Options
+{
+    std::string socName = "soc1";
+    std::string policyName = "cohmeleon";
+    std::string appFile;
+    std::string saveQtable;
+    std::string loadQtable;
+    unsigned trainIterations = 10;
+    std::uint64_t seed = 2022;
+    bool stats = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --soc NAME        soc0..soc6, soc0-streaming, "
+        "soc0-irregular,\n"
+        "                    motivation, parallel (default soc1)\n"
+        "  --policy NAME     fixed-<mode>, rand, fixed-hetero, "
+        "manual,\n"
+        "                    cohmeleon (default cohmeleon)\n"
+        "  --app FILE        application config file (default: a "
+        "random app)\n"
+        "  --train N         cohmeleon training iterations "
+        "(default 10)\n"
+        "  --seed N          random-app seed (default 2022)\n"
+        "  --save-qtable F   persist the trained Q-table\n"
+        "  --load-qtable F   restore a Q-table instead of training\n"
+        "  --stats           dump the SoC statistics block\n",
+        argv0);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--soc")
+            opt.socName = value();
+        else if (arg == "--policy")
+            opt.policyName = value();
+        else if (arg == "--app")
+            opt.appFile = value();
+        else if (arg == "--train")
+            opt.trainIterations =
+                static_cast<unsigned>(std::stoul(value()));
+        else if (arg == "--seed")
+            opt.seed = std::stoull(value());
+        else if (arg == "--save-qtable")
+            opt.saveQtable = value();
+        else if (arg == "--load-qtable")
+            opt.loadQtable = value();
+        else if (arg == "--stats")
+            opt.stats = true;
+        else
+            usage(argv[0]);
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    setQuiet(true);
+
+    try {
+        const soc::SocConfig cfg = soc::makeSocByName(opt.socName);
+
+        app::EvalOptions eopts;
+        eopts.trainIterations = std::max(1u, opt.trainIterations);
+        eopts.trainAppParams = app::denseTrainingParams();
+        std::unique_ptr<rt::CoherencePolicy> policy =
+            app::makePolicyByName(opt.policyName, cfg, eopts);
+
+        // Cohmeleon needs a model: restore or train online.
+        if (auto *cohm = dynamic_cast<policy::CohmeleonPolicy *>(
+                policy.get())) {
+            if (!opt.loadQtable.empty()) {
+                std::ifstream in(opt.loadQtable);
+                fatalIf(!in, "cannot open '", opt.loadQtable, "'");
+                cohm->agent().table().load(in);
+                cohm->freeze();
+                std::printf("restored Q-table from %s\n",
+                            opt.loadQtable.c_str());
+            } else {
+                std::printf("training cohmeleon online (%u "
+                            "iterations)...\n",
+                            eopts.trainIterations);
+                soc::Soc naming(cfg);
+                app::trainCohmeleon(
+                    *cohm, cfg,
+                    app::generateRandomApp(naming,
+                                           Rng(eopts.trainSeed),
+                                           *eopts.trainAppParams),
+                    eopts.trainIterations);
+            }
+            if (!opt.saveQtable.empty()) {
+                std::ofstream out(opt.saveQtable);
+                fatalIf(!out, "cannot open '", opt.saveQtable, "'");
+                cohm->agent().table().save(out);
+                std::printf("saved Q-table to %s\n",
+                            opt.saveQtable.c_str());
+            }
+        }
+
+        // The application: from file or generated.
+        soc::Soc soc(cfg);
+        app::AppSpec spec;
+        if (!opt.appFile.empty()) {
+            std::ifstream in(opt.appFile);
+            fatalIf(!in, "cannot open '", opt.appFile, "'");
+            spec = app::parseAppSpec(in);
+        } else {
+            spec = app::generateRandomApp(soc, Rng(opt.seed));
+        }
+        spec.validate(soc);
+
+        rt::EspRuntime runtime(soc, *policy);
+        app::AppRunner runner(soc, runtime);
+        const app::AppResult result = runner.runApp(spec);
+
+        std::printf("\n%s on %s under %s:\n", spec.name.c_str(),
+                    cfg.name.c_str(),
+                    std::string(policy->name()).c_str());
+        std::printf("%-16s %14s %12s %8s\n", "phase", "cycles",
+                    "off-chip", "invocs");
+        for (const app::PhaseResult &p : result.phases) {
+            std::printf("%-16s %14llu %12llu %8zu\n", p.name.c_str(),
+                        static_cast<unsigned long long>(p.execCycles),
+                        static_cast<unsigned long long>(
+                            p.ddrAccesses),
+                        p.invocations.size());
+        }
+        std::printf("%-16s %14llu %12llu\n", "total",
+                    static_cast<unsigned long long>(
+                        result.totalExecCycles()),
+                    static_cast<unsigned long long>(
+                        result.totalDdrAccesses()));
+
+        // Decision breakdown.
+        std::map<coh::CoherenceMode, unsigned> modes;
+        for (const auto &p : result.phases)
+            for (const auto &r : p.invocations)
+                ++modes[r.mode];
+        std::printf("\ndecisions:");
+        for (const auto &[mode, count] : modes)
+            std::printf(" %s=%u", std::string(toString(mode)).c_str(),
+                        count);
+        std::printf("\n");
+
+        if (opt.stats) {
+            std::printf("\n");
+            std::ostringstream os;
+            soc.dumpStats(os);
+            std::fputs(os.str().c_str(), stdout);
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}
