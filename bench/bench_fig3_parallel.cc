@@ -7,12 +7,18 @@
  * the paper, each accelerator's performance is averaged over its
  * executions, normalized to the same accelerator's single-accelerator
  * non-coherent-DMA run, and the four accelerator types are averaged.
+ *
+ * Every (mode x concurrency) measurement runs on its own freshly
+ * constructed SoC, which makes the cells independent: they are fanned
+ * over the deterministic parallel driver (COHMELEON_THREADS=1 for the
+ * serial reference; results are bit-identical either way).
  */
 
 #include <cstdio>
 #include <functional>
 #include <vector>
 
+#include "app/parallel_runner.hh"
 #include "bench_util.hh"
 #include "soc/soc_presets.hh"
 
@@ -30,14 +36,15 @@ struct AccAverages
     double ddr = 0.0;  ///< mean attributed off-chip accesses
 };
 
-/** Run the given accelerators concurrently, looped, under one mode. */
+/** Run the given accelerators concurrently, looped, under one mode,
+ *  on a private SoC instance built from @p cfg. */
 std::vector<AccAverages>
-runSet(soc::Soc &soc, rt::EspRuntime &runtime,
-       policy::ScriptedPolicy &policy, const std::vector<AccId> &accs,
+runSet(const soc::SocConfig &cfg, const std::vector<AccId> &accs,
        coh::CoherenceMode mode, unsigned loops)
 {
-    soc.reset();
-    runtime.reset();
+    soc::Soc soc(cfg);
+    policy::ScriptedPolicy policy;
+    rt::EspRuntime runtime(soc, policy);
     policy.setMode(mode);
 
     const std::size_t n = accs.size();
@@ -92,18 +99,36 @@ main()
            "1/4/8/12 concurrent accelerators, medium 256KB workloads, "
            "normalized to 1-acc non-coh-dma");
 
-    soc::Soc soc(soc::makeParallelSoc());
-    policy::ScriptedPolicy policy;
-    rt::EspRuntime runtime(soc, policy);
+    const soc::SocConfig cfg = soc::makeParallelSoc();
+    const unsigned numAccs =
+        static_cast<unsigned>(cfg.accs.size());
     const unsigned loops = fullScale() ? 6 : 3;
 
+    app::ParallelRunner runner;
+    std::printf("experiment driver: %u thread(s)\n\n",
+                runner.threads());
+
     // Per-accelerator single-accelerator non-coherent baselines,
-    // measured with the identical looped protocol.
-    std::vector<AccAverages> base(soc.numAccs());
-    for (AccId acc = 0; acc < soc.numAccs(); ++acc) {
-        base[acc] = runSet(soc, runtime, policy, {acc},
+    // measured with the identical looped protocol; one job per
+    // accelerator, fanned over the pool.
+    std::vector<AccAverages> base(numAccs);
+    runner.forEach(numAccs, [&](std::size_t acc) {
+        base[acc] = runSet(cfg, {static_cast<AccId>(acc)},
                            coh::CoherenceMode::kNonCohDma, loops)[0];
-    }
+    });
+
+    // The (mode x concurrency) grid as one flat batch.
+    const unsigned counts[] = {1, 4, 8, 12};
+    const std::size_t numModes = std::size(coh::kAllModes);
+    std::vector<std::vector<AccAverages>> cells(numModes * 4);
+    runner.forEach(cells.size(), [&](std::size_t job) {
+        const coh::CoherenceMode mode = coh::kAllModes[job / 4];
+        const unsigned count = counts[job % 4];
+        std::vector<AccId> accs(count);
+        for (unsigned i = 0; i < count; ++i)
+            accs[i] = i;
+        cells[job] = runSet(cfg, accs, mode, loops);
+    });
 
     std::printf("%-13s | %6s %6s %6s %6s | %6s %6s %6s %6s\n", "",
                 "1acc", "4acc", "8acc", "12acc", "1acc", "4acc",
@@ -111,27 +136,22 @@ main()
     std::printf("%-13s | %27s | %27s\n", "mode",
                 "execution time (norm)", "off-chip accesses (norm)");
 
-    const unsigned counts[] = {1, 4, 8, 12};
-    for (coh::CoherenceMode mode : coh::kAllModes) {
+    for (std::size_t m = 0; m < numModes; ++m) {
         double execRow[4];
         double ddrRow[4];
         for (unsigned c = 0; c < 4; ++c) {
-            std::vector<AccId> accs(counts[c]);
-            for (unsigned i = 0; i < counts[c]; ++i)
-                accs[i] = i;
-            const auto sums =
-                runSet(soc, runtime, policy, accs, mode, loops);
+            const std::vector<AccAverages> &sums = cells[m * 4 + c];
             double execNorm = 0.0;
             double ddrNorm = 0.0;
             for (unsigned i = 0; i < counts[c]; ++i) {
-                execNorm += sums[i].exec / base[accs[i]].exec;
-                ddrNorm +=
-                    sums[i].ddr / std::max(base[accs[i]].ddr, 1.0);
+                execNorm += sums[i].exec / base[i].exec;
+                ddrNorm += sums[i].ddr / std::max(base[i].ddr, 1.0);
             }
             execRow[c] = execNorm / counts[c];
             ddrRow[c] = ddrNorm / counts[c];
         }
-        std::printf("%-13s |", std::string(toString(mode)).c_str());
+        std::printf("%-13s |",
+                    std::string(toString(coh::kAllModes[m])).c_str());
         for (double e : execRow)
             std::printf(" %6.2f", e);
         std::printf(" |");

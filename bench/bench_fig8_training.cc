@@ -6,18 +6,34 @@
  * evaluation on a different instance; the series of normalized
  * execution time and off-chip accesses is printed per iteration.
  * Iteration 0 is the untrained model (equivalent to Random).
+ *
+ * Training within one schedule is inherently sequential (each eval
+ * depends on the model so far), but the schedules themselves are
+ * independent, so each horizon is one job on the deterministic
+ * parallel driver and the series print in order afterwards.
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "app/experiment.hh"
+#include "app/parallel_runner.hh"
 #include "policy/fixed.hh"
 #include "bench_util.hh"
 #include "soc/soc_presets.hh"
 
 using namespace cohmeleon;
 using namespace cohmeleon::bench;
+
+namespace
+{
+
+struct IterRow
+{
+    double exec = 0.0;
+    double ddr = 0.0;
+};
+
+} // namespace
 
 int
 main()
@@ -63,36 +79,48 @@ main()
                 static_cast<double>(
                     baseline.phases[i].ddrAccesses)));
         }
-        return std::pair<double, double>(geometricMean(execRatios),
-                                         geometricMean(ddrRatios));
+        return IterRow{geometricMean(execRatios),
+                       geometricMean(ddrRatios)};
     };
 
     const std::vector<unsigned> horizons =
         fullScale() ? std::vector<unsigned>{10, 30, 50}
                     : std::vector<unsigned>{10, 20};
 
-    for (unsigned horizon : horizons) {
-        std::printf("--- %u-iteration schedule ---\n", horizon);
-        std::printf("%5s %12s %12s\n", "iter", "exec(norm)",
-                    "ddr(norm)");
-
+    // One job per decay schedule; each returns its whole series
+    // (index 0 = untrained).
+    app::ParallelRunner runner;
+    std::printf("experiment driver: %u thread(s)\n\n",
+                runner.threads());
+    std::vector<std::vector<IterRow>> series(horizons.size());
+    runner.forEach(horizons.size(), [&](std::size_t h) {
+        const unsigned horizon = horizons[h];
         policy::CohmeleonParams params;
         params.agent.decayIterations = horizon;
         policy::CohmeleonPolicy policy(params);
 
-        auto [e0, d0] = evalNow(policy);
-        std::printf("%5u %12.3f %12.3f   (untrained = random)\n", 0u,
-                    e0, d0);
-
+        std::vector<IterRow> rows;
+        rows.push_back(evalNow(policy));
         for (unsigned it = 1; it <= horizon; ++it) {
             soc::Soc soc(cfg);
             rt::EspRuntime runtime(soc, policy);
-            app::AppRunner runner(soc, runtime);
-            runner.setCollectRecords(false);
-            runner.runApp(trainApp);
+            app::AppRunner runnerApp(soc, runtime);
+            runnerApp.setCollectRecords(false);
+            runnerApp.runApp(trainApp);
             policy.onIterationEnd();
-            auto [e, d] = evalNow(policy);
-            std::printf("%5u %12.3f %12.3f\n", it, e, d);
+            rows.push_back(evalNow(policy));
+        }
+        series[h] = std::move(rows);
+    });
+
+    for (std::size_t h = 0; h < horizons.size(); ++h) {
+        std::printf("--- %u-iteration schedule ---\n", horizons[h]);
+        std::printf("%5s %12s %12s\n", "iter", "exec(norm)",
+                    "ddr(norm)");
+        for (std::size_t it = 0; it < series[h].size(); ++it) {
+            std::printf("%5zu %12.3f %12.3f%s\n", it,
+                        series[h][it].exec, series[h][it].ddr,
+                        it == 0 ? "   (untrained = random)" : "");
         }
         std::printf("\n");
     }

@@ -5,12 +5,16 @@
  * with the Table-4 parameters printed per SoC. The final summary
  * reports Cohmeleon's average speedup and off-chip-access reduction
  * versus the five fixed policies — the paper's headline 38% / 66%.
+ *
+ * The 8x8 (SoC x policy) grid is fanned over the deterministic
+ * parallel driver; COHMELEON_THREADS=1 forces the serial reference
+ * order, with bit-identical results either way.
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "app/experiment.hh"
+#include "app/parallel_runner.hh"
 #include "bench_util.hh"
 #include "soc/soc_presets.hh"
 
@@ -29,6 +33,19 @@ main()
     opts.trainIterations = 10;
     opts.appParams = app::denseTrainingParams();
 
+    std::vector<soc::SocConfig> cfgs;
+    for (std::string_view socName : soc::figure9SocNames())
+        cfgs.push_back(soc::makeSocByName(socName));
+
+    app::ParallelRunner runner;
+    std::printf("experiment driver: %u thread(s)\n\n",
+                runner.threads());
+
+    const WallTimer timer;
+    const auto grid =
+        app::evaluateSocGridParallel(cfgs, opts, runner);
+    const double elapsed = timer.seconds();
+
     double speedupSum = 0.0;
     double ddrReductionSum = 0.0;
     unsigned comparisons = 0;
@@ -36,9 +53,8 @@ main()
     double ddrReductionVsNonCoh = 0.0;
     unsigned socCount = 0;
 
-    for (std::string_view socName : soc::figure9SocNames()) {
-        const soc::SocConfig cfg =
-            soc::makeSocByName(socName);
+    for (std::size_t s = 0; s < cfgs.size(); ++s) {
+        const soc::SocConfig &cfg = cfgs[s];
         std::printf("--- %s: %zu accs, %ux%u mesh, %u CPUs, %u DDRs, "
                     "%lluKB LLC slices, %lluKB L2 ---\n",
                     cfg.name.c_str(), cfg.accs.size(), cfg.meshCols,
@@ -48,7 +64,7 @@ main()
                     static_cast<unsigned long long>(cfg.l2Bytes /
                                                     1024));
 
-        const auto outcomes = app::evaluatePolicies(cfg, opts);
+        const std::vector<app::PolicyOutcome> &outcomes = grid[s];
         std::printf("%-20s %10s %10s\n", "policy", "exec", "ddr");
         double cohmExec = 1.0;
         double cohmDdr = 1.0;
@@ -89,6 +105,8 @@ main()
     std::printf("paper reports: 38%% speedup, 66%% reduction vs the "
                 "fixed policies (FPGA testbed; shapes, not absolutes, "
                 "are expected to match -- see EXPERIMENTS.md)\n");
+    std::printf("\nsweep wall time: %.2fs on %u thread(s)\n", elapsed,
+                runner.threads());
     std::printf("\nexpected shape (paper): cohmeleon at or near the"
                 " best exec time on every SoC with the lowest"
                 " off-chip traffic; manual is competitive except on"

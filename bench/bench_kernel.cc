@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Microbenchmark of the simulation kernel itself, establishing the
+ * perf trajectory for future PRs. Three measurements:
+ *
+ *  1. event-queue throughput of the rebuilt kernel (4-ary heap +
+ *     inline-capture callbacks) on a schedule/fire churn workload;
+ *  2. the same workload on the preserved pre-overhaul kernel
+ *     (std::function in std::priority_queue) — the speedup ratio is
+ *     the headline number;
+ *  3. wall-clock scaling of the parallel experiment driver on a grid
+ *     of real policy-evaluation runs, 1 thread vs N threads.
+ *
+ * Results print as a table and are written to BENCH_kernel.json for
+ * machine consumption (see README.md for the methodology).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "app/parallel_runner.hh"
+#include "bench_util.hh"
+#include "legacy_event_queue.hh"
+#include "sim/event_queue.hh"
+#include "soc/soc_presets.hh"
+
+using namespace cohmeleon;
+using namespace cohmeleon::bench;
+
+namespace
+{
+
+/**
+ * Schedule/fire churn: seed the queue with @p horizon events, then
+ * run; each fired event reschedules itself at a pseudo-random future
+ * offset until @p totalEvents have executed. The capture (a pointer
+ * and two integers) mirrors the simulator's typical event size and
+ * fits any reasonable inline buffer.
+ *
+ * With @p longEvery > 0, every longEvery-th event lands ~4000 cycles
+ * out instead of 1..97 — the long-compute-phase pattern that takes
+ * the kernel's far-future (overflow heap) path.
+ */
+template <typename Queue>
+double
+eventChurnSeconds(std::uint64_t totalEvents, unsigned horizon,
+                  unsigned longEvery = 0)
+{
+    Queue eq;
+    std::uint64_t fired = 0;
+    // Cheap deterministic offsets; primes avoid resonance with the
+    // heap shape.
+    struct Churn
+    {
+        Queue *eq;
+        std::uint64_t *fired;
+        std::uint64_t total;
+        unsigned longEvery;
+
+        Cycles
+        offset(std::uint64_t n) const
+        {
+            const Cycles near = 1 + (n * 2654435761ull) % 97;
+            if (longEvery != 0 && n % longEvery == 0)
+                return near + 4001;
+            return near;
+        }
+
+        void
+        operator()() const
+        {
+            const std::uint64_t n = ++*fired;
+            if (n + 64 <= total)
+                eq->schedule(offset(n), *this);
+        }
+    };
+
+    const Churn churn{&eq, &fired, totalEvents, longEvery};
+    const WallTimer timer;
+    for (unsigned i = 0; i < horizon; ++i)
+        eq.schedule(churn.offset(i), churn);
+    while (fired < totalEvents && eq.runOne()) {
+    }
+    return timer.seconds();
+}
+
+/** One unit of driver work: evaluate a few policies on the tiny
+ *  Figure-9 protocol. Returns a checksum so work cannot be elided. */
+double
+driverJob(const soc::SocConfig &cfg, std::uint64_t seed)
+{
+    app::EvalOptions opts;
+    opts.trainIterations = 2;
+    opts.evalSeed = seed;
+    double sum = 0.0;
+    for (const auto &o : app::evaluatePolicies(
+             cfg, opts, {"fixed-non-coh-dma", "fixed-full-coh"}))
+        sum += o.geoExec + o.geoDdr;
+    return sum;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    banner("kernel microbenchmark",
+           "event-queue throughput vs the legacy kernel, and parallel "
+           "experiment-driver scaling");
+
+    const std::uint64_t events = fullScale() ? 20'000'000 : 4'000'000;
+    const unsigned horizon = 4096;
+
+    // Interleave the two kernels round-by-round (after one warm-up
+    // each) so clock-frequency drift on the host hits both equally,
+    // and keep each kernel's best round.
+    auto measure = [&](unsigned longEvery, double &newSec,
+                       double &legacySec) {
+        eventChurnSeconds<EventQueue>(events / 4, horizon, longEvery);
+        eventChurnSeconds<LegacyEventQueue>(events / 4, horizon,
+                                            longEvery);
+        newSec = 1e99;
+        legacySec = 1e99;
+        for (int round = 0; round < 3; ++round) {
+            newSec = std::min(newSec, eventChurnSeconds<EventQueue>(
+                                          events, horizon, longEvery));
+            legacySec = std::min(
+                legacySec, eventChurnSeconds<LegacyEventQueue>(
+                               events, horizon, longEvery));
+        }
+    };
+
+    double newSec;
+    double legacySec;
+    measure(/*longEvery=*/0, newSec, legacySec);
+
+    const double newRate = static_cast<double>(events) / newSec;
+    const double legacyRate = static_cast<double>(events) / legacySec;
+    const double speedup = legacySec / newSec;
+
+    std::printf("%-28s %14s %14s\n", "kernel", "events/sec",
+                "ns/event");
+    std::printf("%-28s %14.0f %14.2f\n", "legacy (std::function+pq)",
+                legacyRate, 1e9 / legacyRate);
+    std::printf("%-28s %14.0f %14.2f\n", "rebuilt (ring+4-ary+SBO)",
+                newRate, 1e9 / newRate);
+    std::printf("%-28s %13.2fx\n\n", "kernel speedup", speedup);
+
+    // Secondary workload: every 10th event ~4000 cycles out, so the
+    // far-future overflow heap stays busy too.
+    double newMixedSec;
+    double legacyMixedSec;
+    measure(/*longEvery=*/10, newMixedSec, legacyMixedSec);
+    const double mixedSpeedup = legacyMixedSec / newMixedSec;
+    std::printf("%-28s %14.0f %14.2f\n",
+                "legacy, 10% far events",
+                events / legacyMixedSec, 1e9 * legacyMixedSec / events);
+    std::printf("%-28s %14.0f %14.2f\n",
+                "rebuilt, 10% far events",
+                events / newMixedSec, 1e9 * newMixedSec / events);
+    std::printf("%-28s %13.2fx\n\n", "mixed-workload speedup",
+                mixedSpeedup);
+
+    // Parallel driver scaling on real experiment jobs.
+    const soc::SocConfig cfg = soc::makeSoc1();
+    const std::size_t jobs = fullScale() ? 16 : 8;
+    const unsigned width = ThreadPool::defaultThreads();
+
+    double serialSum = 0.0;
+    const WallTimer serialTimer;
+    {
+        app::ParallelRunner serial(1);
+        serial.forEach(jobs, [&](std::size_t i) {
+            serialSum += driverJob(cfg, app::experimentSeed(2022, i));
+        });
+    }
+    const double serialSec = serialTimer.seconds();
+
+    std::vector<double> sums(jobs, 0.0);
+    const WallTimer parTimer;
+    {
+        app::ParallelRunner parallel(0);
+        parallel.forEach(jobs, [&](std::size_t i) {
+            sums[i] = driverJob(cfg, app::experimentSeed(2022, i));
+        });
+    }
+    const double parSec = parTimer.seconds();
+    double parSum = 0.0;
+    for (double s : sums)
+        parSum += s;
+    panic_if(std::abs(parSum - serialSum) > 1e-9,
+             "parallel driver diverged from serial results");
+
+    const double parSpeedup = serialSec / parSec;
+    std::printf("%-28s %10zu jobs\n", "driver workload", jobs);
+    std::printf("%-28s %13.2fs\n", "serial (1 thread)", serialSec);
+    std::printf("%-28s %13.2fs (%u threads)\n", "parallel", parSec,
+                width);
+    std::printf("%-28s %13.2fx\n", "driver speedup", parSpeedup);
+
+    JsonReporter report("kernel");
+    report.add("events", static_cast<double>(events));
+    report.add("new_events_per_sec", newRate);
+    report.add("new_ns_per_event", 1e9 / newRate);
+    report.add("legacy_events_per_sec", legacyRate);
+    report.add("legacy_ns_per_event", 1e9 / legacyRate);
+    report.add("kernel_speedup", speedup);
+    report.add("mixed_new_ns_per_event", 1e9 * newMixedSec / events);
+    report.add("mixed_legacy_ns_per_event",
+               1e9 * legacyMixedSec / events);
+    report.add("mixed_speedup", mixedSpeedup);
+    report.add("driver_jobs", static_cast<double>(jobs));
+    report.add("driver_threads", width);
+    report.add("driver_serial_sec", serialSec);
+    report.add("driver_parallel_sec", parSec);
+    report.add("driver_speedup", parSpeedup);
+    const std::string file = report.write();
+    std::printf("\nwrote %s\n", file.c_str());
+    return 0;
+}

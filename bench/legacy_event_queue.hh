@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The pre-overhaul event kernel (std::function callbacks in a
+ * std::priority_queue), preserved verbatim as the baseline that
+ * bench_kernel measures the rebuilt kernel against. Bench-only: the
+ * simulator itself always uses sim/event_queue.hh.
+ */
+
+#ifndef COHMELEON_BENCH_LEGACY_EVENT_QUEUE_HH
+#define COHMELEON_BENCH_LEGACY_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cohmeleon::bench
+{
+
+/** The seed repo's EventQueue, kept as the perf baseline. */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Cycles now() const { return now_; }
+
+    void
+    schedule(Cycles delay, Callback cb)
+    {
+        scheduleAt(now_ + delay, std::move(cb));
+    }
+
+    void
+    scheduleAt(Cycles when, Callback cb)
+    {
+        panic_if(when < now_, "scheduling event in the past (", when,
+                 " < ", now_, ")");
+        heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    }
+
+    bool
+    runOne()
+    {
+        if (heap_.empty())
+            return false;
+        // priority_queue::top() is const; move out via const_cast,
+        // which is safe because pop() follows immediately.
+        Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = entry.when;
+        ++executed_;
+        entry.cb();
+        return true;
+    }
+
+    void
+    run()
+    {
+        while (runOne()) {
+        }
+    }
+
+    void
+    runUntil(Cycles limit)
+    {
+        while (!heap_.empty() && heap_.top().when <= limit)
+            runOne();
+        if (now_ < limit)
+            now_ = limit;
+    }
+
+    std::size_t pending() const { return heap_.size(); }
+    std::uint64_t executed() const { return executed_; }
+
+    void
+    reset()
+    {
+        heap_ = {};
+        now_ = 0;
+        nextSeq_ = 0;
+        executed_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Cycles now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace cohmeleon::bench
+
+#endif // COHMELEON_BENCH_LEGACY_EVENT_QUEUE_HH

@@ -111,15 +111,85 @@ runPolicyOnApp(rt::CoherencePolicy &policy, const soc::SocConfig &cfg,
     return runner.runApp(app);
 }
 
+namespace
+{
+
+// The instances are derived from the SoC itself so that accelerator
+// names match; a throwaway Soc provides the name table
+// (generateRandomApp does not mutate it). These two helpers are the
+// only places the protocol's apps are derived from seeds.
+AppSpec
+trainAppFor(const soc::Soc &namingSoc, const EvalOptions &opts)
+{
+    return generateRandomApp(
+        namingSoc, Rng(opts.trainSeed),
+        opts.trainAppParams.value_or(opts.appParams));
+}
+
+AppSpec
+evalAppFor(const soc::Soc &namingSoc, const EvalOptions &opts)
+{
+    return generateRandomApp(namingSoc, Rng(opts.evalSeed),
+                             opts.appParams);
+}
+
+} // namespace
+
+ProtocolApps
+makeProtocolApps(const soc::SocConfig &cfg, const EvalOptions &opts)
+{
+    soc::Soc namingSoc(cfg);
+    return {trainAppFor(namingSoc, opts), evalAppFor(namingSoc, opts)};
+}
+
+namespace
+{
+
+std::vector<PolicyOutcome>
+evaluateOnApps(const soc::SocConfig &cfg, const EvalOptions &opts,
+               const AppSpec &trainApp, const AppSpec &evalApp,
+               std::vector<std::string> policyNames)
+{
+    if (policyNames.empty())
+        policyNames = standardPolicyNames();
+
+    std::vector<PolicyOutcome> outcomes;
+    for (const std::string &name : policyNames) {
+        PolicyOutcome outcome;
+        outcome.policy = name;
+        outcome.phases =
+            runProtocolForPolicy(name, cfg, opts, trainApp, evalApp);
+        outcomes.push_back(std::move(outcome));
+    }
+    normalizeOutcomes(outcomes);
+    return outcomes;
+}
+
+} // namespace
+
 std::vector<PolicyOutcome>
 evaluatePolicies(const soc::SocConfig &cfg, const EvalOptions &opts,
                  std::vector<std::string> policyNames)
 {
-    soc::Soc namingSoc(cfg);
-    const AppSpec evalApp = generateRandomApp(
-        namingSoc, Rng(opts.evalSeed), opts.appParams);
-    return evaluatePoliciesOnApp(cfg, opts, evalApp,
-                                 std::move(policyNames));
+    const ProtocolApps apps = makeProtocolApps(cfg, opts);
+    return evaluateOnApps(cfg, opts, apps.train, apps.eval,
+                          std::move(policyNames));
+}
+
+std::vector<PhaseResult>
+runProtocolForPolicy(const std::string &name, const soc::SocConfig &cfg,
+                     const EvalOptions &opts, const AppSpec &trainApp,
+                     const AppSpec &evalApp)
+{
+    std::unique_ptr<rt::CoherencePolicy> policy =
+        makePolicyByName(name, cfg, opts);
+
+    if (auto *cohm =
+            dynamic_cast<policy::CohmeleonPolicy *>(policy.get()))
+        trainCohmeleon(*cohm, cfg, trainApp, opts.trainIterations);
+
+    return runPolicyOnApp(*policy, cfg, evalApp, opts.collectRecords)
+        .phases;
 }
 
 std::vector<PolicyOutcome>
@@ -127,35 +197,14 @@ evaluatePoliciesOnApp(const soc::SocConfig &cfg, const EvalOptions &opts,
                       const AppSpec &evalApp,
                       std::vector<std::string> policyNames)
 {
-    if (policyNames.empty())
-        policyNames = standardPolicyNames();
-
-    // The training instance is derived from the SoC itself so that
-    // instance names match; a throwaway Soc provides the name table.
     soc::Soc namingSoc(cfg);
-    const AppSpec trainApp = generateRandomApp(
-        namingSoc, Rng(opts.trainSeed),
-        opts.trainAppParams.value_or(opts.appParams));
+    return evaluateOnApps(cfg, opts, trainAppFor(namingSoc, opts),
+                          evalApp, std::move(policyNames));
+}
 
-    std::vector<PolicyOutcome> outcomes;
-    for (const std::string &name : policyNames) {
-        std::unique_ptr<rt::CoherencePolicy> policy =
-            makePolicyByName(name, cfg, opts);
-
-        if (auto *cohm =
-                dynamic_cast<policy::CohmeleonPolicy *>(policy.get())) {
-            trainCohmeleon(*cohm, cfg, trainApp,
-                           opts.trainIterations);
-        }
-
-        PolicyOutcome outcome;
-        outcome.policy = name;
-        outcome.phases =
-            runPolicyOnApp(*policy, cfg, evalApp, opts.collectRecords)
-                .phases;
-        outcomes.push_back(std::move(outcome));
-    }
-
+void
+normalizeOutcomes(std::vector<PolicyOutcome> &outcomes)
+{
     // Normalize against the first policy (the figures' baseline).
     const std::vector<PhaseResult> &base = outcomes.front().phases;
     for (PolicyOutcome &o : outcomes) {
@@ -176,7 +225,6 @@ evaluatePoliciesOnApp(const soc::SocConfig &cfg, const EvalOptions &opts,
         o.geoExec = geometricMean(execRatios);
         o.geoDdr = geometricMean(ddrRatios);
     }
-    return outcomes;
 }
 
 void

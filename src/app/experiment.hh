@@ -87,6 +87,41 @@ AppResult runPolicyOnApp(rt::CoherencePolicy &policy,
                          const soc::SocConfig &cfg, const AppSpec &app,
                          bool collectRecords = false);
 
+/** The protocol's application pair for one SoC configuration. */
+struct ProtocolApps
+{
+    AppSpec train;
+    AppSpec eval;
+};
+
+/**
+ * Generate the protocol's (training, evaluation) app pair from the
+ * seeds and params in @p opts. The single source of truth for app
+ * derivation: the serial and parallel drivers both use it, which is
+ * what keeps their results bit-identical.
+ */
+ProtocolApps makeProtocolApps(const soc::SocConfig &cfg,
+                              const EvalOptions &opts);
+
+/**
+ * One cell of the protocol: construct the policy named @p name, train
+ * it on @p trainApp if it is Cohmeleon, and evaluate it on
+ * @p evalApp. Self-contained and free of shared mutable state, so
+ * independent cells may run on different threads (the parallel
+ * driver's unit of work).
+ */
+std::vector<PhaseResult> runProtocolForPolicy(
+    const std::string &name, const soc::SocConfig &cfg,
+    const EvalOptions &opts, const AppSpec &trainApp,
+    const AppSpec &evalApp);
+
+/**
+ * Fill in execNorm/ddrNorm/geoExec/geoDdr for every outcome,
+ * normalizing against the first entry (the figures' baseline).
+ * @pre every outcome's phases are populated.
+ */
+void normalizeOutcomes(std::vector<PolicyOutcome> &outcomes);
+
 /**
  * Full protocol over @p policyNames (default: the standard eight).
  * The first entry must be the normalization baseline

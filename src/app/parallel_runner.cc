@@ -1,0 +1,73 @@
+#include "app/parallel_runner.hh"
+
+namespace cohmeleon::app
+{
+
+std::uint64_t
+experimentSeed(std::uint64_t base, std::uint64_t index)
+{
+    // One SplitMix64 step over a golden-ratio-spaced input: distinct
+    // indices land in well-separated regions of the seed space.
+    std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::vector<PolicyOutcome>
+evaluatePoliciesParallel(const soc::SocConfig &cfg,
+                         const EvalOptions &opts,
+                         ParallelRunner &runner,
+                         std::vector<std::string> policyNames)
+{
+    if (policyNames.empty())
+        policyNames = standardPolicyNames();
+
+    const ProtocolApps apps = makeProtocolApps(cfg, opts);
+
+    std::vector<PolicyOutcome> outcomes(policyNames.size());
+    runner.forEach(policyNames.size(), [&](std::size_t i) {
+        outcomes[i].policy = policyNames[i];
+        outcomes[i].phases = runProtocolForPolicy(
+            policyNames[i], cfg, opts, apps.train, apps.eval);
+    });
+    normalizeOutcomes(outcomes);
+    return outcomes;
+}
+
+std::vector<std::vector<PolicyOutcome>>
+evaluateSocGridParallel(const std::vector<soc::SocConfig> &cfgs,
+                        const EvalOptions &opts, ParallelRunner &runner,
+                        std::vector<std::string> policyNames)
+{
+    if (policyNames.empty())
+        policyNames = standardPolicyNames();
+
+    // Generate each config's train/eval app pair up front (cheap and
+    // seed-determined), then fan the full (config x policy) grid out
+    // as one flat batch so wide grids saturate narrow pools.
+    std::vector<ProtocolApps> apps;
+    apps.reserve(cfgs.size());
+    for (const soc::SocConfig &cfg : cfgs)
+        apps.push_back(makeProtocolApps(cfg, opts));
+
+    const std::size_t nPolicies = policyNames.size();
+    std::vector<std::vector<PolicyOutcome>> grid(cfgs.size());
+    for (std::vector<PolicyOutcome> &row : grid)
+        row.resize(nPolicies);
+
+    runner.forEach(cfgs.size() * nPolicies, [&](std::size_t job) {
+        const std::size_t c = job / nPolicies;
+        const std::size_t p = job % nPolicies;
+        grid[c][p].policy = policyNames[p];
+        grid[c][p].phases =
+            runProtocolForPolicy(policyNames[p], cfgs[c], opts,
+                                 apps[c].train, apps[c].eval);
+    });
+
+    for (std::vector<PolicyOutcome> &row : grid)
+        normalizeOutcomes(row);
+    return grid;
+}
+
+} // namespace cohmeleon::app

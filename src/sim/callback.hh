@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callback for the event kernel.
+ *
+ * std::function heap-allocates for any capture larger than its
+ * implementation-defined small buffer (typically 16 bytes on
+ * libstdc++), which puts an allocation on every schedule() of the
+ * simulator's hot path. EventCallback stores captures of up to
+ * kInlineCapacity bytes directly inside the object; only oversized or
+ * over-aligned callables fall back to the heap. Dispatch goes through
+ * a single static ops table per callable type (invoke / relocate /
+ * destroy), so moving entries around the event heap is one indirect
+ * call — or a plain memmove for the common trivially-movable lambdas.
+ */
+
+#ifndef COHMELEON_SIM_CALLBACK_HH
+#define COHMELEON_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon
+{
+
+/** Move-only `void()` callable with a 48-byte inline capture buffer. */
+class EventCallback
+{
+  public:
+    /** Captures up to this many bytes live inside the object. */
+    static constexpr std::size_t kInlineCapacity = 48;
+
+    EventCallback() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventCallback(F &&f) // NOLINT: implicit by design, like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(storage_))
+                Fn(std::forward<F>(f));
+            ops_ = &InlineOps<Fn>::ops;
+        } else {
+            Fn *heap = new Fn(std::forward<F>(f));
+            std::memcpy(storage_, &heap, sizeof(heap));
+            ops_ = &HeapOps<Fn>::ops;
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { destroy(); }
+
+    /** Invoke the stored callable. @pre operator bool() */
+    void
+    operator()()
+    {
+        panic_if(ops_ == nullptr, "invoking empty EventCallback");
+        ops_->invoke(storage_);
+    }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** True when the capture lives in the inline buffer (test hook). */
+    bool
+    storedInline() const noexcept
+    {
+        return ops_ != nullptr && ops_->inlineStored;
+    }
+
+    /** Whether a callable of type @p Fn avoids the heap fallback. */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineCapacity &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct into @p to from @p from, destroying from.
+         *  Null means "memcpy is a correct relocation". */
+        void (*relocate)(void *from, void *to) noexcept;
+        /** Null means "no destructor needed". */
+        void (*destroy)(void *) noexcept;
+        bool inlineStored;
+    };
+
+    template <typename Fn>
+    struct InlineOps
+    {
+        static void
+        invokeImpl(void *p)
+        {
+            (*std::launder(reinterpret_cast<Fn *>(p)))();
+        }
+
+        static void
+        relocateImpl(void *from, void *to) noexcept
+        {
+            Fn *src = std::launder(reinterpret_cast<Fn *>(from));
+            ::new (to) Fn(std::move(*src));
+            src->~Fn();
+        }
+
+        static void
+        destroyImpl(void *p) noexcept
+        {
+            std::launder(reinterpret_cast<Fn *>(p))->~Fn();
+        }
+
+        static constexpr bool kTrivial =
+            std::is_trivially_copyable_v<Fn> &&
+            std::is_trivially_destructible_v<Fn>;
+
+        static constexpr Ops ops = {
+            invokeImpl,
+            kTrivial ? nullptr : relocateImpl,
+            std::is_trivially_destructible_v<Fn> ? nullptr
+                                                 : destroyImpl,
+            true,
+        };
+    };
+
+    template <typename Fn>
+    struct HeapOps
+    {
+        static Fn *
+        ptr(void *p) noexcept
+        {
+            Fn *heap;
+            std::memcpy(&heap, p, sizeof(heap));
+            return heap;
+        }
+
+        static void invokeImpl(void *p) { (*ptr(p))(); }
+
+        static void
+        destroyImpl(void *p) noexcept
+        {
+            delete ptr(p);
+        }
+
+        // The stored pointer relocates with memcpy (relocate = null).
+        static constexpr Ops ops = {invokeImpl, nullptr, destroyImpl,
+                                    false};
+    };
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            if (ops_->relocate != nullptr)
+                ops_->relocate(other.storage_, storage_);
+            else
+                std::memcpy(storage_, other.storage_, kInlineCapacity);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    destroy() noexcept
+    {
+        if (ops_ != nullptr && ops_->destroy != nullptr)
+            ops_->destroy(storage_);
+        ops_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace cohmeleon
+
+#endif // COHMELEON_SIM_CALLBACK_HH

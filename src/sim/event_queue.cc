@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <bit>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -18,18 +19,85 @@ EventQueue::scheduleAt(Cycles when, Callback cb)
 {
     panic_if(when < now_, "scheduling event in the past (", when,
              " < ", now_, ")");
-    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    const std::uint64_t seq = nextSeq_++;
+    if (when - now_ < kRingBuckets) {
+        const std::size_t b = when & kRingMask;
+        Bucket &bucket = ring_[b];
+        bucket.events.push_back(Entry{when, seq, std::move(cb)});
+        occupied_[b >> 6] |= 1ull << (b & 63);
+        ++ringCount_;
+    } else {
+        heapPush(Entry{when, seq, std::move(cb)});
+    }
+}
+
+std::size_t
+EventQueue::findNextBucket(std::size_t start) const
+{
+    // Circular scan of the occupancy bitmap beginning at start's
+    // word, masked so earlier slots of that word are ignored; the
+    // final unmasked re-visit of the first word picks up slots that
+    // wrapped (the farthest-future ring times).
+    std::size_t w = start >> 6;
+    std::uint64_t word = occupied_[w] & (~0ull << (start & 63));
+    for (std::size_t step = 0; step <= kBitmapWords; ++step) {
+        if (word != 0)
+            return (w << 6) + std::countr_zero(word);
+        w = (w + 1) & (kBitmapWords - 1);
+        word = occupied_[w];
+    }
+    panic("findNextBucket on an empty ring");
+}
+
+Cycles
+EventQueue::nextWhen() const
+{
+    if (ringCount_ == 0)
+        return heap_.front().when;
+    const Bucket &bucket =
+        ring_[findNextBucket(static_cast<std::size_t>(now_) &
+                             kRingMask)];
+    const Entry &head = bucket.events[bucket.head];
+    if (!heap_.empty() && heap_.front().when < head.when)
+        return heap_.front().when;
+    return head.when;
+}
+
+EventQueue::Entry
+EventQueue::popEarliest()
+{
+    if (ringCount_ == 0)
+        return heapPop();
+
+    const std::size_t b =
+        findNextBucket(static_cast<std::size_t>(now_) & kRingMask);
+    Bucket &bucket = ring_[b];
+    Entry &head = bucket.events[bucket.head];
+
+    // Heap events at the same timestamp were scheduled earlier (a
+    // ring placement requires now to be within kRingBuckets of the
+    // target, which happens strictly later in execution order), so
+    // the (when, seq) comparison resolves cross-container ties.
+    if (!heap_.empty() && earlier(heap_.front(), head))
+        return heapPop();
+
+    Entry entry = std::move(head);
+    ++bucket.head;
+    if (bucket.drained()) {
+        bucket.events.clear();
+        bucket.head = 0;
+        occupied_[b >> 6] &= ~(1ull << (b & 63));
+    }
+    --ringCount_;
+    return entry;
 }
 
 bool
 EventQueue::runOne()
 {
-    if (heap_.empty())
+    if (pending() == 0)
         return false;
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because pop() follows immediately.
-    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
+    Entry entry = popEarliest();
     now_ = entry.when;
     ++executed_;
     entry.cb();
@@ -46,7 +114,7 @@ EventQueue::run()
 void
 EventQueue::runUntil(Cycles limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit)
+    while (pending() > 0 && nextWhen() <= limit)
         runOne();
     if (now_ < limit)
         now_ = limit;
@@ -55,10 +123,78 @@ EventQueue::runUntil(Cycles limit)
 void
 EventQueue::reset()
 {
-    heap_ = {};
+    for (Bucket &bucket : ring_) {
+        bucket.events.clear();
+        bucket.head = 0;
+    }
+    occupied_.fill(0);
+    ringCount_ = 0;
+    heap_.clear();
     now_ = 0;
     nextSeq_ = 0;
     executed_ = 0;
+}
+
+// ------------------------------------------------- 4-ary overflow heap
+
+void
+EventQueue::heapPush(Entry entry)
+{
+    heap_.push_back(std::move(entry));
+    siftUp(heap_.size() - 1);
+}
+
+EventQueue::Entry
+EventQueue::heapPop()
+{
+    Entry top = std::move(heap_.front());
+    if (heap_.size() > 1) {
+        heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        siftDown(0);
+    } else {
+        heap_.pop_back();
+    }
+    return top;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    if (i == 0)
+        return;
+    Entry e = std::move(heap_[i]);
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / kArity;
+        if (!earlier(e, heap_[parent]))
+            break;
+        heap_[i] = std::move(heap_[parent]);
+        i = parent;
+    }
+    heap_[i] = std::move(e);
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    Entry e = std::move(heap_[i]);
+    for (;;) {
+        const std::size_t first = kArity * i + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t end = std::min(first + kArity, n);
+        for (std::size_t c = first + 1; c < end; ++c) {
+            if (earlier(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!earlier(heap_[best], e))
+            break;
+        heap_[i] = std::move(heap_[best]);
+        i = best;
+    }
+    heap_[i] = std::move(e);
 }
 
 } // namespace cohmeleon

@@ -14,24 +14,23 @@ StatGroup::~StatGroup()
 }
 
 Counter &
-StatGroup::counter(const std::string &name)
+StatGroup::counter(std::string_view name)
 {
-    for (Counter *c : counters_) {
-        if (c->name() == name)
-            return *c;
-    }
-    counters_.push_back(new Counter(name));
-    return *counters_.back();
+    const auto it = byName_.find(name);
+    if (it != byName_.end())
+        return *it->second;
+    Counter *c = new Counter(std::string(name));
+    counters_.push_back(c);
+    // The key views the Counter's own name, which is heap-stable.
+    byName_.emplace(c->name(), c);
+    return *c;
 }
 
 const Counter *
-StatGroup::find(const std::string &name) const
+StatGroup::find(std::string_view name) const
 {
-    for (const Counter *c : counters_) {
-        if (c->name() == name)
-            return c;
-    }
-    return nullptr;
+    const auto it = byName_.find(name);
+    return it != byName_.end() ? it->second : nullptr;
 }
 
 void

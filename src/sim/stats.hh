@@ -11,6 +11,8 @@
 #include <limits>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace cohmeleon
@@ -77,24 +79,35 @@ class StatGroup
   public:
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
-    /** Create (or fetch) a counter registered under @p name. */
-    Counter &counter(const std::string &name);
+    /**
+     * Create (or fetch) a counter registered under @p name. Takes a
+     * string_view keyed against a string_view-keyed map, so per-tick
+     * call sites passing literals or views never construct a
+     * temporary std::string on the fetch path (the name is copied
+     * only on first registration).
+     */
+    Counter &counter(std::string_view name);
 
     /** Look up an existing counter. @return nullptr if absent. */
-    const Counter *find(const std::string &name) const;
+    const Counter *find(std::string_view name) const;
 
     /** Zero every registered counter. */
     void resetAll();
 
-    /** Print "group.counter value" lines. */
+    /** Print "group.counter value" lines in registration order. */
     void dump(std::ostream &os) const;
 
     const std::string &name() const { return name_; }
 
   private:
     std::string name_;
-    // Deque-like stable storage: counters are referenced long-term.
+    // Stable heap storage: counters are referenced long-term.
+    // counters_ keeps registration order for dump(); byName_ gives
+    // O(1) lookup without owning a second copy of each name (the
+    // string_view keys view each Counter's own string, and callers'
+    // views hash directly — no temporary std::string either way).
     std::vector<Counter *> counters_;
+    std::unordered_map<std::string_view, Counter *> byName_;
 
   public:
     ~StatGroup();

@@ -1,0 +1,152 @@
+#include "sim/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace cohmeleon
+{
+
+struct ThreadPool::Batch
+{
+    std::size_t count = 0;
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    /** Workers currently inside drain(); guarded by ThreadPool::m_.
+     *  The batch owner only retires the batch once this drops to
+     *  zero, so drain() may touch the stack-allocated Batch freely. */
+    unsigned active = 0;
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+
+    /** Claim and run jobs until the index space is exhausted or a
+     *  job has thrown (remaining results would be discarded by the
+     *  rethrow anyway, so stop paying for them). */
+    void
+    drain()
+    {
+        for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    }
+};
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("COHMELEON_THREADS")) {
+        // Digits only, modest cap: strtoul would wrap "-1" to
+        // ULONG_MAX and happily request four billion workers.
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(env, &end, 10);
+        if (env[0] >= '0' && env[0] <= '9' && end != nullptr &&
+            *end == '\0' && n > 0 && n <= 1024)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    // The calling thread participates in every batch, so spawn one
+    // fewer worker than the requested width.
+    for (unsigned i = 1; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    // Each batch bumps generation_, so a worker joins every batch at
+    // most once, even when consecutive stack-allocated Batches reuse
+    // the same address.
+    std::uint64_t seenGeneration = 0;
+    for (;;) {
+        Batch *batch = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            cv_.wait(lock, [&] {
+                return stop_ || (batch_ != nullptr &&
+                                 generation_ != seenGeneration);
+            });
+            if (stop_)
+                return;
+            seenGeneration = generation_;
+            batch = batch_;
+            ++batch->active;
+        }
+        batch->drain();
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            --batch->active;
+        }
+        // Wake the batch owner waiting for active == 0.
+        cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::forEachIndex(std::size_t count,
+                         const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+
+    Batch batch;
+    batch.count = count;
+    batch.fn = &fn;
+
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        batch_ = &batch;
+        ++generation_;
+    }
+    cv_.notify_all();
+
+    batch.drain(); // the calling thread is a worker too
+
+    // All indices are claimed once drain() returns here, but workers
+    // may still be running claimed jobs (or just entering). Retire
+    // the batch only when no worker is inside drain(); clearing
+    // batch_ in the same critical section means no late worker can
+    // join afterwards. The mutex hand-off also publishes the
+    // workers' writes (job results) to this thread.
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock, [&] { return batch.active == 0; });
+        batch_ = nullptr;
+    }
+
+    if (batch.firstError)
+        std::rethrow_exception(batch.firstError);
+}
+
+} // namespace cohmeleon

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-size worker pool for experiment-level parallelism.
+ *
+ * The simulator itself is strictly single-threaded; parallelism lives
+ * one level up, where whole experiments (policy x SoC preset x seed)
+ * are independent. The pool hands out jobs by index so callers can
+ * write results into pre-sized slots without any locking, which is
+ * what keeps parallel runs bit-identical to serial ones.
+ */
+
+#ifndef COHMELEON_SIM_THREAD_POOL_HH
+#define COHMELEON_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cohmeleon
+{
+
+/** Reusable fixed-size thread pool dispatching indexed jobs. */
+class ThreadPool
+{
+  public:
+    /** @p threads 0 selects defaultThreads(). */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of spawned worker threads: one less than the requested
+     *  width because the calling thread participates in every batch,
+     *  so a width-1 (serial) pool has zero workers. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Run @p fn(i) for every i in [0, count), spread over the pool,
+     * and block until all calls return. The calling thread works too,
+     * so a 1-thread pool degenerates to a plain serial loop. Indices
+     * are claimed from a shared atomic-style cursor; @p fn must not
+     * touch shared mutable state (each job writes only its own slot).
+     * Exceptions thrown by jobs are rethrown (the first one) after
+     * all jobs finish.
+     */
+    void forEachIndex(std::size_t count,
+                      const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Pool width used when the caller does not specify one: the
+     * COHMELEON_THREADS environment variable if set, otherwise
+     * std::thread::hardware_concurrency().
+     */
+    static unsigned defaultThreads();
+
+  private:
+    struct Batch; // one forEachIndex() invocation
+
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    Batch *batch_ = nullptr;       // active batch, guarded by m_
+    std::uint64_t generation_ = 0; // batch counter, guarded by m_
+    bool stop_ = false;
+};
+
+} // namespace cohmeleon
+
+#endif // COHMELEON_SIM_THREAD_POOL_HH

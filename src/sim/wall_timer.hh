@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Monotonic wall-clock stopwatch, shared by the benchmark binaries
+ * and the experiment tools.
+ */
+
+#ifndef COHMELEON_SIM_WALL_TIMER_HH
+#define COHMELEON_SIM_WALL_TIMER_HH
+
+#include <chrono>
+
+namespace cohmeleon
+{
+
+/** Stopwatch started at construction. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace cohmeleon
+
+#endif // COHMELEON_SIM_WALL_TIMER_HH

@@ -7,11 +7,15 @@
  *   cohmeleon_run --soc soc5 --policy manual --app pipeline.cfg
  *   cohmeleon_run --soc soc0 --policy cohmeleon --save-qtable q.txt
  *   cohmeleon_run --soc soc0 --policy cohmeleon --load-qtable q.txt
+ *   cohmeleon_run --soc soc1 --compare --jobs 4
  *
  * Prints the per-phase results, the coherence-decision breakdown,
- * and (with --stats) the full SoC statistics block.
+ * and (with --stats) the full SoC statistics block. --compare runs
+ * the paper's full eight-policy protocol instead, fanned over the
+ * deterministic parallel experiment driver (--jobs threads).
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,8 +24,10 @@
 #include "app/app_runner.hh"
 #include "app/config_parser.hh"
 #include "app/experiment.hh"
+#include "app/parallel_runner.hh"
 #include "policy/cohmeleon_policy.hh"
 #include "sim/logging.hh"
+#include "sim/wall_timer.hh"
 #include "soc/soc_presets.hh"
 
 using namespace cohmeleon;
@@ -33,12 +39,15 @@ struct Options
 {
     std::string socName = "soc1";
     std::string policyName = "cohmeleon";
+    bool policySet = false;
     std::string appFile;
     std::string saveQtable;
     std::string loadQtable;
     unsigned trainIterations = 10;
     std::uint64_t seed = 2022;
     bool stats = false;
+    bool compare = false;
+    unsigned jobs = 0; // 0 = auto (COHMELEON_THREADS or hw threads)
 };
 
 [[noreturn]] void
@@ -59,7 +68,12 @@ usage(const char *argv0)
         "  --seed N          random-app seed (default 2022)\n"
         "  --save-qtable F   persist the trained Q-table\n"
         "  --load-qtable F   restore a Q-table instead of training\n"
-        "  --stats           dump the SoC statistics block\n",
+        "  --stats           dump the SoC statistics block\n"
+        "  --compare         evaluate all eight policies (parallel "
+        "driver)\n"
+        "  --jobs N          threads for --compare (default: "
+        "COHMELEON_THREADS\n"
+        "                    or hardware concurrency)\n",
         argv0);
     std::exit(2);
 }
@@ -75,23 +89,50 @@ parseArgs(int argc, char **argv)
                 usage(argv[0]);
             return argv[++i];
         };
+        auto number = [&](std::uint64_t max) -> std::uint64_t {
+            // Digits only: stoull would accept "-1" (wrapping mod
+            // 2^64) and trailing garbage ("4x"). The cap keeps the
+            // later narrowing casts from truncating.
+            const std::string text = value();
+            try {
+                std::size_t used = 0;
+                if (text.empty() ||
+                    !std::isdigit(static_cast<unsigned char>(text[0])))
+                    usage(argv[0]);
+                const std::uint64_t n = std::stoull(text, &used);
+                if (used != text.size() || n > max)
+                    usage(argv[0]);
+                return n;
+            } catch (const std::exception &) {
+                usage(argv[0]);
+            }
+        };
         if (arg == "--soc")
             opt.socName = value();
-        else if (arg == "--policy")
+        else if (arg == "--policy") {
             opt.policyName = value();
+            opt.policySet = true;
+        }
         else if (arg == "--app")
             opt.appFile = value();
         else if (arg == "--train")
             opt.trainIterations =
-                static_cast<unsigned>(std::stoul(value()));
+                static_cast<unsigned>(number(1'000'000));
         else if (arg == "--seed")
-            opt.seed = std::stoull(value());
+            opt.seed = number(UINT64_MAX);
         else if (arg == "--save-qtable")
             opt.saveQtable = value();
         else if (arg == "--load-qtable")
             opt.loadQtable = value();
         else if (arg == "--stats")
             opt.stats = true;
+        else if (arg == "--compare")
+            opt.compare = true;
+        else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(number(1024));
+            if (opt.jobs == 0) // 0 is the internal "unset" sentinel
+                usage(argv[0]);
+        }
         else
             usage(argv[0]);
     }
@@ -108,6 +149,37 @@ main(int argc, char **argv)
 
     try {
         const soc::SocConfig cfg = soc::makeSocByName(opt.socName);
+
+        fatalIf(!opt.compare && opt.jobs != 0,
+                "--jobs only applies to --compare");
+        if (opt.compare) {
+            fatalIf(opt.policySet || !opt.appFile.empty() ||
+                        !opt.saveQtable.empty() ||
+                        !opt.loadQtable.empty() || opt.stats,
+                    "--compare runs all eight policies on a random "
+                    "app; it cannot be combined with --policy, "
+                    "--app, --stats, or the Q-table options");
+            // Dense params for training only, like the single-policy
+            // mode below, so a policy's row here can be cross-checked
+            // against its standalone run at the same --seed.
+            app::EvalOptions eopts;
+            eopts.trainIterations = std::max(1u, opt.trainIterations);
+            eopts.evalSeed = opt.seed;
+            eopts.trainAppParams = app::denseTrainingParams();
+            app::ParallelRunner runner(opt.jobs);
+            std::printf("comparing the eight policies on %s "
+                        "(%u thread(s))...\n",
+                        cfg.name.c_str(), runner.threads());
+            const WallTimer timer;
+            const auto outcomes =
+                app::evaluatePoliciesParallel(cfg, eopts, runner);
+            const double elapsed = timer.seconds();
+            std::ostringstream os;
+            app::printOutcomeTable(os, outcomes);
+            std::fputs(os.str().c_str(), stdout);
+            std::printf("\nsweep wall time: %.2fs\n", elapsed);
+            return 0;
+        }
 
         app::EvalOptions eopts;
         eopts.trainIterations = std::max(1u, opt.trainIterations);
