@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Microbenchmark of the memory-hierarchy burst path, the companion of
+ * bench_kernel for PRs that touch mem/ or coh/. Two measurements:
+ *
+ *  1. lines/sec of DMA bursts through the batched engine
+ *     (DmaBridge::readBurst/writeBurst -> resolveLines +
+ *     MemorySystem::dmaBurst/dramBurst) versus the preserved per-line
+ *     reference path (readBurstPerLine/writeBurstPerLine), for each
+ *     coherence mode, on a mixed contiguous/strided read/write
+ *     workload. The two engines produce bit-identical simulation
+ *     results (tests/test_burst_batch.cc proves it; a checksum guard
+ *     here re-asserts it), so the ratio is pure simulator speedup.
+ *  2. find()/victimFor() throughput of the structure-of-arrays tag
+ *     store, as a tracked baseline for future cache-geometry work.
+ *
+ * Results print as a table and are written to BENCH_mem.json (see
+ * README.md "Performance methodology").
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hh"
+#include "coh/dma_bridge.hh"
+#include "mem/memory_system.hh"
+#include "mem/page_allocator.hh"
+#include "noc/noc_model.hh"
+
+using namespace cohmeleon;
+using namespace cohmeleon::bench;
+using coh::CoherenceMode;
+
+namespace
+{
+
+/** A fresh two-partition hierarchy with an accelerator-tile bridge. */
+struct System
+{
+    System()
+        : topo(3, 3), noc(topo, noc::NocParams{}),
+          map(2, 64ull * 1024 * 1024),
+          ms(noc, map, mem::MemTimingParams{}, 256 * 1024, 8, {0, 8}),
+          allocator(map, 64 * 1024)
+    {
+        accL2 = &ms.addL2("acc0.l2", 2, 32 * 1024, 4);
+        bridge = std::make_unique<coh::DmaBridge>(ms, 2, accL2);
+        data = allocator.allocate(4ull * 1024 * 1024); // 64K lines
+    }
+
+    noc::MeshTopology topo;
+    noc::NocModel noc;
+    mem::AddressMap map;
+    mem::MemorySystem ms;
+    mem::PageAllocator allocator;
+    mem::L2Cache *accL2;
+    std::unique_ptr<coh::DmaBridge> bridge;
+    mem::Allocation data;
+};
+
+struct RunResult
+{
+    double seconds = 0.0;
+    std::uint64_t lines = 0;
+    std::uint64_t checksum = 0;
+};
+
+/**
+ * The burst mix: sweeping 64-line reads (3 of 4 contiguous, every
+ * 4th with stride 7) with a 64-line write burst every 8th, wrapping
+ * around the allocation. Identical op sequences on identical fresh
+ * systems, so per-line and batched checksums must agree exactly.
+ */
+RunResult
+runBursts(CoherenceMode mode, bool batched, unsigned bursts)
+{
+    System s;
+    constexpr unsigned kBurstLines = 64;
+    RunResult res;
+    Cycles now = 0;
+    std::uint64_t start = 0;
+    const WallTimer timer;
+    for (unsigned b = 0; b < bursts; ++b) {
+        const bool write = (b & 7) == 7;
+        const unsigned stride = (b & 3) == 3 ? 7 : 1;
+        coh::BurstResult r;
+        if (batched) {
+            r = write ? s.bridge->writeBurst(now, s.data, start,
+                                             kBurstLines, stride, mode)
+                      : s.bridge->readBurst(now, s.data, start,
+                                            kBurstLines, stride, mode);
+        } else {
+            r = write ? s.bridge->writeBurstPerLine(now, s.data, start,
+                                                    kBurstLines, stride,
+                                                    mode)
+                      : s.bridge->readBurstPerLine(now, s.data, start,
+                                                   kBurstLines, stride,
+                                                   mode);
+        }
+        res.checksum +=
+            r.done + 3 * r.dramAccesses + 7 * r.llcHits;
+        now = r.done;
+        start += kBurstLines * stride + 1;
+        res.lines += kBurstLines;
+    }
+    res.seconds = timer.seconds();
+    return res;
+}
+
+/** Best-of-@p rounds lines/sec, interleaving the two engines so host
+ *  frequency drift hits both equally. */
+void
+measureMode(CoherenceMode mode, unsigned bursts, unsigned rounds,
+            double &perLineRate, double &batchedRate)
+{
+    // Warm-up round each.
+    runBursts(mode, false, bursts / 4);
+    runBursts(mode, true, bursts / 4);
+
+    double perLineSec = 1e99;
+    double batchedSec = 1e99;
+    std::uint64_t perLineSum = 0;
+    std::uint64_t batchedSum = 0;
+    for (unsigned round = 0; round < rounds; ++round) {
+        const RunResult p = runBursts(mode, false, bursts);
+        const RunResult b = runBursts(mode, true, bursts);
+        perLineSec = std::min(perLineSec, p.seconds);
+        batchedSec = std::min(batchedSec, b.seconds);
+        perLineSum = p.checksum;
+        batchedSum = b.checksum;
+        panic_if(p.lines != b.lines, "engines ran different work");
+        perLineRate = static_cast<double>(p.lines) / perLineSec;
+        batchedRate = static_cast<double>(b.lines) / batchedSec;
+    }
+    panic_if(perLineSum != batchedSum,
+             "batched burst engine diverged from the per-line path");
+}
+
+/** Tag-store probe: hit-heavy find() over a warm 8-way array. */
+double
+tagStoreFindsPerSec(std::uint64_t probes)
+{
+    mem::CacheArray array("bench", 256 * 1024, 8); // 4096 lines
+    const std::uint64_t capacity = array.lineCapacity();
+    for (std::uint64_t i = 0; i < capacity; ++i) {
+        mem::LineRef slot =
+            array.victimFor(static_cast<Addr>(i) * kLineBytes);
+        slot.lineAddr() = static_cast<Addr>(i) * kLineBytes;
+        slot.state() = mem::CState::kShared;
+        array.touch(slot);
+    }
+    std::uint64_t hits = 0;
+    Addr addr = 0;
+    // A large prime step so consecutive probes land in different sets.
+    const Addr step = 193 * kLineBytes;
+    const Addr span = capacity * kLineBytes;
+    const WallTimer timer;
+    for (std::uint64_t i = 0; i < probes; ++i) {
+        hits += array.find(addr) ? 1 : 0;
+        addr += step;
+        if (addr >= span)
+            addr -= span;
+    }
+    const double sec = timer.seconds();
+    panic_if(hits != probes, "warm array produced misses");
+    return static_cast<double>(probes) / sec;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    banner("memory-hierarchy microbenchmark",
+           "DMA burst engine throughput (batched vs per-line "
+           "reference) and tag-store lookup rate");
+
+    const unsigned bursts = fullScale() ? 16'000 : 4'000;
+    const unsigned rounds = 3;
+
+    const struct
+    {
+        CoherenceMode mode;
+        const char *key;
+    } modes[] = {
+        {CoherenceMode::kNonCohDma, "non_coh_dma"},
+        {CoherenceMode::kLlcCohDma, "llc_coh_dma"},
+        {CoherenceMode::kCohDma, "coh_dma"},
+        {CoherenceMode::kFullyCoh, "full_coh"},
+    };
+
+    JsonReporter report("mem");
+    report.add("bursts", static_cast<double>(bursts));
+
+    std::printf("%-14s %16s %16s %10s\n", "mode",
+                "per-line lines/s", "batched lines/s", "speedup");
+    double logSum = 0.0;
+    for (const auto &m : modes) {
+        double perLineRate = 0.0;
+        double batchedRate = 0.0;
+        measureMode(m.mode, bursts, rounds, perLineRate, batchedRate);
+        const double speedup = batchedRate / perLineRate;
+        logSum += std::log(speedup);
+        const std::string name(coh::toString(m.mode));
+        std::printf("%-14s %16.0f %16.0f %9.2fx\n", name.c_str(),
+                    perLineRate, batchedRate, speedup);
+        report.add(std::string(m.key) + "_perline_lines_per_sec",
+                   perLineRate);
+        report.add(std::string(m.key) + "_batched_lines_per_sec",
+                   batchedRate);
+        report.add(std::string(m.key) + "_speedup", speedup);
+    }
+    const double geomean =
+        std::exp(logSum / (sizeof(modes) / sizeof(modes[0])));
+    std::printf("%-14s %43.2fx\n\n", "geomean", geomean);
+    report.add("burst_speedup_geomean", geomean);
+
+    const std::uint64_t probes = fullScale() ? 80'000'000 : 20'000'000;
+    const double findRate = tagStoreFindsPerSec(probes);
+    std::printf("%-14s %16.0f finds/s (%.2f ns/find)\n", "tag store",
+                findRate, 1e9 / findRate);
+    report.add("tagstore_finds_per_sec", findRate);
+    report.add("tagstore_ns_per_find", 1e9 / findRate);
+
+    const std::string file = report.write();
+    std::printf("\nwrote %s\n", file.c_str());
+    return 0;
+}

@@ -37,10 +37,10 @@ BM_CacheArrayLookup(benchmark::State &state)
 {
     mem::CacheArray array("bench", 64 * 1024, 8);
     for (unsigned i = 0; i < 1024; ++i) {
-        mem::CacheLine *slot =
+        mem::LineRef slot =
             array.victimFor(static_cast<Addr>(i) * kLineBytes);
-        slot->lineAddr = static_cast<Addr>(i) * kLineBytes;
-        slot->state = mem::CState::kShared;
+        slot.lineAddr() = static_cast<Addr>(i) * kLineBytes;
+        slot.state() = mem::CState::kShared;
         array.touch(slot);
     }
     Addr addr = 0;

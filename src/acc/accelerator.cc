@@ -41,7 +41,16 @@ Accelerator::planInvocation(const TrafficProfile &profile)
         profile.computeCyclesFor(metrics_.footprintBytes);
     const Cycles perChunkCompute = totalCompute / totalChunks;
 
-    chunks_.assign(totalChunks, {});
+    // Reuse the plan storage across invocations: repeated invocations
+    // of one accelerator typically produce the same chunk count and
+    // burst counts, so clearing (rather than reallocating) the nested
+    // burst vectors makes steady-state planning allocation-free.
+    chunks_.resize(totalChunks);
+    for (ChunkPlan &plan : chunks_) {
+        plan.reads.clear();
+        plan.writes.clear();
+        plan.computeCycles = 0;
+    }
     chunkLoaded_.assign(totalChunks, false);
 
     const bool strided = profile.pattern == AccessPattern::kStrided;

@@ -11,12 +11,23 @@
  * configuration register, it maps each burst either straight to DRAM
  * (non-coherent), to the LLC (LLC-coherent / coherent DMA), or
  * through the tile's private cache (fully-coherent).
+ *
+ * Bursts run on a batched engine: the whole access vector is resolved
+ * up front (Allocation::resolveLines — wrap and page split without
+ * per-line division), then handed to the MemorySystem batch entry
+ * points, which group the lines into same-partition runs and charge
+ * NoC routes and DRAM timing per run. The pre-overhaul per-line path
+ * is preserved (readBurstPerLine/writeBurstPerLine) as the reference
+ * implementation: the differential tests assert the batched engine
+ * reproduces its results bit-for-bit, and bench_mem measures the
+ * speedup against it.
  */
 
 #ifndef COHMELEON_COH_DMA_BRIDGE_HH
 #define COHMELEON_COH_DMA_BRIDGE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "coh/coherence_mode.hh"
 #include "mem/memory_system.hh"
@@ -32,6 +43,8 @@ struct BurstResult
     Cycles done = 0;               ///< completion of the whole burst
     std::uint64_t dramAccesses = 0; ///< exact off-chip lines caused
     std::uint64_t llcHits = 0;      ///< lines served on chip
+
+    bool operator==(const BurstResult &) const = default;
 };
 
 /** Per-accelerator-tile coherence bridge. */
@@ -63,6 +76,24 @@ class DmaBridge
                            std::uint64_t startLine, unsigned lines,
                            unsigned strideLines, CoherenceMode mode);
 
+    /**
+     * Reference per-line burst implementations (one readLine/writeLine
+     * call per element, each paying the full mode dispatch, address
+     * resolution, partition lookup, and NoC route computation). Kept
+     * as the oracle for the batched engine and as the bench_mem
+     * baseline; not used on the hot path.
+     */
+    BurstResult readBurstPerLine(Cycles now,
+                                 const mem::Allocation &alloc,
+                                 std::uint64_t startLine,
+                                 unsigned lines, unsigned strideLines,
+                                 CoherenceMode mode);
+    BurstResult writeBurstPerLine(Cycles now,
+                                  const mem::Allocation &alloc,
+                                  std::uint64_t startLine,
+                                  unsigned lines, unsigned strideLines,
+                                  CoherenceMode mode);
+
     /** Single-line variants used for irregular access patterns. */
     BurstResult readLine(Cycles now, Addr lineAddr, CoherenceMode mode);
     BurstResult writeLine(Cycles now, Addr lineAddr, CoherenceMode mode);
@@ -74,9 +105,15 @@ class DmaBridge
     ModeMask availableModes() const;
 
   private:
+    BurstResult burstBatched(Cycles now, const mem::Allocation &alloc,
+                             std::uint64_t startLine, unsigned lines,
+                             unsigned strideLines, CoherenceMode mode,
+                             bool isWrite);
+
     mem::MemorySystem &ms_;
     TileId tile_;
     mem::L2Cache *privateCache_;
+    std::vector<Addr> lineAddrs_; ///< reusable burst address plan
 };
 
 } // namespace cohmeleon::coh

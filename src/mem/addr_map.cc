@@ -11,13 +11,14 @@ AddressMap::AddressMap(unsigned numPartitions, std::uint64_t partitionBytes)
     fatalIf(numPartitions == 0, "need at least one memory partition");
     fatalIf(partitionBytes == 0 || partitionBytes % kLineBytes != 0,
             "partition size must be a positive multiple of the line size");
+    partShift_ = powerOfTwoShift(partitionBytes);
 }
 
 unsigned
 AddressMap::partitionOf(Addr addr) const
 {
     panic_if(!contains(addr), "address ", addr, " outside memory space");
-    return static_cast<unsigned>(addr / partitionBytes_);
+    return partitionOfUnchecked(addr);
 }
 
 Addr

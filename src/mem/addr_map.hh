@@ -38,6 +38,20 @@ class AddressMap
     /** Partition that services @p addr. @pre addr < totalBytes() */
     unsigned partitionOf(Addr addr) const;
 
+    /**
+     * partitionOf() without the range audit, for batch loops that
+     * have already validated the whole access vector (addresses from
+     * a live Allocation are in range by construction). A shift when
+     * the partition size is a power of two, one division otherwise.
+     */
+    unsigned
+    partitionOfUnchecked(Addr addr) const
+    {
+        return static_cast<unsigned>(partShift_ != 0
+                                         ? addr >> partShift_
+                                         : addr / partitionBytes_);
+    }
+
     /** First address of partition @p p. */
     Addr base(unsigned p) const;
 
@@ -46,6 +60,7 @@ class AddressMap
   private:
     unsigned numPartitions_;
     std::uint64_t partitionBytes_;
+    unsigned partShift_ = 0; ///< log2(partitionBytes) if a power of two
 };
 
 } // namespace cohmeleon::mem

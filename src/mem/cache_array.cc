@@ -1,5 +1,7 @@
 #include "mem/cache_array.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace cohmeleon::mem
@@ -43,78 +45,35 @@ CacheArray::CacheArray(std::string name, std::uint64_t sizeBytes,
         sizeBytes / (static_cast<std::uint64_t>(ways) * kLineBytes);
     fatalIf(!isPowerOfTwo(sets), "cache set count must be a power of two");
     sets_ = static_cast<unsigned>(sets);
-    lines_.resize(static_cast<std::size_t>(sets_) * ways_);
-}
 
-unsigned
-CacheArray::setOf(Addr lineAddr) const
-{
-    return static_cast<unsigned>(lineIndex(lineAddr)) & (sets_ - 1);
-}
-
-CacheLine *
-CacheArray::find(Addr lineAddr)
-{
-    const unsigned set = setOf(lineAddr);
-    CacheLine *base = &lines_[static_cast<std::size_t>(set) * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        CacheLine &line = base[w];
-        if (line.valid() && line.lineAddr == lineAddr)
-            return &line;
-    }
-    return nullptr;
-}
-
-const CacheLine *
-CacheArray::find(Addr lineAddr) const
-{
-    return const_cast<CacheArray *>(this)->find(lineAddr);
-}
-
-CacheLine *
-CacheArray::victimFor(Addr lineAddr)
-{
-    const unsigned set = setOf(lineAddr);
-    CacheLine *base = &lines_[static_cast<std::size_t>(set) * ways_];
-    CacheLine *victim = nullptr;
-    for (unsigned w = 0; w < ways_; ++w) {
-        CacheLine &line = base[w];
-        if (!line.valid())
-            return &line;
-        if (!victim || line.lastUse < victim->lastUse)
-            victim = &line;
-    }
-    return victim;
-}
-
-void
-CacheArray::touch(CacheLine *line)
-{
-    line->lastUse = ++lruTick_;
-}
-
-void
-CacheArray::forEachValid(const std::function<void(CacheLine &)> &fn)
-{
-    for (CacheLine &line : lines_) {
-        if (line.valid())
-            fn(line);
-    }
+    const std::size_t slots = static_cast<std::size_t>(sets_) * ways_;
+    tags_.assign(slots, kInvalidTag);
+    states_.assign(slots, CState::kInvalid);
+    dirty_.assign(slots, 0);
+    versions_.assign(slots, 0);
+    lastUse_.assign(slots, 0);
+    sharers_.assign(slots, 0);
+    owners_.assign(slots, -1);
 }
 
 void
 CacheArray::invalidateAll()
 {
-    for (CacheLine &line : lines_)
-        line.clear();
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(states_.begin(), states_.end(), CState::kInvalid);
+    std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+    std::fill(versions_.begin(), versions_.end(), std::uint64_t{0});
+    std::fill(lastUse_.begin(), lastUse_.end(), std::uint64_t{0});
+    std::fill(sharers_.begin(), sharers_.end(), std::uint64_t{0});
+    std::fill(owners_.begin(), owners_.end(), std::int16_t{-1});
 }
 
 std::uint64_t
 CacheArray::validLines() const
 {
     std::uint64_t n = 0;
-    for (const CacheLine &line : lines_)
-        n += line.valid() ? 1 : 0;
+    for (Addr tag : tags_)
+        n += tag != kInvalidTag ? 1 : 0;
     return n;
 }
 

@@ -6,13 +6,20 @@
  * The array is purely functional storage (tags, states, LRU order,
  * version stamps for the coherence checker, and the LLC's directory
  * fields); all timing is charged by the caches that own an array.
+ *
+ * Storage is structure-of-arrays: each per-line field lives in its own
+ * packed vector, so the hot way-scans touch only the field they need.
+ * With 8-byte tags and 8-way sets, find()'s scan of one set reads a
+ * single 64-byte cache line of host memory instead of striding eight
+ * 64-byte line records; victimFor()'s LRU scan does the same over the
+ * packed lastUse array. Callers address a slot through the LineRef
+ * handle instead of a pointer to a line struct.
  */
 
 #ifndef COHMELEON_MEM_CACHE_ARRAY_HH
 #define COHMELEON_MEM_CACHE_ARRAY_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,58 +40,125 @@ enum class CState : std::uint8_t
 
 const char *toString(CState s);
 
-/** One cache line's metadata. */
-struct CacheLine
+class CacheArray;
+
+/**
+ * Handle to one line slot of a CacheArray.
+ *
+ * Accessors return references into the packed per-field arrays, so
+ * call sites read and assign fields exactly as they did on the old
+ * line struct (`line.state() = CState::kShared`). A default-constructed
+ * LineRef is "null" (miss); test with `if (line)`.
+ *
+ * Validity is defined by the tag: a slot holds a line iff its tag is
+ * not the invalid sentinel. Invalidation must go through clear() (or
+ * CacheArray::invalidateAll()) so the tag and the MESI state stay in
+ * sync; fills assign lineAddr() and state() directly.
+ */
+class LineRef
 {
-    Addr lineAddr = 0;          ///< line-aligned address (tag)
-    CState state = CState::kInvalid;
-    bool dirty = false;         ///< LLC: needs DRAM writeback
-    std::uint64_t version = 0;  ///< coherence-checker stamp
-    std::uint64_t lastUse = 0;  ///< LRU tick
-    std::uint64_t sharers = 0;  ///< LLC directory: bitmask of L2 ids
-    std::int16_t owner = -1;    ///< LLC directory: L2 id with E/M copy
-
-    bool valid() const { return state != CState::kInvalid; }
-
-    /** Reset to an empty slot. */
-    void
-    clear()
+  public:
+    LineRef() = default;
+    LineRef(CacheArray *array, std::size_t index)
+        : array_(array), index_(index)
     {
-        lineAddr = 0;
-        state = CState::kInvalid;
-        dirty = false;
-        version = 0;
-        sharers = 0;
-        owner = -1;
     }
+
+    explicit operator bool() const { return array_ != nullptr; }
+    bool operator==(const LineRef &) const = default;
+
+    std::size_t index() const { return index_; }
+
+    bool valid() const;
+
+    Addr &lineAddr();
+    Addr lineAddr() const;
+    CState &state();
+    CState state() const;
+    std::uint8_t &dirty();
+    bool dirty() const;
+    std::uint64_t &version();
+    std::uint64_t version() const;
+    std::uint64_t lastUse() const;
+    std::uint64_t &sharers();
+    std::uint64_t sharers() const;
+    std::int16_t &owner();
+    int owner() const;
+
+    /** Reset to an empty slot (also forgets the LRU tick, so a
+     *  recycled slot cannot inherit stale replacement history). */
+    void clear();
+
+  private:
+    CacheArray *array_ = nullptr;
+    std::size_t index_ = 0;
 };
 
 /** Fixed-geometry set-associative array with LRU replacement. */
 class CacheArray
 {
   public:
+    /** Tag stored in empty slots; no real line-aligned address in the
+     *  partitioned space can equal it. */
+    static constexpr Addr kInvalidTag = ~Addr{0};
+
     /**
      * @param sizeBytes total capacity (must be sets*ways*64)
      * @param ways associativity
      */
     CacheArray(std::string name, std::uint64_t sizeBytes, unsigned ways);
 
-    /** Find the line holding @p lineAddr. @return nullptr on miss. */
-    CacheLine *find(Addr lineAddr);
-    const CacheLine *find(Addr lineAddr) const;
+    /** Find the line holding @p lineAddr. @return null ref on miss. */
+    LineRef
+    find(Addr lineAddr)
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(setOf(lineAddr)) * ways_;
+        const Addr *tags = tags_.data() + base;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (tags[w] == lineAddr)
+                return LineRef(this, base + w);
+        }
+        return {};
+    }
 
     /**
      * Choose a victim slot for @p lineAddr: an invalid way if one
      * exists, otherwise the LRU valid way. The caller is responsible
      * for handling the victim's contents before overwriting.
      */
-    CacheLine *victimFor(Addr lineAddr);
+    LineRef
+    victimFor(Addr lineAddr)
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(setOf(lineAddr)) * ways_;
+        const Addr *tags = tags_.data() + base;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (tags[w] == kInvalidTag)
+                return LineRef(this, base + w);
+        }
+        const std::uint64_t *lru = lastUse_.data() + base;
+        unsigned victim = 0;
+        for (unsigned w = 1; w < ways_; ++w) {
+            if (lru[w] < lru[victim])
+                victim = w;
+        }
+        return LineRef(this, base + victim);
+    }
 
     /** Refresh LRU position of @p line. */
-    void touch(CacheLine *line);
+    void touch(LineRef line) { lastUse_[line.index()] = ++lruTick_; }
 
     /** Apply @p fn to every valid line (flush walks, checkers). */
-    void forEachValid(const std::function<void(CacheLine &)> &fn);
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn)
+    {
+        for (std::size_t i = 0; i < tags_.size(); ++i) {
+            if (tags_[i] != kInvalidTag)
+                fn(LineRef(this, i));
+        }
+    }
 
     /** Invalidate every line (does not write anything back). */
     void invalidateAll();
@@ -103,15 +177,128 @@ class CacheArray
     const std::string &name() const { return name_; }
 
   private:
-    unsigned setOf(Addr lineAddr) const;
+    friend class LineRef;
+
+    unsigned
+    setOf(Addr lineAddr) const
+    {
+        return static_cast<unsigned>(lineIndex(lineAddr)) & (sets_ - 1);
+    }
 
     std::string name_;
     std::uint64_t sizeBytes_;
     unsigned sets_;
     unsigned ways_;
-    std::vector<CacheLine> lines_; ///< [set * ways + way]
+
+    // Structure-of-arrays line storage, all indexed [set * ways + way].
+    std::vector<Addr> tags_;            ///< kInvalidTag when empty
+    std::vector<CState> states_;
+    std::vector<std::uint8_t> dirty_;   ///< LLC: needs DRAM writeback
+    std::vector<std::uint64_t> versions_; ///< coherence-checker stamps
+    std::vector<std::uint64_t> lastUse_;  ///< LRU ticks
+    std::vector<std::uint64_t> sharers_;  ///< LLC directory bitmasks
+    std::vector<std::int16_t> owners_;    ///< LLC directory owners
+
     std::uint64_t lruTick_ = 0;
 };
+
+// ------------------------------------------------ LineRef accessors
+
+inline bool
+LineRef::valid() const
+{
+    return array_->tags_[index_] != CacheArray::kInvalidTag;
+}
+
+inline Addr &
+LineRef::lineAddr()
+{
+    return array_->tags_[index_];
+}
+
+inline Addr
+LineRef::lineAddr() const
+{
+    return array_->tags_[index_];
+}
+
+inline CState &
+LineRef::state()
+{
+    return array_->states_[index_];
+}
+
+inline CState
+LineRef::state() const
+{
+    return array_->states_[index_];
+}
+
+inline std::uint8_t &
+LineRef::dirty()
+{
+    return array_->dirty_[index_];
+}
+
+inline bool
+LineRef::dirty() const
+{
+    return array_->dirty_[index_] != 0;
+}
+
+inline std::uint64_t &
+LineRef::version()
+{
+    return array_->versions_[index_];
+}
+
+inline std::uint64_t
+LineRef::version() const
+{
+    return array_->versions_[index_];
+}
+
+inline std::uint64_t
+LineRef::lastUse() const
+{
+    return array_->lastUse_[index_];
+}
+
+inline std::uint64_t &
+LineRef::sharers()
+{
+    return array_->sharers_[index_];
+}
+
+inline std::uint64_t
+LineRef::sharers() const
+{
+    return array_->sharers_[index_];
+}
+
+inline std::int16_t &
+LineRef::owner()
+{
+    return array_->owners_[index_];
+}
+
+inline int
+LineRef::owner() const
+{
+    return array_->owners_[index_];
+}
+
+inline void
+LineRef::clear()
+{
+    array_->tags_[index_] = CacheArray::kInvalidTag;
+    array_->states_[index_] = CState::kInvalid;
+    array_->dirty_[index_] = 0;
+    array_->versions_[index_] = 0;
+    array_->lastUse_[index_] = 0;
+    array_->sharers_[index_] = 0;
+    array_->owners_[index_] = -1;
+}
 
 } // namespace cohmeleon::mem
 

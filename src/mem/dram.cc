@@ -1,17 +1,21 @@
 #include "mem/dram.hh"
 
+#include "sim/logging.hh"
+
 namespace cohmeleon::mem
 {
 
 DramController::DramController(std::string name, DramParams params)
     : name_(std::move(name)), params_(params), channel_(name_ + ".channel")
 {
+    fatalIf(params_.rowBytes == 0, "row size must be positive");
+    rowShift_ = powerOfTwoShift(params_.rowBytes);
 }
 
 Cycles
 DramController::access(Cycles now, Addr lineAddr, bool isWrite)
 {
-    const Addr row = lineAddr / params_.rowBytes;
+    const Addr row = rowOf(lineAddr);
     Cycles service = params_.lineService;
     if (row != openRow_) {
         service += params_.rowMissPenalty;
@@ -25,6 +29,41 @@ DramController::access(Cycles now, Addr lineAddr, bool isWrite)
     else
         ++reads_;
     return channel_.finishAfter(now, service);
+}
+
+void
+DramController::accessRun(Cycles first, Cycles stride,
+                          const Addr *addrs, unsigned n, bool isWrite,
+                          Cycles *done)
+{
+    const Cycles lineService = params_.lineService;
+    const Cycles rowMissPenalty = params_.rowMissPenalty;
+    Addr openRow = openRow_;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    Server::Run channel(channel_);
+    Cycles now = first;
+    for (unsigned i = 0; i < n; ++i) {
+        const Addr row = rowOf(addrs[i]);
+        Cycles service = lineService;
+        if (row != openRow) {
+            service += rowMissPenalty;
+            ++rowMisses;
+            openRow = row;
+        } else {
+            ++rowHits;
+        }
+        done[i] = channel.finishAfter(now, service);
+        now += stride;
+    }
+    channel.commit();
+    openRow_ = openRow;
+    rowHits_ += rowHits;
+    rowMisses_ += rowMisses;
+    if (isWrite)
+        writes_ += n;
+    else
+        reads_ += n;
 }
 
 void

@@ -52,6 +52,17 @@ class DramController
      */
     Cycles access(Cycles now, Addr lineAddr, bool isWrite);
 
+    /**
+     * Batch entry point for DMA bursts: service @p n line accesses,
+     * access k starting no earlier than @p first + k * @p stride (the
+     * uniform arrival spacing of a request run), writing the
+     * completion times to @p done. Row tracking, channel-queue state,
+     * and counters are carried in registers across the run; results
+     * are identical to n calls of access() in order.
+     */
+    void accessRun(Cycles first, Cycles stride, const Addr *addrs,
+                   unsigned n, bool isWrite, Cycles *done);
+
     std::uint64_t reads() const { return reads_; }
     std::uint64_t writes() const { return writes_; }
     std::uint64_t accesses() const { return reads_ + writes_; }
@@ -68,8 +79,18 @@ class DramController
     void reset();
 
   private:
+    /** Row index of @p lineAddr (shift when rowBytes is a power of
+     *  two, the common configuration; division otherwise). */
+    Addr
+    rowOf(Addr lineAddr) const
+    {
+        return rowShift_ != 0 ? lineAddr >> rowShift_
+                              : lineAddr / params_.rowBytes;
+    }
+
     std::string name_;
     DramParams params_;
+    unsigned rowShift_ = 0; ///< log2(rowBytes) when a power of two
     Server channel_;
     Addr openRow_ = ~Addr{0};
     std::uint64_t reads_ = 0;

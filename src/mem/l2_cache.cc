@@ -16,19 +16,19 @@ L2Cache::L2Cache(unsigned id, std::string name, TileId tile,
 }
 
 Cycles
-L2Cache::evict(Cycles now, CacheLine *victim)
+L2Cache::evict(Cycles now, LineRef victim)
 {
-    if (!victim->valid())
+    if (!victim.valid())
         return now;
     Cycles done = now;
-    if (victim->state == CState::kModified) {
+    if (victim.state() == CState::kModified) {
         ++writebacks_;
-        done = ms_.putWriteback(now, victim->lineAddr, *this,
-                                victim->version);
+        done = ms_.putWriteback(now, victim.lineAddr(), *this,
+                                victim.version());
     } else {
-        ms_.putClean(victim->lineAddr, *this);
+        ms_.putClean(victim.lineAddr(), *this);
     }
-    victim->clear();
+    victim.clear();
     return done;
 }
 
@@ -38,24 +38,25 @@ L2Cache::read(Cycles now, Addr lineAddr)
     const auto &t = ms_.timing();
     const Cycles start = port_.acquire(now, t.l2PortOccupancy);
 
-    if (CacheLine *line = array_.find(lineAddr)) {
+    if (LineRef line = array_.find(lineAddr)) {
         ++hits_;
         array_.touch(line);
-        ms_.versions().checkRead(lineAddr, line->version, name_.c_str());
+        ms_.versions().checkRead(lineAddr, line.version(),
+                                 name_.c_str());
         return {start + t.l2HitLatency, 0, true};
     }
 
     ++misses_;
-    CacheLine *slot = array_.victimFor(lineAddr);
+    LineRef slot = array_.victimFor(lineAddr);
     const Cycles wbDone = evict(start, slot);
     const FillResult fill = ms_.getS(start, lineAddr, *this);
 
-    slot->lineAddr = lineAddr;
-    slot->state = fill.exclusive ? CState::kExclusive : CState::kShared;
-    slot->dirty = false;
-    slot->version = fill.version;
-    slot->sharers = 0;
-    slot->owner = -1;
+    slot.lineAddr() = lineAddr;
+    slot.state() = fill.exclusive ? CState::kExclusive : CState::kShared;
+    slot.dirty() = 0;
+    slot.version() = fill.version;
+    slot.sharers() = 0;
+    slot.owner() = -1;
     array_.touch(slot);
 
     ms_.versions().checkRead(lineAddr, fill.version, name_.c_str());
@@ -68,35 +69,35 @@ L2Cache::write(Cycles now, Addr lineAddr)
     const auto &t = ms_.timing();
     const Cycles start = port_.acquire(now, t.l2PortOccupancy);
 
-    if (CacheLine *line = array_.find(lineAddr)) {
+    if (LineRef line = array_.find(lineAddr)) {
         array_.touch(line);
-        if (line->state == CState::kModified ||
-            line->state == CState::kExclusive) {
+        if (line.state() == CState::kModified ||
+            line.state() == CState::kExclusive) {
             // Silent E->M upgrade.
             ++hits_;
-            line->state = CState::kModified;
-            line->version = ms_.versions().bumpLatest(lineAddr);
+            line.state() = CState::kModified;
+            line.version() = ms_.versions().bumpLatest(lineAddr);
             return {start + t.l2HitLatency, 0, true};
         }
         // Shared: upgrade through the directory.
         ++misses_;
         const FillResult fill = ms_.getM(start, lineAddr, *this);
-        line->state = CState::kModified;
-        line->version = ms_.versions().bumpLatest(lineAddr);
+        line.state() = CState::kModified;
+        line.version() = ms_.versions().bumpLatest(lineAddr);
         return {fill.done, fill.dramAccesses, false};
     }
 
     ++misses_;
-    CacheLine *slot = array_.victimFor(lineAddr);
+    LineRef slot = array_.victimFor(lineAddr);
     const Cycles wbDone = evict(start, slot);
     const FillResult fill = ms_.getM(start, lineAddr, *this);
 
-    slot->lineAddr = lineAddr;
-    slot->state = CState::kModified;
-    slot->dirty = false;
-    slot->sharers = 0;
-    slot->owner = -1;
-    slot->version = ms_.versions().bumpLatest(lineAddr);
+    slot.lineAddr() = lineAddr;
+    slot.state() = CState::kModified;
+    slot.dirty() = 0;
+    slot.sharers() = 0;
+    slot.owner() = -1;
+    slot.version() = ms_.versions().bumpLatest(lineAddr);
     array_.touch(slot);
 
     return {std::max(fill.done, wbDone), fill.dramAccesses, false};
@@ -110,13 +111,14 @@ L2Cache::flushAll(Cycles now)
     const Cycles issue = port_.acquire(now, walkCycles);
     Cycles done = issue + walkCycles;
 
-    array_.forEachValid([&](CacheLine &line) {
-        if (line.state == CState::kModified) {
+    array_.forEachValid([&](LineRef line) {
+        if (line.state() == CState::kModified) {
             ++writebacks_;
-            done = std::max(done, ms_.putWriteback(issue, line.lineAddr,
-                                                   *this, line.version));
+            done = std::max(done,
+                            ms_.putWriteback(issue, line.lineAddr(),
+                                             *this, line.version()));
         } else {
-            ms_.putClean(line.lineAddr, *this);
+            ms_.putClean(line.lineAddr(), *this);
         }
     });
     array_.invalidateAll();
@@ -126,21 +128,21 @@ L2Cache::flushAll(Cycles now)
 L2Cache::RecallResult
 L2Cache::recall(Addr lineAddr, bool invalidate)
 {
-    CacheLine *line = array_.find(lineAddr);
+    LineRef line = array_.find(lineAddr);
     if (!line)
         return {};
 
     ++recallsServed_;
     RecallResult res;
     res.present = true;
-    res.dirty = line->state == CState::kModified;
-    res.version = line->version;
+    res.dirty = line.state() == CState::kModified;
+    res.version = line.version();
 
     if (invalidate) {
-        line->clear();
+        line.clear();
     } else {
-        line->state = CState::kShared;
-        line->dirty = false;
+        line.state() = CState::kShared;
+        line.dirty() = 0;
     }
     return res;
 }

@@ -83,7 +83,7 @@ class L2Cache
 
   private:
     /** Handle the victim slot before refilling it. @return wb time. */
-    Cycles evict(Cycles now, CacheLine *victim);
+    Cycles evict(Cycles now, LineRef victim);
 
     unsigned id_;
     std::string name_;

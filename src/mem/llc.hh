@@ -12,6 +12,12 @@
  *    data that is the target of a DMA request),
  *  - writebacks from private caches,
  *  - the full-flush walk used by the software-managed modes.
+ *
+ * DMA requests come in two shapes: the per-line entry points
+ * (dmaRead/dmaWrite) and the batch entry points (dmaReadBatch/
+ * dmaWriteBatch) used by the burst engine, which run the same
+ * protocol core per line but hoist the response-route planning out
+ * of the loop. Both shapes charge identical timing and statistics.
  */
 
 #ifndef COHMELEON_MEM_LLC_HH
@@ -23,6 +29,7 @@
 #include "mem/cache_array.hh"
 #include "mem/dram.hh"
 #include "mem/mem_types.hh"
+#include "noc/noc_model.hh"
 #include "sim/server.hh"
 #include "sim/types.hh"
 
@@ -65,6 +72,24 @@ class LlcPartition
     AccessResult dmaWrite(Cycles now, Addr lineAddr, bool coherent,
                           TileId reqTile);
 
+    /**
+     * Batch DMA read: line k's request arrives at
+     * @p first + k * @p stride (the uniform spacing of a request
+     * run); the full per-line result (including the DMA response
+     * transfer back to @p reqTile) lands in @p out[k]. Identical to
+     * n dmaRead() calls in order: the protocol cores run per line,
+     * then the response packets (which touch only the DMA-response
+     * plane) stream back through one register-resident link run.
+     */
+    void dmaReadBatch(Cycles first, Cycles stride, const Addr *addrs,
+                      unsigned n, bool coherent, TileId reqTile,
+                      AccessResult *out);
+
+    /** Batch DMA write; as dmaWrite(), the response transfer is the
+     *  caller's (MemorySystem's) job. */
+    void dmaWriteBatch(Cycles first, Cycles stride, const Addr *addrs,
+                       unsigned n, bool coherent, AccessResult *out);
+
     /** Write back all dirty lines to DRAM and invalidate the slice. */
     AccessResult flushAll(Cycles now);
 
@@ -84,15 +109,23 @@ class LlcPartition
     void reset();
 
   private:
+    /** Protocol core of one DMA read, up to (but excluding) the
+     *  response transfer; @p ready receives the data-ready time. */
+    AccessResult dmaReadCore(Cycles now, Addr lineAddr, bool coherent,
+                             Cycles &ready);
+
+    /** Protocol core of one DMA write (no response transfer). */
+    AccessResult dmaWriteOne(Cycles now, Addr lineAddr, bool coherent);
+
     /** Recall dirty/exclusive data from the owner; optionally
      *  invalidate. @return completion time (now if no owner). */
-    Cycles recallOwner(Cycles now, CacheLine *line, bool invalidate);
+    Cycles recallOwner(Cycles now, LineRef line, bool invalidate);
 
     /** Invalidate all sharers except @p exceptId. @return time. */
-    Cycles invalidateSharers(Cycles now, CacheLine *line, int exceptId);
+    Cycles invalidateSharers(Cycles now, LineRef line, int exceptId);
 
     /** Make room for @p lineAddr. @return {slot, ready time}. */
-    CacheLine *allocateSlot(Cycles now, Addr lineAddr, Cycles &ready);
+    LineRef allocateSlot(Cycles now, Addr lineAddr, Cycles &ready);
 
     unsigned index_;
     std::string name_;
@@ -107,6 +140,8 @@ class LlcPartition
     std::uint64_t recalls_ = 0;
     std::uint64_t invalidations_ = 0;
     std::uint64_t evictions_ = 0;
+
+    std::vector<Cycles> readyScratch_; ///< batch data-ready times
 };
 
 } // namespace cohmeleon::mem

@@ -37,6 +37,14 @@ struct AccessResult
     bool llcHit = false;        ///< served from on-chip state
 };
 
+/** Accumulated outcome of one batched DMA burst (all lines). */
+struct BurstTotals
+{
+    Cycles done = 0;               ///< completion of the last line
+    std::uint64_t dramAccesses = 0; ///< off-chip line transfers caused
+    std::uint64_t llcHits = 0;      ///< lines served with no DRAM access
+};
+
 /** Outcome of an L2 miss fill from the LLC. */
 struct FillResult
 {

@@ -107,8 +107,7 @@ MemorySystem::dramRead(Cycles now, Addr lineAddr, TileId reqTile)
         noc_.transfer(now, reqTile, memTiles_[p], noc::Plane::kDmaReq,
                       timing_.reqBytes);
     const Cycles d = drams_[p]->access(arrive, lineAddr, false);
-    versions_.checkRead(lineAddr, versions_.dramVersion(lineAddr),
-                        "non-coh-dma");
+    versions_.checkDramRead(lineAddr, "non-coh-dma");
     AccessResult res;
     res.dramAccesses = 1;
     res.done = noc_.transfer(d, memTiles_[p], reqTile,
@@ -123,12 +122,116 @@ MemorySystem::dramWrite(Cycles now, Addr lineAddr, TileId reqTile)
     const Cycles arrive = noc_.transfer(
         now, reqTile, memTiles_[p], noc::Plane::kDmaReq, kLineBytes);
     const Cycles d = drams_[p]->access(arrive, lineAddr, true);
-    versions_.setDramVersion(lineAddr, versions_.bumpLatest(lineAddr));
+    versions_.bumpDramWrite(lineAddr);
     AccessResult res;
     res.dramAccesses = 1;
     res.done = noc_.transfer(d, memTiles_[p], reqTile,
                              noc::Plane::kDmaRsp, timing_.reqBytes);
     return res;
+}
+
+BurstTotals
+MemorySystem::dmaBurst(Cycles now, const Addr *addrs, unsigned n,
+                       bool coherent, bool isWrite, TileId reqTile)
+{
+    BurstTotals tot;
+    tot.done = now;
+    unsigned i = 0;
+    while (i < n) {
+        const unsigned p = map_.partitionOfUnchecked(addrs[i]);
+        unsigned j = i + 1;
+        while (j < n && map_.partitionOfUnchecked(addrs[j]) == p)
+            ++j;
+        const unsigned cnt = j - i;
+        LlcPartition &slice = *slices_[p];
+
+        // Phase 1: the run's DMA requests, all injected at `now`, in
+        // line order — exactly the request transfers the per-line path
+        // charges, with the route planned once and the uniform packet
+        // stream collapsed to closed form.
+        const noc::TransferPlan req =
+            noc_.plan(reqTile, memTiles_[p], noc::Plane::kDmaReq,
+                      isWrite ? kLineBytes : timing_.reqBytes);
+        const noc::NocModel::TransferRun reqRun =
+            noc_.transferRun(req, now, cnt);
+
+        // Phase 2: the slice services the run in line order.
+        batchResults_.resize(cnt);
+        if (isWrite)
+            slice.dmaWriteBatch(reqRun.first, reqRun.stride, addrs + i,
+                                cnt, coherent, batchResults_.data());
+        else
+            slice.dmaReadBatch(reqRun.first, reqRun.stride, addrs + i,
+                               cnt, coherent, reqTile,
+                               batchResults_.data());
+
+        // Phase 3 (writes only; reads answer inside the slice): the
+        // per-line acknowledgements back to the requester.
+        if (isWrite) {
+            const noc::TransferPlan rsp =
+                noc_.plan(memTiles_[p], reqTile, noc::Plane::kDmaRsp,
+                          timing_.reqBytes);
+            batchDone_.resize(cnt);
+            for (unsigned k = 0; k < cnt; ++k)
+                batchDone_[k] = batchResults_[k].done;
+            noc_.transferEach(rsp, batchDone_.data(), cnt,
+                              batchDone_.data());
+            for (unsigned k = 0; k < cnt; ++k)
+                batchResults_[k].done = batchDone_[k];
+        }
+        for (unsigned k = 0; k < cnt; ++k) {
+            const AccessResult &r = batchResults_[k];
+            tot.done = std::max(tot.done, r.done);
+            tot.dramAccesses += r.dramAccesses;
+            tot.llcHits += r.dramAccesses == 0 ? 1 : 0;
+        }
+        i = j;
+    }
+    return tot;
+}
+
+BurstTotals
+MemorySystem::dramBurst(Cycles now, const Addr *addrs, unsigned n,
+                        bool isWrite, TileId reqTile)
+{
+    BurstTotals tot;
+    tot.done = now;
+    unsigned i = 0;
+    while (i < n) {
+        const unsigned p = map_.partitionOfUnchecked(addrs[i]);
+        unsigned j = i + 1;
+        while (j < n && map_.partitionOfUnchecked(addrs[j]) == p)
+            ++j;
+        const unsigned cnt = j - i;
+
+        const noc::TransferPlan req =
+            noc_.plan(reqTile, memTiles_[p], noc::Plane::kDmaReq,
+                      isWrite ? kLineBytes : timing_.reqBytes);
+        const noc::NocModel::TransferRun reqRun =
+            noc_.transferRun(req, now, cnt);
+
+        batchDone_.resize(cnt);
+        drams_[p]->accessRun(reqRun.first, reqRun.stride, addrs + i,
+                             cnt, isWrite, batchDone_.data());
+        if (isWrite) {
+            for (unsigned k = 0; k < cnt; ++k)
+                versions_.bumpDramWrite(addrs[i + k]);
+        } else {
+            for (unsigned k = 0; k < cnt; ++k)
+                versions_.checkDramRead(addrs[i + k], "non-coh-dma");
+        }
+
+        const noc::TransferPlan rsp =
+            noc_.plan(memTiles_[p], reqTile, noc::Plane::kDmaRsp,
+                      isWrite ? timing_.reqBytes : kLineBytes);
+        noc_.transferEach(rsp, batchDone_.data(), cnt,
+                          batchDone_.data());
+        for (unsigned k = 0; k < cnt; ++k)
+            tot.done = std::max(tot.done, batchDone_[k]);
+        tot.dramAccesses += cnt;
+        i = j;
+    }
+    return tot;
 }
 
 AccessResult
@@ -190,55 +293,56 @@ MemorySystem::checkDirectoryInvariants()
 
     // Private-cache side: inclusion and registration.
     for (const auto &l2 : l2s_) {
-        l2->array().forEachValid([&](CacheLine &line) {
-            CacheLine *home =
-                sliceFor(line.lineAddr).array().find(line.lineAddr);
+        l2->array().forEachValid([&](LineRef line) {
+            LineRef home =
+                sliceFor(line.lineAddr()).array().find(line.lineAddr());
             if (!home) {
-                report(l2->name() + " holds " + hex(line.lineAddr) +
-                       " (" + toString(line.state) +
+                report(l2->name() + " holds " + hex(line.lineAddr()) +
+                       " (" + toString(line.state()) +
                        ") absent from the LLC (inclusion)");
                 return;
             }
             const std::uint64_t bit = std::uint64_t{1} << l2->id();
-            if (line.state == CState::kShared) {
-                if (!(home->sharers & bit))
+            if (line.state() == CState::kShared) {
+                if (!(home.sharers() & bit))
                     report(l2->name() + " shares " +
-                           hex(line.lineAddr) +
+                           hex(line.lineAddr()) +
                            " without a directory sharer bit");
             } else {
-                if (home->owner != static_cast<int>(l2->id()))
-                    report(l2->name() + " owns " + hex(line.lineAddr) +
+                if (home.owner() != static_cast<int>(l2->id()))
+                    report(l2->name() + " owns " +
+                           hex(line.lineAddr()) +
                            " but the directory owner is " +
-                           std::to_string(home->owner));
+                           std::to_string(home.owner()));
             }
         });
     }
 
     // Directory side: no dangling registrations.
     for (auto &slice : slices_) {
-        slice->array().forEachValid([&](CacheLine &line) {
-            if (line.owner >= 0) {
+        slice->array().forEachValid([&](LineRef line) {
+            if (line.owner() >= 0) {
                 const auto &owner =
-                    *l2s_[static_cast<unsigned>(line.owner)];
-                const CacheLine *held =
-                    l2s_[static_cast<unsigned>(line.owner)]
+                    *l2s_[static_cast<unsigned>(line.owner())];
+                const LineRef held =
+                    l2s_[static_cast<unsigned>(line.owner())]
                         ->array()
-                        .find(line.lineAddr);
-                if (!held || held->state == CState::kShared)
+                        .find(line.lineAddr());
+                if (!held || held.state() == CState::kShared)
                     report(slice->name() + " lists " + owner.name() +
-                           " as owner of " + hex(line.lineAddr) +
+                           " as owner of " + hex(line.lineAddr()) +
                            " which it does not own");
             }
-            std::uint64_t mask = line.sharers;
+            std::uint64_t mask = line.sharers();
             while (mask) {
                 const unsigned id =
                     static_cast<unsigned>(__builtin_ctzll(mask));
                 mask &= mask - 1;
                 if (id >= l2s_.size() ||
-                    !l2s_[id]->array().find(line.lineAddr))
+                    !l2s_[id]->array().find(line.lineAddr()))
                     report(slice->name() + " has a dangling sharer " +
                            std::to_string(id) + " for " +
-                           hex(line.lineAddr));
+                           hex(line.lineAddr()));
             }
         });
     }

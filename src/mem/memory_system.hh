@@ -75,6 +75,24 @@ class MemorySystem
     AccessResult dramRead(Cycles now, Addr lineAddr, TileId reqTile);
     AccessResult dramWrite(Cycles now, Addr lineAddr, TileId reqTile);
 
+    // --- Batched DMA paths (called by the burst engine) ----------------
+    //
+    // Each takes the whole burst's pre-resolved line addresses, splits
+    // them into maximal runs of consecutive lines homed on the same
+    // partition, and charges NoC routes, DRAM timing, and LLC lookups
+    // per run instead of per line. Because runs preserve the line
+    // order and every hardware server sees the same acquire sequence,
+    // results (timing, statistics, directory state, checker stamps)
+    // are bit-identical to issuing the per-line calls in a loop.
+
+    /** Batched dmaRead/dmaWrite (LLC-routed DMA), all lines at @p now. */
+    BurstTotals dmaBurst(Cycles now, const Addr *addrs, unsigned n,
+                         bool coherent, bool isWrite, TileId reqTile);
+
+    /** Batched dramRead/dramWrite (cache-bypassing DMA). */
+    BurstTotals dramBurst(Cycles now, const Addr *addrs, unsigned n,
+                          bool isWrite, TileId reqTile);
+
     // --- Software-managed flushes (called by the runtime) --------------
     /** Flush the given private caches; all registered ones if empty. */
     AccessResult flushL2s(Cycles now,
@@ -118,6 +136,12 @@ class MemorySystem
     std::vector<std::unique_ptr<LlcPartition>> slices_;
     std::vector<std::unique_ptr<L2Cache>> l2s_;
     VersionTracker versions_;
+
+    // Reusable per-run scratch for the batch DMA paths (the simulator
+    // is single-threaded per SoC, so one set suffices; reuse keeps the
+    // burst hot path allocation-free in steady state).
+    std::vector<Cycles> batchDone_;
+    std::vector<AccessResult> batchResults_;
 };
 
 } // namespace cohmeleon::mem

@@ -9,7 +9,8 @@ namespace cohmeleon::mem
 
 Allocation::Allocation(std::vector<Addr> pageBases, std::uint64_t bytes,
                        std::uint64_t pageBytes)
-    : pageBases_(std::move(pageBases)), bytes_(bytes), pageBytes_(pageBytes)
+    : pageBases_(std::move(pageBases)), bytes_(bytes),
+      pageBytes_(pageBytes), pageShift_(powerOfTwoShift(pageBytes))
 {
 }
 
@@ -26,6 +27,42 @@ Addr
 Allocation::addrOfLine(std::uint64_t line) const
 {
     return addrOfOffset(line * kLineBytes);
+}
+
+void
+Allocation::resolveLines(std::uint64_t startLine, unsigned count,
+                         unsigned strideLines,
+                         std::vector<Addr> &out) const
+{
+    const std::uint64_t total = lines();
+    panic_if(total == 0, "burst on an empty allocation");
+    out.resize(count);
+
+    // Reduce once so the loop wraps with a compare-and-subtract: for
+    // li, stride < total, (li + stride) mod total needs at most one
+    // subtraction.
+    std::uint64_t li = startLine % total;
+    const std::uint64_t stride = strideLines % total;
+
+    const Addr *bases = pageBases_.data();
+    if (pageShift_ != 0) {
+        const std::uint64_t pageMask = pageBytes_ - 1;
+        for (unsigned i = 0; i < count; ++i) {
+            const std::uint64_t offset = li << kLineShift;
+            out[i] = bases[offset >> pageShift_] + (offset & pageMask);
+            li += stride;
+            if (li >= total)
+                li -= total;
+        }
+    } else {
+        for (unsigned i = 0; i < count; ++i) {
+            const std::uint64_t offset = li << kLineShift;
+            out[i] = bases[offset / pageBytes_] + (offset % pageBytes_);
+            li += stride;
+            if (li >= total)
+                li -= total;
+        }
+    }
 }
 
 std::uint64_t

@@ -52,6 +52,18 @@ class Allocation
     /** Physical address of logical line index @p line. */
     Addr addrOfLine(std::uint64_t line) const;
 
+    /**
+     * Resolve a whole burst's addresses up front: line indices
+     * startLine, startLine + strideLines, ... (each taken modulo
+     * lines(), i.e. wrapping around the allocation), written into
+     * @p out (resized to @p count). Produces exactly the addresses
+     * @p count calls of addrOfLine() would, but with the wrap reduced
+     * to an add-and-compare and the page split done by shift/mask when
+     * the page size is a power of two — no per-line division.
+     */
+    void resolveLines(std::uint64_t startLine, unsigned count,
+                      unsigned strideLines, std::vector<Addr> &out) const;
+
     /** Bytes of this allocation that live in partition @p p. */
     std::uint64_t footprintOnPartition(const AddressMap &map,
                                        unsigned p) const;
@@ -63,6 +75,7 @@ class Allocation
     std::vector<Addr> pageBases_;
     std::uint64_t bytes_ = 0;
     std::uint64_t pageBytes_ = 0;
+    unsigned pageShift_ = 0; ///< log2(pageBytes) if a power of two
 };
 
 /** Free-list big-page allocator over the partitioned space. */

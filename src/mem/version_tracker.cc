@@ -5,47 +5,70 @@
 namespace cohmeleon::mem
 {
 
-std::uint64_t
-VersionTracker::bumpLatest(Addr lineAddr)
+void
+VersionTracker::initDirectory(std::size_t capacity)
 {
-    if (!enabled_)
-        return 0;
-    const std::uint64_t v = ++counter_;
-    latest_[lineAddr] = v;
-    return v;
+    dir_.assign(capacity, DirEntry{});
+    growAt_ = capacity - capacity / 4; // grow at 75% occupancy
+    hashShift_ = 64;
+    while ((std::size_t{1} << (64 - hashShift_)) < capacity)
+        --hashShift_;
+    cachedKey_ = kEmptyKey;
+    cachedBlock_ = kNoBlock;
 }
 
-std::uint64_t
-VersionTracker::latest(Addr lineAddr) const
+VersionTracker::Block &
+VersionTracker::blockFor(Addr lineAddr)
 {
-    const auto it = latest_.find(lineAddr);
-    return it == latest_.end() ? 0 : it->second;
-}
-
-std::uint64_t
-VersionTracker::dramVersion(Addr lineAddr) const
-{
-    const auto it = dram_.find(lineAddr);
-    return it == dram_.end() ? 0 : it->second;
+    const std::uint64_t key = blockKeyOf(lineAddr);
+    if (key == cachedKey_)
+        return blocks_[cachedBlock_];
+    const std::size_t mask = dir_.size() - 1;
+    std::size_t idx = static_cast<std::size_t>(hashOf(key) >> hashShift_);
+    while (true) {
+        DirEntry &e = dir_[idx];
+        if (e.key == key) {
+            cachedKey_ = key;
+            cachedBlock_ = e.block;
+            return blocks_[e.block];
+        }
+        if (e.key == kEmptyKey) {
+            if (blocks_.size() >= growAt_) {
+                growDirectory();
+                return blockFor(key << (kLineShift + kBlockShift));
+            }
+            e.key = key;
+            e.block = static_cast<std::uint32_t>(blocks_.size());
+            blocks_.emplace_back();
+            cachedKey_ = key;
+            cachedBlock_ = e.block;
+            return blocks_[e.block];
+        }
+        idx = (idx + 1) & mask;
+    }
 }
 
 void
-VersionTracker::setDramVersion(Addr lineAddr, std::uint64_t version)
+VersionTracker::growDirectory()
 {
-    if (!enabled_)
-        return;
-    dram_[lineAddr] = version;
+    std::vector<DirEntry> old = std::move(dir_);
+    initDirectory(old.size() * 2);
+    const std::size_t mask = dir_.size() - 1;
+    for (const DirEntry &e : old) {
+        if (e.key == kEmptyKey)
+            continue;
+        std::size_t idx =
+            static_cast<std::size_t>(hashOf(e.key) >> hashShift_);
+        while (dir_[idx].key != kEmptyKey)
+            idx = (idx + 1) & mask;
+        dir_[idx] = e;
+    }
 }
 
 void
-VersionTracker::checkRead(Addr lineAddr, std::uint64_t held,
-                          const char *reader)
+VersionTracker::recordViolation(Addr lineAddr, std::uint64_t held,
+                                std::uint64_t want, const char *reader)
 {
-    if (!enabled_)
-        return;
-    const std::uint64_t want = latest(lineAddr);
-    if (held == want)
-        return;
     ++violations_;
     if (violationLog_.size() < kMaxLoggedViolations) {
         std::ostringstream os;
@@ -60,8 +83,8 @@ VersionTracker::reset()
 {
     counter_ = 0;
     violations_ = 0;
-    latest_.clear();
-    dram_.clear();
+    blocks_.clear();
+    initDirectory(kInitialDirCapacity);
     violationLog_.clear();
 }
 

@@ -13,6 +13,15 @@
  * runs must report zero violations; the property tests also drive the
  * modes *without* the required flushes and assert that the checker
  * catches the resulting staleness.
+ *
+ * The tracker is charged on every line of every DMA burst, so its
+ * storage is organized for burst locality: stamps live in blocks of
+ * 64 consecutive lines ({latest[64], dram[64]} per block, allocated
+ * on first write), reached through an open-addressed block directory
+ * with a one-entry cache. A contiguous or moderately strided burst
+ * resolves one directory probe per block instead of two node-based
+ * map lookups per line. The DMA paths use the fused checkDramRead()
+ * / bumpDramWrite() helpers, which touch the line's block once.
  */
 
 #ifndef COHMELEON_MEM_VERSION_TRACKER_HH
@@ -20,7 +29,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -32,15 +40,40 @@ namespace cohmeleon::mem
 class VersionTracker
 {
   public:
+    VersionTracker() { initDirectory(kInitialDirCapacity); }
+
     /** Record a new write to @p lineAddr. @return the new stamp. */
-    std::uint64_t bumpLatest(Addr lineAddr);
+    std::uint64_t
+    bumpLatest(Addr lineAddr)
+    {
+        if (!enabled_)
+            return 0;
+        return blockFor(lineAddr).latest[subOf(lineAddr)] = ++counter_;
+    }
 
     /** Newest stamp for @p lineAddr (0 if never written). */
-    std::uint64_t latest(Addr lineAddr) const;
+    std::uint64_t
+    latest(Addr lineAddr) const
+    {
+        const Block *b = findBlock(lineAddr);
+        return b ? b->latest[subOf(lineAddr)] : 0;
+    }
 
     /** DRAM image: stamp of the data currently in main memory. */
-    std::uint64_t dramVersion(Addr lineAddr) const;
-    void setDramVersion(Addr lineAddr, std::uint64_t version);
+    std::uint64_t
+    dramVersion(Addr lineAddr) const
+    {
+        const Block *b = findBlock(lineAddr);
+        return b ? b->dram[subOf(lineAddr)] : 0;
+    }
+
+    void
+    setDramVersion(Addr lineAddr, std::uint64_t version)
+    {
+        if (!enabled_)
+            return;
+        blockFor(lineAddr).dram[subOf(lineAddr)] = version;
+    }
 
     /**
      * Check a read observation: @p held is the stamp of the data the
@@ -48,8 +81,44 @@ class VersionTracker
      *
      * @param reader short description for diagnostics
      */
-    void checkRead(Addr lineAddr, std::uint64_t held,
-                   const char *reader);
+    void
+    checkRead(Addr lineAddr, std::uint64_t held, const char *reader)
+    {
+        if (!enabled_)
+            return;
+        const Block *b = findBlock(lineAddr);
+        const std::uint64_t want = b ? b->latest[subOf(lineAddr)] : 0;
+        if (held != want)
+            recordViolation(lineAddr, held, want, reader);
+    }
+
+    /** Fused checkRead(a, dramVersion(a), reader): one block access
+     *  for the non-coherent-DMA read path. */
+    void
+    checkDramRead(Addr lineAddr, const char *reader)
+    {
+        if (!enabled_)
+            return;
+        const Block *b = findBlock(lineAddr);
+        if (!b)
+            return; // never written: DRAM holds version 0 == latest 0
+        const unsigned sub = subOf(lineAddr);
+        if (b->dram[sub] != b->latest[sub])
+            recordViolation(lineAddr, b->dram[sub], b->latest[sub],
+                            reader);
+    }
+
+    /** Fused setDramVersion(a, bumpLatest(a)): one block access for
+     *  the non-coherent-DMA write path. */
+    void
+    bumpDramWrite(Addr lineAddr)
+    {
+        if (!enabled_)
+            return;
+        Block &b = blockFor(lineAddr);
+        const unsigned sub = subOf(lineAddr);
+        b.latest[sub] = b.dram[sub] = ++counter_;
+    }
 
     std::uint64_t violations() const { return violations_; }
     const std::vector<std::string> &violationLog() const
@@ -65,12 +134,87 @@ class VersionTracker
 
   private:
     static constexpr std::size_t kMaxLoggedViolations = 16;
+    static constexpr std::size_t kInitialDirCapacity = 256;
+    /** Lines per block; blocks are aligned groups of consecutive
+     *  lines, so a burst walks within a block. */
+    static constexpr unsigned kBlockShift = 6;
+    static constexpr std::size_t kBlockLines = std::size_t{1}
+                                               << kBlockShift;
+    static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+    static constexpr std::uint32_t kNoBlock = ~std::uint32_t{0};
+
+    struct Block
+    {
+        std::uint64_t latest[kBlockLines] = {};
+        std::uint64_t dram[kBlockLines] = {};
+    };
+
+    /** Directory slot: block key -> index into blocks_. */
+    struct DirEntry
+    {
+        std::uint64_t key = kEmptyKey;
+        std::uint32_t block = kNoBlock;
+    };
+
+    static std::uint64_t
+    blockKeyOf(Addr lineAddr)
+    {
+        return (lineAddr >> kLineShift) >> kBlockShift;
+    }
+
+    static unsigned
+    subOf(Addr lineAddr)
+    {
+        return static_cast<unsigned>(lineAddr >> kLineShift) &
+               (kBlockLines - 1);
+    }
+
+    static std::uint64_t
+    hashOf(std::uint64_t key)
+    {
+        return key * 0x9E3779B97F4A7C15ull; // Fibonacci hashing
+    }
+
+    /** Directory probe, read-only; null if the block was never
+     *  written. Refreshes the one-entry cache on a hit. */
+    const Block *
+    findBlock(Addr lineAddr) const
+    {
+        const std::uint64_t key = blockKeyOf(lineAddr);
+        if (key == cachedKey_)
+            return &blocks_[cachedBlock_];
+        const std::size_t mask = dir_.size() - 1;
+        std::size_t idx =
+            static_cast<std::size_t>(hashOf(key) >> hashShift_);
+        while (true) {
+            const DirEntry &e = dir_[idx];
+            if (e.key == key) {
+                cachedKey_ = key;
+                cachedBlock_ = e.block;
+                return &blocks_[e.block];
+            }
+            if (e.key == kEmptyKey)
+                return nullptr;
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    Block &blockFor(Addr lineAddr); ///< insert-if-absent variant
+
+    void initDirectory(std::size_t capacity);
+    void growDirectory();
+    void recordViolation(Addr lineAddr, std::uint64_t held,
+                         std::uint64_t want, const char *reader);
 
     bool enabled_ = true;
     std::uint64_t counter_ = 0;
     std::uint64_t violations_ = 0;
-    std::unordered_map<Addr, std::uint64_t> latest_;
-    std::unordered_map<Addr, std::uint64_t> dram_;
+    std::vector<DirEntry> dir_;
+    std::vector<Block> blocks_;
+    std::size_t growAt_ = 0;
+    unsigned hashShift_ = 0; ///< 64 - log2(directory size)
+    mutable std::uint64_t cachedKey_ = kEmptyKey;
+    mutable std::uint32_t cachedBlock_ = kNoBlock;
     std::vector<std::string> violationLog_;
 };
 

@@ -49,31 +49,6 @@ NocModel::uncontendedLatency(TileId src, TileId dst,
     return params_.routerPipeline + hops * params_.hopLatency + flits;
 }
 
-Cycles
-NocModel::transfer(Cycles now, TileId src, TileId dst, Plane plane,
-                   unsigned payloadBytes)
-{
-    const unsigned nflits = flitsFor(payloadBytes);
-    ++packets_;
-    flits_ += nflits;
-
-    if (src == dst) {
-        // Local access within a tile: only the router pipeline.
-        return now + params_.routerPipeline;
-    }
-
-    // Serialize on the source's injection link...
-    const Cycles injectStart = egress(src, plane).acquire(now, nflits);
-    const Cycles headDeparture = injectStart + 1;
-    // ...traverse the mesh...
-    const Cycles headArrival =
-        headDeparture + topo_.hops(src, dst) * params_.hopLatency;
-    // ...then serialize on the destination's ejection link.
-    const Cycles ejectStart =
-        ingress(dst, plane).acquire(headArrival, nflits);
-    return ejectStart + nflits + params_.routerPipeline;
-}
-
 void
 NocModel::reset()
 {

@@ -48,6 +48,23 @@ struct NocParams
     Cycles routerPipeline = 2; ///< fixed injection/ejection overhead
 };
 
+/**
+ * Precomputed route for repeated transfers between one (src, dst,
+ * plane, payload) endpoint pair: the topology walk, flit count, and
+ * link-server lookups are hoisted out of per-line loops. Produced by
+ * NocModel::plan(); consumed by the plan-based transfer() overload,
+ * which charges exactly what the ad-hoc transfer() charges.
+ */
+struct TransferPlan
+{
+    Server *egress = nullptr;  ///< source injection link
+    Server *ingress = nullptr; ///< destination ejection link
+    unsigned nflits = 0;       ///< head flit + payload flits
+    Cycles hopCycles = 0;      ///< hops * hopLatency
+    Cycles routerPipeline = 0;
+    bool local = false;        ///< src == dst (no link traversal)
+};
+
 /** Timing model for one SoC's NoC. */
 class NocModel
 {
@@ -64,8 +81,116 @@ class NocModel
      * @param now earliest injection time
      * @return arrival (completion) time at the destination
      */
-    Cycles transfer(Cycles now, TileId src, TileId dst, Plane plane,
-                    unsigned payloadBytes);
+    Cycles
+    transfer(Cycles now, TileId src, TileId dst, Plane plane,
+             unsigned payloadBytes)
+    {
+        return transfer(plan(src, dst, plane, payloadBytes), now);
+    }
+
+    /** Resolve the route once for a run of same-endpoint transfers. */
+    TransferPlan
+    plan(TileId src, TileId dst, Plane plane, unsigned payloadBytes)
+    {
+        TransferPlan p;
+        p.nflits = flitsFor(payloadBytes);
+        p.routerPipeline = params_.routerPipeline;
+        if (src == dst) {
+            p.local = true;
+            return p;
+        }
+        p.egress = &egress(src, plane);
+        p.ingress = &ingress(dst, plane);
+        p.hopCycles = topo_.hops(src, dst) * params_.hopLatency;
+        return p;
+    }
+
+    /** Arrival times of a back-to-back packet run: packet k of the
+     *  run completes at first + k*stride. */
+    struct TransferRun
+    {
+        Cycles first = 0;
+        Cycles stride = 0;
+    };
+
+    /**
+     * Closed form of @p count transfer(p, now) calls (a DMA burst's
+     * request stream): the source link serializes the packets
+     * back-to-back, so head arrivals at the destination are spaced
+     * exactly nflits apart and the ejection link inherits that
+     * spacing. All link counters advance exactly as the per-packet
+     * loop would; only the arithmetic is hoisted.
+     */
+    TransferRun
+    transferRun(const TransferPlan &p, Cycles now, std::uint64_t count)
+    {
+        packets_ += count;
+        flits_ += count * p.nflits;
+        if (count == 0)
+            return {};
+        if (p.local)
+            return {now + p.routerPipeline, 0};
+        const Cycles injectFirst =
+            p.egress->acquireRun(now, p.nflits, count);
+        const Cycles headArrivalFirst = injectFirst + 1 + p.hopCycles;
+        const Cycles ejectFirst = p.ingress->acquireRunSpaced(
+            headArrivalFirst, p.nflits, count);
+        return {ejectFirst + p.nflits + p.routerPipeline, p.nflits};
+    }
+
+    /**
+     * @p count transfers along one route with per-packet injection
+     * times @p starts (not necessarily uniform — e.g. DMA responses
+     * trailing DRAM completions): results land in @p out (aliasing
+     * starts is allowed). Equivalent to count transfer(p, starts[k])
+     * calls, with the link-server state held in registers across the
+     * run.
+     */
+    void
+    transferEach(const TransferPlan &p, const Cycles *starts,
+                 std::uint64_t count, Cycles *out)
+    {
+        packets_ += count;
+        flits_ += count * p.nflits;
+        if (p.local) {
+            for (std::uint64_t k = 0; k < count; ++k)
+                out[k] = starts[k] + p.routerPipeline;
+            return;
+        }
+        Server::Run egressRun(*p.egress);
+        Server::Run ingressRun(*p.ingress);
+        for (std::uint64_t k = 0; k < count; ++k) {
+            const Cycles injectStart =
+                egressRun.acquire(starts[k], p.nflits);
+            const Cycles headArrival = injectStart + 1 + p.hopCycles;
+            const Cycles ejectStart =
+                ingressRun.acquire(headArrival, p.nflits);
+            out[k] = ejectStart + p.nflits + p.routerPipeline;
+        }
+        egressRun.commit();
+        ingressRun.commit();
+    }
+
+    /** Transfer along a precomputed route; earliest injection @p now. */
+    Cycles
+    transfer(const TransferPlan &p, Cycles now)
+    {
+        ++packets_;
+        flits_ += p.nflits;
+        if (p.local) {
+            // Local access within a tile: only the router pipeline.
+            return now + p.routerPipeline;
+        }
+        // Serialize on the source's injection link...
+        const Cycles injectStart = p.egress->acquire(now, p.nflits);
+        const Cycles headDeparture = injectStart + 1;
+        // ...traverse the mesh...
+        const Cycles headArrival = headDeparture + p.hopCycles;
+        // ...then serialize on the destination's ejection link.
+        const Cycles ejectStart =
+            p.ingress->acquire(headArrival, p.nflits);
+        return ejectStart + p.nflits + p.routerPipeline;
+    }
 
     /** Pure latency of a @p payloadBytes packet with no contention. */
     Cycles uncontendedLatency(TileId src, TileId dst,

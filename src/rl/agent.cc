@@ -73,13 +73,15 @@ QLearningAgent::chooseAction(unsigned state, std::uint8_t availMask)
     // Greedy with uniform tie-breaking, so an untrained model (all
     // zeros) behaves exactly like the Random policy — the paper's
     // "iteration 0" datapoint — instead of biasing toward action 0.
+    // One row read up front instead of a bounds-checked q() per action.
+    const auto &row = table_.row(state);
     double best = 0.0;
     unsigned ties[kNumActions];
     unsigned n = 0;
     for (unsigned a = 0; a < kNumActions; ++a) {
         if (!(availMask & (1u << a)))
             continue;
-        const double q = table_.q(state, a);
+        const double q = row[a];
         if (n == 0 || q > best) {
             best = q;
             n = 0;

@@ -31,33 +31,6 @@ QTable::setQ(unsigned state, unsigned action, double value)
     touched_[state][action] = true;
 }
 
-unsigned
-QTable::bestAction(unsigned state, std::uint8_t availMask) const
-{
-    panic_if(state >= StateTuple::kNumStates, "state out of range");
-    panic_if((availMask & ((1u << kNumActions) - 1)) == 0,
-             "no available action");
-    int best = -1;
-    for (unsigned a = 0; a < kNumActions; ++a) {
-        if (!(availMask & (1u << a)))
-            continue;
-        if (best < 0 || q_[state][a] > q_[state][best])
-            best = static_cast<int>(a);
-    }
-    return static_cast<unsigned>(best);
-}
-
-void
-QTable::update(unsigned state, unsigned action, double reward,
-               double alpha)
-{
-    panic_if(state >= StateTuple::kNumStates || action >= kNumActions,
-             "Q-table index out of range");
-    q_[state][action] = (1.0 - alpha) * q_[state][action] +
-                        alpha * reward;
-    touched_[state][action] = true;
-}
-
 bool
 QTable::tried(unsigned state, unsigned action) const
 {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "rl/state_encoder.hh"
+#include "sim/logging.hh"
 
 namespace cohmeleon::rl
 {
@@ -31,18 +32,57 @@ class QTable
     double q(unsigned state, unsigned action) const;
     void setQ(unsigned state, unsigned action, double value);
 
+    /** Whole Q-row of @p state, for inner loops that would otherwise
+     *  re-read q() (and its bounds recheck) once per action. */
+    const std::array<double, kNumActions> &
+    row(unsigned state) const
+    {
+        panic_if(state >= StateTuple::kNumStates, "state out of range");
+        return q_[state];
+    }
+
     /**
      * Action with the highest Q-value among those set in
      * @p availMask (bit i = action i). Ties resolve to the lowest
-     * action index, keeping playback deterministic.
+     * action index, keeping playback deterministic. Single pass over
+     * the packed Q-row, walking only the set mask bits.
      * @pre availMask has at least one bit among the low kNumActions
      */
-    unsigned bestAction(unsigned state, std::uint8_t availMask) const;
+    unsigned
+    bestAction(unsigned state, std::uint8_t availMask) const
+    {
+        panic_if(state >= StateTuple::kNumStates, "state out of range");
+        unsigned mask = availMask & ((1u << kNumActions) - 1);
+        panic_if(mask == 0, "no available action");
+        const double *q = q_[state].data();
+        unsigned best = static_cast<unsigned>(__builtin_ctz(mask));
+        double bestQ = q[best];
+        mask &= mask - 1;
+        while (mask) {
+            const unsigned a =
+                static_cast<unsigned>(__builtin_ctz(mask));
+            mask &= mask - 1;
+            if (q[a] > bestQ) {
+                bestQ = q[a];
+                best = a;
+            }
+        }
+        return best;
+    }
 
     /** Blend @p reward into Q(s,a) with learning rate @p alpha:
-     *  Q <- (1 - alpha) * Q + alpha * reward (paper Section 4.2). */
-    void update(unsigned state, unsigned action, double reward,
-                double alpha);
+     *  Q <- (1 - alpha) * Q + alpha * reward (paper Section 4.2).
+     *  Training inner loop: one bounds audit, one row access. */
+    void
+    update(unsigned state, unsigned action, double reward, double alpha)
+    {
+        panic_if(state >= StateTuple::kNumStates ||
+                     action >= kNumActions,
+                 "Q-table index out of range");
+        double &cell = q_[state][action];
+        cell = (1.0 - alpha) * cell + alpha * reward;
+        touched_[state][action] = true;
+    }
 
     /** Number of (s,a) entries ever updated (coverage metric). */
     std::uint64_t updatedEntries() const;

@@ -53,6 +53,95 @@ class Server
         return acquire(now, duration) + duration;
     }
 
+    /**
+     * Closed form of @p count acquire(now, duration) calls: the k-th
+     * starts at the returned time + k*duration. Counters (busy, wait,
+     * requests) advance exactly as the per-call loop would:
+     * wait_k = (first + k*duration) - now.
+     *
+     * @return start of the first acquisition
+     */
+    Cycles
+    acquireRun(Cycles now, Cycles duration, std::uint64_t count)
+    {
+        const Cycles start = std::max(now, nextFree_);
+        nextFree_ = start + count * duration;
+        busyCycles_ += count * duration;
+        waitCycles_ +=
+            count * (start - now) + duration * (count * (count - 1) / 2);
+        requests_ += count;
+        return start;
+    }
+
+    /**
+     * Closed form of @p count acquire calls of @p duration each where
+     * the k-th is requested at @p now + k*duration (a fully pipelined
+     * run, e.g. packets draining off an upstream link at exactly this
+     * server's service rate): the k-th service starts at the returned
+     * time + k*duration and every request waits the same
+     * (first - now) cycles.
+     *
+     * @return start of the first acquisition
+     */
+    Cycles
+    acquireRunSpaced(Cycles now, Cycles duration, std::uint64_t count)
+    {
+        const Cycles start = std::max(now, nextFree_);
+        nextFree_ = start + count * duration;
+        busyCycles_ += count * duration;
+        waitCycles_ += count * (start - now);
+        requests_ += count;
+        return start;
+    }
+
+    /**
+     * Register-resident view of this server for tight per-line
+     * loops: acquisitions run on local copies of the queue state and
+     * the statistics deltas, with one store back on commit(). The
+     * arithmetic is identical to calling acquire() per element.
+     *
+     * The caller must not touch the underlying Server between
+     * construction and commit(), and must call commit() exactly once.
+     */
+    class Run
+    {
+      public:
+        explicit Run(Server &s) : s_(s), nextFree_(s.nextFree_) {}
+
+        Cycles
+        acquire(Cycles now, Cycles duration)
+        {
+            const Cycles start = std::max(now, nextFree_);
+            nextFree_ = start + duration;
+            busy_ += duration;
+            wait_ += start - now;
+            ++requests_;
+            return start;
+        }
+
+        Cycles
+        finishAfter(Cycles now, Cycles duration)
+        {
+            return acquire(now, duration) + duration;
+        }
+
+        void
+        commit()
+        {
+            s_.nextFree_ = nextFree_;
+            s_.busyCycles_ += busy_;
+            s_.waitCycles_ += wait_;
+            s_.requests_ += requests_;
+        }
+
+      private:
+        Server &s_;
+        Cycles nextFree_;
+        Cycles busy_ = 0;
+        Cycles wait_ = 0;
+        std::uint64_t requests_ = 0;
+    };
+
     /** Earliest cycle at which new work could begin. */
     Cycles nextFree() const { return nextFree_; }
 

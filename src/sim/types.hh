@@ -8,6 +8,7 @@
 #ifndef COHMELEON_SIM_TYPES_HH
 #define COHMELEON_SIM_TYPES_HH
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 
@@ -42,6 +43,16 @@ constexpr Addr
 lineIndex(Addr addr)
 {
     return addr >> kLineShift;
+}
+
+/** log2 of @p v when v is a nonzero power of two; 0 otherwise (used
+ *  for shift/mask fast paths, where 0 selects the division path). */
+constexpr unsigned
+powerOfTwoShift(std::uint64_t v)
+{
+    return (v != 0 && (v & (v - 1)) == 0)
+               ? static_cast<unsigned>(std::countr_zero(v))
+               : 0;
 }
 
 /** Number of lines needed to cover @p bytes starting line-aligned. */

@@ -54,9 +54,9 @@ TEST_F(ProtocolTest, ReadMissFillsExclusive)
     const AccessResult r = cpu0_->read(0, a);
     EXPECT_GT(r.done, 0u);
     EXPECT_EQ(r.dramAccesses, 1u);
-    const CacheLine *line = cpu0_->array().find(a);
-    ASSERT_NE(line, nullptr);
-    EXPECT_EQ(line->state, CState::kExclusive);
+    const LineRef line = cpu0_->array().find(a);
+    ASSERT_TRUE(line);
+    EXPECT_EQ(line.state(), CState::kExclusive);
     EXPECT_EQ(cpu0_->misses(), 1u);
 }
 
@@ -77,10 +77,10 @@ TEST_F(ProtocolTest, WriteMakesModifiedAndBumpsVersion)
 {
     const Addr a = lineIn(0, 2);
     cpu0_->write(0, a);
-    const CacheLine *line = cpu0_->array().find(a);
-    ASSERT_NE(line, nullptr);
-    EXPECT_EQ(line->state, CState::kModified);
-    EXPECT_EQ(line->version, ms_.versions().latest(a));
+    const LineRef line = cpu0_->array().find(a);
+    ASSERT_TRUE(line);
+    EXPECT_EQ(line.state(), CState::kModified);
+    EXPECT_EQ(line.version(), ms_.versions().latest(a));
 }
 
 TEST_F(ProtocolTest, SilentExclusiveToModifiedUpgrade)
@@ -90,7 +90,7 @@ TEST_F(ProtocolTest, SilentExclusiveToModifiedUpgrade)
     const std::uint64_t missesBefore = cpu0_->misses();
     cpu0_->write(1000, a); // E -> M, no directory traffic
     EXPECT_EQ(cpu0_->misses(), missesBefore);
-    EXPECT_EQ(cpu0_->array().find(a)->state, CState::kModified);
+    EXPECT_EQ(cpu0_->array().find(a).state(), CState::kModified);
 }
 
 TEST_F(ProtocolTest, ReadOfDirtyRemoteLineRecallsIt)
@@ -101,7 +101,7 @@ TEST_F(ProtocolTest, ReadOfDirtyRemoteLineRecallsIt)
     EXPECT_EQ(r.dramAccesses, 0u); // served on chip via recall
     EXPECT_EQ(ms_.versions().violations(), 0u);
     // cpu0 was downgraded to Shared.
-    EXPECT_EQ(cpu0_->array().find(a)->state, CState::kShared);
+    EXPECT_EQ(cpu0_->array().find(a).state(), CState::kShared);
     EXPECT_EQ(cpu0_->recallsServed(), 1u);
     EXPECT_EQ(ms_.slice(0).recalls(), 1u);
 }
@@ -111,7 +111,7 @@ TEST_F(ProtocolTest, SharedReadGrantsSharedNotExclusive)
     const Addr a = lineIn(0, 5);
     cpu0_->read(0, a);
     cpu1_->read(1000, a);
-    EXPECT_EQ(cpu1_->array().find(a)->state, CState::kShared);
+    EXPECT_EQ(cpu1_->array().find(a).state(), CState::kShared);
 }
 
 TEST_F(ProtocolTest, UpgradeInvalidatesOtherSharers)
@@ -120,8 +120,8 @@ TEST_F(ProtocolTest, UpgradeInvalidatesOtherSharers)
     cpu0_->read(0, a);
     cpu1_->read(1000, a); // both share
     cpu1_->write(2000, a); // upgrade invalidates cpu0
-    EXPECT_EQ(cpu0_->array().find(a), nullptr);
-    EXPECT_EQ(cpu1_->array().find(a)->state, CState::kModified);
+    EXPECT_FALSE(cpu0_->array().find(a));
+    EXPECT_EQ(cpu1_->array().find(a).state(), CState::kModified);
     // cpu0 reads again and must see cpu1's data.
     cpu0_->read(3000, a);
     EXPECT_EQ(ms_.versions().violations(), 0u);
@@ -132,9 +132,9 @@ TEST_F(ProtocolTest, WriteToRemoteDirtyLineMigratesOwnership)
     const Addr a = lineIn(0, 7);
     cpu0_->write(0, a);
     cpu1_->write(1000, a);
-    EXPECT_EQ(cpu0_->array().find(a), nullptr);
-    EXPECT_EQ(cpu1_->array().find(a)->state, CState::kModified);
-    EXPECT_EQ(cpu1_->array().find(a)->version,
+    EXPECT_FALSE(cpu0_->array().find(a));
+    EXPECT_EQ(cpu1_->array().find(a).state(), CState::kModified);
+    EXPECT_EQ(cpu1_->array().find(a).version(),
               ms_.versions().latest(a));
 }
 
@@ -172,10 +172,11 @@ TEST_F(ProtocolTest, FlushWritesBackAndInvalidates)
     EXPECT_EQ(cpu0_->array().validLines(), 0u);
     // The LLC now owns the latest data.
     for (unsigned i = 0; i < 20; ++i) {
-        const CacheLine *line = ms_.slice(0).array().find(lineIn(0, i));
-        ASSERT_NE(line, nullptr);
-        EXPECT_TRUE(line->dirty);
-        EXPECT_EQ(line->version, ms_.versions().latest(lineIn(0, i)));
+        const LineRef line = ms_.slice(0).array().find(lineIn(0, i));
+        ASSERT_TRUE(line);
+        EXPECT_TRUE(line.dirty());
+        EXPECT_EQ(line.version(),
+                  ms_.versions().latest(lineIn(0, i)));
     }
 }
 
@@ -209,7 +210,7 @@ TEST_F(ProtocolTest, LlcFlushWithLiveOwnersRecallsFirst)
 {
     cpu0_->write(0, lineIn(0, 1)); // M in cpu0, owner in directory
     ms_.flushLlc(1000);            // must recall before flushing
-    EXPECT_EQ(cpu0_->array().find(lineIn(0, 1)), nullptr);
+    EXPECT_FALSE(cpu0_->array().find(lineIn(0, 1)));
     EXPECT_EQ(ms_.versions().dramVersion(lineIn(0, 1)),
               ms_.versions().latest(lineIn(0, 1)));
 }
@@ -223,7 +224,7 @@ TEST_F(ProtocolTest, NonCohDmaReadsDramDirectly)
     const AccessResult r = ms_.dramRead(0, a, 2);
     EXPECT_EQ(r.dramAccesses, 1u);
     EXPECT_EQ(ms_.slice(1).misses(), llcMisses); // LLC untouched
-    EXPECT_EQ(ms_.slice(1).array().find(a), nullptr);
+    EXPECT_FALSE(ms_.slice(1).array().find(a));
 }
 
 TEST_F(ProtocolTest, NonCohDmaAfterFullFlushIsCoherent)
@@ -280,8 +281,8 @@ TEST_F(ProtocolTest, CohDmaWriteInvalidatesCachedCopies)
     cpu0_->read(0, a);
     cpu1_->read(100, a); // both share
     ms_.dmaWrite(1000, a, true, 2);
-    EXPECT_EQ(cpu0_->array().find(a), nullptr);
-    EXPECT_EQ(cpu1_->array().find(a), nullptr);
+    EXPECT_FALSE(cpu0_->array().find(a));
+    EXPECT_FALSE(cpu1_->array().find(a));
     cpu0_->read(2000, a);
     EXPECT_EQ(ms_.versions().violations(), 0u);
 }
@@ -290,10 +291,10 @@ TEST_F(ProtocolTest, DmaWriteLandsDirtyInLlc)
 {
     const Addr a = lineIn(1, 15);
     ms_.dmaWrite(0, a, false, 2);
-    const CacheLine *line = ms_.slice(1).array().find(a);
-    ASSERT_NE(line, nullptr);
-    EXPECT_TRUE(line->dirty);
-    EXPECT_EQ(line->version, ms_.versions().latest(a));
+    const LineRef line = ms_.slice(1).array().find(a);
+    ASSERT_TRUE(line);
+    EXPECT_TRUE(line.dirty());
+    EXPECT_EQ(line.version(), ms_.versions().latest(a));
 }
 
 TEST_F(ProtocolTest, DmaWriteAllocatesWithoutFetch)

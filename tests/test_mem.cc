@@ -129,17 +129,17 @@ TEST(CacheArray, GeometryChecks)
 TEST(CacheArray, FindMissesWhenEmpty)
 {
     CacheArray arr("c", 4 * 1024, 4);
-    EXPECT_EQ(arr.find(0x1000), nullptr);
+    EXPECT_FALSE(arr.find(0x1000));
     EXPECT_EQ(arr.validLines(), 0u);
 }
 
 TEST(CacheArray, InsertAndFind)
 {
     CacheArray arr("c", 4 * 1024, 4);
-    CacheLine *slot = arr.victimFor(0x1000);
-    ASSERT_NE(slot, nullptr);
-    slot->lineAddr = 0x1000;
-    slot->state = CState::kShared;
+    LineRef slot = arr.victimFor(0x1000);
+    ASSERT_TRUE(slot);
+    slot.lineAddr() = 0x1000;
+    slot.state() = CState::kShared;
     arr.touch(slot);
     EXPECT_EQ(arr.find(0x1000), slot);
     EXPECT_EQ(arr.validLines(), 1u);
@@ -155,46 +155,80 @@ TEST(CacheArray, LruEvictsOldest)
         sameSet.push_back(static_cast<Addr>(i) * sets * kLineBytes);
 
     for (unsigned i = 0; i < 4; ++i) {
-        CacheLine *slot = arr.victimFor(sameSet[i]);
-        EXPECT_FALSE(slot->valid()); // still free ways
-        slot->lineAddr = sameSet[i];
-        slot->state = CState::kShared;
+        LineRef slot = arr.victimFor(sameSet[i]);
+        EXPECT_FALSE(slot.valid()); // still free ways
+        slot.lineAddr() = sameSet[i];
+        slot.state() = CState::kShared;
         arr.touch(slot);
     }
     // Refresh line 0 so line 1 becomes LRU.
     arr.touch(arr.find(sameSet[0]));
-    CacheLine *victim = arr.victimFor(sameSet[4]);
-    ASSERT_TRUE(victim->valid());
-    EXPECT_EQ(victim->lineAddr, sameSet[1]);
+    LineRef victim = arr.victimFor(sameSet[4]);
+    ASSERT_TRUE(victim.valid());
+    EXPECT_EQ(victim.lineAddr(), sameSet[1]);
 }
 
 TEST(CacheArray, InvalidateAllClears)
 {
     CacheArray arr("c", 4 * 1024, 4);
     for (int i = 0; i < 10; ++i) {
-        CacheLine *slot = arr.victimFor(i * kLineBytes);
-        slot->lineAddr = i * kLineBytes;
-        slot->state = CState::kModified;
+        LineRef slot = arr.victimFor(i * kLineBytes);
+        slot.lineAddr() = i * kLineBytes;
+        slot.state() = CState::kModified;
         arr.touch(slot);
     }
     EXPECT_EQ(arr.validLines(), 10u);
     arr.invalidateAll();
     EXPECT_EQ(arr.validLines(), 0u);
-    EXPECT_EQ(arr.find(0), nullptr);
+    EXPECT_FALSE(arr.find(0));
 }
 
 TEST(CacheArray, ForEachValidVisitsExactlyValidLines)
 {
     CacheArray arr("c", 4 * 1024, 4);
     for (int i = 0; i < 7; ++i) {
-        CacheLine *slot = arr.victimFor(i * kLineBytes);
-        slot->lineAddr = i * kLineBytes;
-        slot->state = CState::kExclusive;
+        LineRef slot = arr.victimFor(i * kLineBytes);
+        slot.lineAddr() = i * kLineBytes;
+        slot.state() = CState::kExclusive;
         arr.touch(slot);
     }
     int visited = 0;
-    arr.forEachValid([&](CacheLine &) { ++visited; });
+    arr.forEachValid([&](LineRef) { ++visited; });
     EXPECT_EQ(visited, 7);
+}
+
+TEST(CacheArray, ClearForgetsLruHistory)
+{
+    // A cleared slot must not inherit its previous occupant's LRU
+    // tick: refilled-but-untouched slots are the oldest candidates.
+    CacheArray arr("c", 4 * 1024, 4);
+    const unsigned sets = arr.sets();
+    std::vector<Addr> sameSet;
+    for (unsigned i = 0; i < 5; ++i)
+        sameSet.push_back(static_cast<Addr>(i) * sets * kLineBytes);
+
+    for (unsigned i = 0; i < 4; ++i) {
+        LineRef slot = arr.victimFor(sameSet[i]);
+        slot.lineAddr() = sameSet[i];
+        slot.state() = CState::kShared;
+        arr.touch(slot);
+    }
+    // Way 0 becomes the most recently used...
+    arr.touch(arr.find(sameSet[0]));
+    EXPECT_GT(arr.find(sameSet[0]).lastUse(),
+              arr.find(sameSet[3]).lastUse());
+
+    // ...then everything is invalidated and refilled without touch.
+    arr.invalidateAll();
+    for (unsigned i = 0; i < 4; ++i) {
+        LineRef slot = arr.victimFor(sameSet[i]);
+        slot.lineAddr() = sameSet[i];
+        slot.state() = CState::kShared;
+        EXPECT_EQ(slot.lastUse(), 0u); // no inherited tick
+    }
+    // With no stale history, the LRU victim is the first way, not
+    // whatever way happened to be oldest before the invalidation.
+    EXPECT_EQ(arr.victimFor(sameSet[4]), arr.find(sameSet[0]));
 }
 
 TEST(CacheArray, StateNames)

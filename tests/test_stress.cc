@@ -151,9 +151,9 @@ TEST(StressApp, DirectoryCheckerDetectsCorruption)
     ASSERT_TRUE(ms.checkDirectoryInvariants().empty());
 
     // Forge a dangling sharer bit on the home LLC line.
-    mem::CacheLine *home = ms.sliceFor(line).array().find(line);
-    ASSERT_NE(home, nullptr);
-    home->sharers |= 1ull << 1; // l2(1) does not hold it
+    mem::LineRef home = ms.sliceFor(line).array().find(line);
+    ASSERT_TRUE(home);
+    home.sharers() |= 1ull << 1; // l2(1) does not hold it
     const auto problems = ms.checkDirectoryInvariants();
     ASSERT_FALSE(problems.empty());
     EXPECT_NE(problems.front().find("dangling"), std::string::npos);
