@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "app/parallel_runner.hh"
+#include "app/training_driver.hh"
 #include "policy/fixed.hh"
 #include "bench_util.hh"
 #include "soc/soc_presets.hh"
@@ -102,12 +103,9 @@ main()
         std::vector<IterRow> rows;
         rows.push_back(evalNow(policy));
         for (unsigned it = 1; it <= horizon; ++it) {
-            soc::Soc soc(cfg);
-            rt::EspRuntime runtime(soc, policy);
-            app::AppRunner runnerApp(soc, runtime);
-            runnerApp.setCollectRecords(false);
-            runnerApp.runApp(trainApp);
-            policy.onIterationEnd();
+            // One pass of the training subsystem's iteration unit —
+            // the same code the parallel TrainingDriver shards run.
+            app::runTrainingIteration(policy, cfg, trainApp);
             rows.push_back(evalNow(policy));
         }
         series[h] = std::move(rows);

@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <ostream>
 
+#include "app/training_driver.hh"
 #include "policy/fixed.hh"
 #include "policy/manual.hh"
 #include "policy/profiling.hh"
@@ -88,14 +89,9 @@ trainCohmeleon(policy::CohmeleonPolicy &policy,
                unsigned iterations)
 {
     std::vector<AppResult> perIteration;
-    for (unsigned it = 0; it < iterations; ++it) {
-        soc::Soc soc(cfg);
-        rt::EspRuntime runtime(soc, policy);
-        AppRunner runner(soc, runtime);
-        runner.setCollectRecords(false);
-        perIteration.push_back(runner.runApp(trainApp));
-        policy.onIterationEnd();
-    }
+    for (unsigned it = 0; it < iterations; ++it)
+        perIteration.push_back(
+            runTrainingIteration(policy, cfg, trainApp));
     policy.freeze();
     return perIteration;
 }

@@ -1,0 +1,110 @@
+#include "app/training_driver.hh"
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::app
+{
+
+AppResult
+runTrainingIteration(policy::CohmeleonPolicy &policy,
+                     const soc::SocConfig &cfg, const AppSpec &trainApp)
+{
+    soc::Soc soc(cfg);
+    rt::EspRuntime runtime(soc, policy);
+    AppRunner runner(soc, runtime);
+    runner.setCollectRecords(false);
+    AppResult result = runner.runApp(trainApp);
+    policy.onIterationEnd();
+    return result;
+}
+
+namespace
+{
+
+/** Everything a shard hands back for the fold. */
+struct ShardState
+{
+    rl::QTable table;
+    rl::RewardTracker tracker;
+    ShardReport report;
+};
+
+ShardState
+trainShard(const soc::SocConfig &cfg, const TrainingOptions &opts,
+           std::size_t shard)
+{
+    policy::CohmeleonParams params;
+    params.weights = opts.weights;
+    params.agent.decayIterations = opts.iterations;
+    params.agent.seed = experimentSeed(opts.agentSeed, shard);
+    policy::CohmeleonPolicy policy(params);
+
+    const std::uint64_t appSeed = experimentSeed(opts.trainSeed, shard);
+    soc::Soc naming(cfg);
+    const AppSpec app =
+        generateRandomApp(naming, Rng(appSeed), opts.appParams);
+
+    for (unsigned it = 0; it < opts.iterations; ++it)
+        runTrainingIteration(policy, cfg, app);
+
+    ShardState out;
+    out.table = policy.agent().table();
+    out.tracker = policy.rewardTracker();
+    out.report.seed = appSeed;
+    out.report.invocations =
+        static_cast<std::uint64_t>(app.totalInvocations()) *
+        opts.iterations;
+    out.report.qtableVisits = out.table.totalVisits();
+    return out;
+}
+
+} // namespace
+
+TrainingResult
+TrainingDriver::train(const soc::SocConfig &cfg,
+                      const TrainingOptions &opts)
+{
+    fatalIf(opts.shards == 0, "training needs at least one shard");
+    fatalIf(opts.iterations == 0,
+            "training needs at least one iteration");
+
+    // Fan the shards over the pool. Each shard is an isolated
+    // single-threaded simulation whose result is a pure function of
+    // (cfg, opts, shard index), so the pool width is invisible in the
+    // results.
+    const std::vector<ShardState> shards = runner_.map<ShardState>(
+        opts.shards,
+        [&](std::size_t i) { return trainShard(cfg, opts, i); });
+
+    // Sequential fold in shard-index order — the one place order
+    // matters, and it is fixed here, never by the scheduler.
+    TrainingResult result;
+    policy::PolicyCheckpoint &c = result.checkpoint;
+    c.weights = opts.weights;
+    c.agent.decayIterations = opts.iterations;
+    c.agent.seed = opts.agentSeed;
+    c.iteration = opts.iterations;
+    c.frozen = true;
+    // The merged model's evaluation stream: a fresh stream derived
+    // past the shard range, a pure function of the options.
+    c.rngState = Rng(experimentSeed(opts.agentSeed, opts.shards)).state();
+    for (const ShardState &s : shards) {
+        c.table.merge(s.table);
+        c.tracker.mergeFrom(s.tracker);
+        result.shards.push_back(s.report);
+        result.totalInvocations += s.report.invocations;
+    }
+    return result;
+}
+
+AppResult
+TrainingDriver::evaluate(const policy::PolicyCheckpoint &checkpoint,
+                         const soc::SocConfig &cfg,
+                         const AppSpec &evalApp)
+{
+    const std::unique_ptr<policy::CohmeleonPolicy> policy =
+        checkpoint.makePolicy();
+    return runPolicyOnApp(*policy, cfg, evalApp);
+}
+
+} // namespace cohmeleon::app

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Training at scale: deterministic parallel Q-learning across many
+ * SoC instances.
+ *
+ * The paper trains one agent online on one SoC. To train orders of
+ * magnitude more invocations, the driver splits training into a fixed
+ * number of logical *shards*: shard i trains its own agent (seeded
+ * experimentSeed(agentSeed, i)) on its own random application
+ * instance (seeded experimentSeed(trainSeed, i)) for the full decay
+ * schedule, and the shard tables then fold into one model via the
+ * visit-weighted QTable::merge() in shard-index order.
+ *
+ * Thread-count invariance is by construction: the shard count is a
+ * training parameter, the thread pool only decides *which thread*
+ * runs each shard, every shard is an isolated single-threaded
+ * simulation, and the sequential fold order is fixed. Training with
+ * --train-jobs 1, 2, or 8 therefore produces byte-identical
+ * checkpoints (tests/test_training.cc and test_parallel.cc assert
+ * this).
+ */
+
+#ifndef COHMELEON_APP_TRAINING_DRIVER_HH
+#define COHMELEON_APP_TRAINING_DRIVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "app/experiment.hh"
+#include "app/parallel_runner.hh"
+#include "policy/checkpoint.hh"
+
+namespace cohmeleon::app
+{
+
+/** Knobs of one parallel training run. */
+struct TrainingOptions
+{
+    unsigned iterations = 10; ///< passes per shard == decay horizon
+    unsigned shards = 4;      ///< logical shards (NOT thread count)
+    std::uint64_t trainSeed = 2021; ///< base seed for shard apps
+    std::uint64_t agentSeed = 7;    ///< base seed for shard agents
+    rl::RewardWeights weights;      ///< paper defaults
+    /** Shape of the per-shard training applications. */
+    RandomAppParams appParams;
+
+    TrainingOptions() { appParams = denseTrainingParams(); }
+};
+
+/** What one shard contributed to the merged model. */
+struct ShardReport
+{
+    std::uint64_t seed = 0;         ///< the shard app's derived seed
+    std::uint64_t invocations = 0;  ///< accelerator invocations run
+    std::uint64_t qtableVisits = 0; ///< learn() updates applied
+};
+
+/** Outcome of TrainingDriver::train(). */
+struct TrainingResult
+{
+    /** The merged model: frozen, schedule complete, with the summed
+     *  visit counts and the merged reward history. */
+    policy::PolicyCheckpoint checkpoint;
+    std::vector<ShardReport> shards;
+    std::uint64_t totalInvocations = 0;
+};
+
+/**
+ * Train-freeze-evaluate driver over a ParallelRunner. The runner's
+ * width controls wall time only, never results.
+ */
+class TrainingDriver
+{
+  public:
+    explicit TrainingDriver(ParallelRunner &runner) : runner_(runner) {}
+
+    /** Parallel sharded training; returns the merged frozen model. */
+    TrainingResult train(const soc::SocConfig &cfg,
+                         const TrainingOptions &opts);
+
+    /** Evaluation split: restore @p checkpoint into a fresh policy
+     *  and run @p evalApp on a fresh SoC. Pure function of
+     *  (checkpoint, cfg, evalApp). */
+    static AppResult evaluate(const policy::PolicyCheckpoint &checkpoint,
+                              const soc::SocConfig &cfg,
+                              const AppSpec &evalApp);
+
+  private:
+    ParallelRunner &runner_;
+};
+
+/**
+ * One training pass: run @p trainApp once on a fresh SoC with
+ * @p policy learning online, then advance the decay schedule. The
+ * unit both trainCohmeleon() and the Figure-8 bench are built from.
+ */
+AppResult runTrainingIteration(policy::CohmeleonPolicy &policy,
+                               const soc::SocConfig &cfg,
+                               const AppSpec &trainApp);
+
+} // namespace cohmeleon::app
+
+#endif // COHMELEON_APP_TRAINING_DRIVER_HH

@@ -1,0 +1,230 @@
+#include "policy/checkpoint.hh"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::policy
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "cohmeleon-checkpoint";
+
+/** Read one labelled token and fail loudly when it is missing. */
+template <typename T>
+T
+expect(std::istream &is, const char *what)
+{
+    T value{};
+    is >> value;
+    fatalIf(!is, "checkpoint truncated or unparseable at ", what);
+    return value;
+}
+
+double
+expectFinite(std::istream &is, const char *what)
+{
+    const double v = expect<double>(is, what);
+    fatalIf(!std::isfinite(v), "non-finite value in checkpoint at ",
+            what);
+    return v;
+}
+
+void
+expectKeyword(std::istream &is, const char *keyword)
+{
+    const std::string got = expect<std::string>(is, keyword);
+    fatalIf(got != keyword, "malformed checkpoint: expected '",
+            keyword, "', got '", got, "'");
+}
+
+} // namespace
+
+PolicyCheckpoint
+PolicyCheckpoint::capture(const CohmeleonPolicy &policy)
+{
+    PolicyCheckpoint c;
+    c.weights = policy.params().weights;
+    c.agent = policy.agent().params();
+    c.iteration = policy.agent().iteration();
+    c.frozen = policy.agent().frozen();
+    c.rngState = policy.agent().rngState();
+    c.table = policy.agent().table();
+    c.tracker = policy.rewardTracker();
+    return c;
+}
+
+std::unique_ptr<CohmeleonPolicy>
+PolicyCheckpoint::makePolicy() const
+{
+    CohmeleonParams params;
+    params.weights = weights;
+    params.agent = agent;
+    auto policy = std::make_unique<CohmeleonPolicy>(params);
+    policy->agent().table() = table;
+    policy->agent().setIteration(iteration);
+    policy->agent().setRngState(rngState);
+    if (frozen)
+        policy->freeze();
+    policy->rewardTracker() = tracker;
+    return policy;
+}
+
+void
+PolicyCheckpoint::save(std::ostream &os) const
+{
+    os.precision(17);
+    os << kMagic << ' ' << kVersion << '\n';
+    os << "weights " << weights.exec << ' ' << weights.comm << ' '
+       << weights.mem << '\n';
+    os << "agent " << agent.epsilon0 << ' ' << agent.alpha0 << ' '
+       << agent.decayIterations << ' ' << agent.seed << ' '
+       << iteration << ' ' << (frozen ? 1 : 0) << '\n';
+    os << "rng " << rngState[0] << ' ' << rngState[1] << ' '
+       << rngState[2] << ' ' << rngState[3] << '\n';
+    os << "qtable " << rl::StateTuple::kNumStates << ' '
+       << rl::kNumActions << '\n';
+    for (unsigned s = 0; s < rl::StateTuple::kNumStates; ++s) {
+        for (unsigned a = 0; a < rl::kNumActions; ++a)
+            os << table.q(s, a) << ' ';
+        for (unsigned a = 0; a < rl::kNumActions; ++a)
+            os << table.visits(s, a)
+               << (a + 1 < rl::kNumActions ? ' ' : '\n');
+    }
+    const std::vector<rl::AccExtrema> history = tracker.snapshot();
+    os << "tracker " << history.size() << '\n';
+    for (const rl::AccExtrema &e : history) {
+        os << e.acc << ' ' << e.minExec << ' ' << e.minComm << ' '
+           << e.minMem << ' ' << e.maxMem << '\n';
+    }
+    os << "end\n";
+}
+
+PolicyCheckpoint
+PolicyCheckpoint::load(std::istream &is)
+{
+    PolicyCheckpoint c;
+
+    const std::string magic = expect<std::string>(is, "magic");
+    fatalIf(magic != kMagic, "not a Cohmeleon checkpoint (magic '",
+            magic, "')");
+    const unsigned version = expect<unsigned>(is, "version");
+    fatalIf(version != kVersion, "unsupported checkpoint version ",
+            version, " (this build reads version ", kVersion, ")");
+
+    expectKeyword(is, "weights");
+    c.weights.exec = expectFinite(is, "weights.exec");
+    c.weights.comm = expectFinite(is, "weights.comm");
+    c.weights.mem = expectFinite(is, "weights.mem");
+    fatalIf(c.weights.exec < 0.0 || c.weights.comm < 0.0 ||
+                c.weights.mem < 0.0 ||
+                c.weights.exec + c.weights.comm + c.weights.mem <= 0.0,
+            "invalid reward weights in checkpoint");
+
+    expectKeyword(is, "agent");
+    c.agent.epsilon0 = expectFinite(is, "agent.epsilon0");
+    c.agent.alpha0 = expectFinite(is, "agent.alpha0");
+    c.agent.decayIterations = expect<unsigned>(is, "agent.decay");
+    c.agent.seed = expect<std::uint64_t>(is, "agent.seed");
+    c.iteration = expect<unsigned>(is, "agent.iteration");
+    const unsigned frozen = expect<unsigned>(is, "agent.frozen");
+    fatalIf(frozen > 1, "invalid frozen flag in checkpoint");
+    c.frozen = frozen == 1;
+    fatalIf(c.agent.epsilon0 < 0.0 || c.agent.epsilon0 > 1.0 ||
+                c.agent.alpha0 <= 0.0 || c.agent.alpha0 > 1.0 ||
+                c.agent.decayIterations == 0,
+            "invalid agent hyper-parameters in checkpoint");
+
+    expectKeyword(is, "rng");
+    for (int i = 0; i < 4; ++i)
+        c.rngState[i] = expect<std::uint64_t>(is, "rng state");
+    fatalIf((c.rngState[0] | c.rngState[1] | c.rngState[2] |
+             c.rngState[3]) == 0,
+            "invalid (all-zero) RNG state in checkpoint");
+
+    expectKeyword(is, "qtable");
+    const unsigned states = expect<unsigned>(is, "qtable states");
+    const unsigned actions = expect<unsigned>(is, "qtable actions");
+    fatalIf(states != rl::StateTuple::kNumStates ||
+                actions != rl::kNumActions,
+            "checkpoint Q-table dimensions ", states, "x", actions,
+            " do not match the ", rl::StateTuple::kNumStates, "x",
+            rl::kNumActions, " state space");
+    for (unsigned s = 0; s < rl::StateTuple::kNumStates; ++s) {
+        std::array<double, rl::kNumActions> q;
+        for (unsigned a = 0; a < rl::kNumActions; ++a)
+            q[a] = expectFinite(is, "Q-value");
+        for (unsigned a = 0; a < rl::kNumActions; ++a) {
+            const auto visits =
+                expect<std::uint64_t>(is, "visit count");
+            c.table.setEntry(s, a, q[a], visits);
+        }
+    }
+
+    expectKeyword(is, "tracker");
+    const auto entries = expect<std::size_t>(is, "tracker size");
+    // One entry per accelerator: any real SoC has a handful. Validate
+    // before reserving — a corrupt (huge or sign-wrapped) count must
+    // throw FatalError, not std::length_error out of reserve().
+    constexpr std::size_t kMaxTrackerEntries = 1u << 20;
+    fatalIf(entries > kMaxTrackerEntries,
+            "implausible tracker entry count ", entries,
+            " in checkpoint");
+    std::vector<rl::AccExtrema> history;
+    history.reserve(entries);
+    for (std::size_t i = 0; i < entries; ++i) {
+        rl::AccExtrema e;
+        e.acc = expect<std::uint32_t>(is, "tracker acc id");
+        fatalIf(!history.empty() && e.acc <= history.back().acc,
+                "tracker entries out of order in checkpoint");
+        e.minExec = expectFinite(is, "tracker minExec");
+        e.minComm = expectFinite(is, "tracker minComm");
+        e.minMem = expectFinite(is, "tracker minMem");
+        e.maxMem = expectFinite(is, "tracker maxMem");
+        fatalIf(e.minMem > e.maxMem,
+                "tracker memory extrema inverted in checkpoint");
+        history.push_back(e);
+    }
+    c.tracker.restore(history);
+
+    expectKeyword(is, "end");
+    std::string trailing;
+    is >> trailing;
+    fatalIf(!trailing.empty(),
+            "trailing garbage after checkpoint end marker");
+    return c;
+}
+
+void
+PolicyCheckpoint::saveFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot write checkpoint '", path, "'");
+    save(out);
+    out.flush();
+    fatalIf(!out, "I/O error writing checkpoint '", path, "'");
+}
+
+PolicyCheckpoint
+PolicyCheckpoint::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open checkpoint '", path, "'");
+    return load(in);
+}
+
+std::string
+PolicyCheckpoint::serialized() const
+{
+    std::ostringstream os;
+    save(os);
+    return os.str();
+}
+
+} // namespace cohmeleon::policy

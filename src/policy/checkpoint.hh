@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Versioned persistence of the *whole* Cohmeleon learning state, not
+ * just the Q-values: Q-table with per-entry visit counts (the
+ * training mass that makes tables mergeable), the agent schedule
+ * (hyper-parameters, iteration, frozen flag) and exploration-RNG
+ * state, the reward weights, and the RewardTracker's per-accelerator
+ * min/max history. A policy restored from a checkpoint reproduces
+ * the original's decisions bit-for-bit — including tie-break draws —
+ * and can resume training where the original stopped.
+ *
+ * The format is line-oriented text with doubles printed at 17
+ * significant digits (lossless for IEEE binary64), so two checkpoints
+ * are byte-identical exactly when the learning states are.
+ */
+
+#ifndef COHMELEON_POLICY_CHECKPOINT_HH
+#define COHMELEON_POLICY_CHECKPOINT_HH
+
+#include <array>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "policy/cohmeleon_policy.hh"
+#include "rl/agent.hh"
+#include "rl/qtable.hh"
+#include "rl/reward.hh"
+
+namespace cohmeleon::policy
+{
+
+/** Complete learning state of one Cohmeleon policy. */
+struct PolicyCheckpoint
+{
+    /** Current format version (written by save, accepted by load). */
+    static constexpr unsigned kVersion = 1;
+
+    rl::RewardWeights weights;   ///< (x, y, z) of Section 4.2
+    rl::AgentParams agent;       ///< epsilon/alpha schedule + seed
+    unsigned iteration = 0;      ///< schedule position
+    bool frozen = false;         ///< evaluation mode
+    std::array<std::uint64_t, 4> rngState{}; ///< exploration stream
+    rl::QTable table;            ///< Q-values + visit counts
+    rl::RewardTracker tracker;   ///< per-accelerator min/max history
+
+    /** Snapshot @p policy's full learning state. */
+    static PolicyCheckpoint capture(const CohmeleonPolicy &policy);
+
+    /** Construct a policy that continues exactly where the
+     *  checkpointed one stopped (frozen if the checkpoint was). */
+    std::unique_ptr<CohmeleonPolicy> makePolicy() const;
+
+    void save(std::ostream &os) const;
+
+    /**
+     * Parse a save() stream. Fails loudly on malformed input — wrong
+     * magic/version/dimensions, truncation, non-finite values,
+     * invalid hyper-parameters, out-of-order tracker entries, a
+     * missing end marker, or trailing garbage.
+     * @throws FatalError on malformed input
+     */
+    static PolicyCheckpoint load(std::istream &is);
+
+    /** save() to / load() from a file path.
+     *  @throws FatalError on I/O or format errors */
+    void saveFile(const std::string &path) const;
+    static PolicyCheckpoint loadFile(const std::string &path);
+
+    /** save() rendered to a string (for byte-level comparisons). */
+    std::string serialized() const;
+};
+
+} // namespace cohmeleon::policy
+
+#endif // COHMELEON_POLICY_CHECKPOINT_HH

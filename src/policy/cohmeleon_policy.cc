@@ -1,5 +1,8 @@
 #include "policy/cohmeleon_policy.hh"
 
+#include <algorithm>
+#include <cmath>
+
 namespace cohmeleon::policy
 {
 
@@ -40,9 +43,13 @@ rl::InvocationMeasure
 CohmeleonPolicy::measureOf(const rt::InvocationRecord &rec)
 {
     // Scale time and traffic by the footprint (in KB) as in
-    // Section 4.2's exec(k,i) and mem(k,i).
-    const double footprintKb =
-        static_cast<double>(rec.footprintBytes) / 1024.0;
+    // Section 4.2's exec(k,i) and mem(k,i). The denominator is
+    // clamped to one KB: a zero footprint would divide by zero and a
+    // sub-KB footprint would inflate the scaled measures by orders of
+    // magnitude, distorting the per-accelerator minima that every
+    // later reward is computed against.
+    const double footprintKb = std::max(
+        static_cast<double>(rec.footprintBytes) / 1024.0, 1.0);
     rl::InvocationMeasure m;
     m.execScaled = static_cast<double>(rec.wallCycles) / footprintKb;
     m.commRatio =
@@ -61,9 +68,19 @@ CohmeleonPolicy::feedback(const rt::InvocationRecord &rec)
         static_cast<unsigned>(rec.policyTag / rl::kNumActions);
     const unsigned action =
         static_cast<unsigned>(rec.policyTag % rl::kNumActions);
-    const double r =
-        tracker_.reward(rec.acc, measureOf(rec), params_.weights);
-    agent_.learn(state, action, r);
+    const rl::InvocationMeasure m = measureOf(rec);
+    // Degenerate measurements (overflowed monitors, NaN attribution)
+    // must not reach the learner; the tracker also guards itself, but
+    // skipping here keeps the observation out of the history too.
+    if (!std::isfinite(m.execScaled) || !std::isfinite(m.commRatio) ||
+        !std::isfinite(m.memScaled))
+        return;
+    const double r = tracker_.reward(rec.acc, m, params_.weights);
+    if (!std::isfinite(r))
+        return;
+    // The components are clamped to [0, 1], so r already is; saturate
+    // defensively anyway — the Q-table must stay finite and bounded.
+    agent_.learn(state, action, std::clamp(r, 0.0, 1.0));
 }
 
 } // namespace cohmeleon::policy

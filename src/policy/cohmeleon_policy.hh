@@ -45,7 +45,9 @@ class CohmeleonPolicy : public rt::CoherencePolicy
     void unfreeze() { agent_.unfreeze(); }
 
     rl::QLearningAgent &agent() { return agent_; }
+    const rl::QLearningAgent &agent() const { return agent_; }
     rl::RewardTracker &rewardTracker() { return tracker_; }
+    const rl::RewardTracker &rewardTracker() const { return tracker_; }
     const CohmeleonParams &params() const { return params_; }
 
     /** Sense + encode, exposed for tests. */

@@ -10,6 +10,7 @@
 #ifndef COHMELEON_RL_AGENT_HH
 #define COHMELEON_RL_AGENT_HH
 
+#include <array>
 #include <cstdint>
 
 #include "rl/qtable.hh"
@@ -57,6 +58,19 @@ class QLearningAgent
     QTable &table() { return table_; }
     const QTable &table() const { return table_; }
     const AgentParams &params() const { return params_; }
+
+    /** Restore the schedule position from a checkpoint. */
+    void setIteration(unsigned iteration) { iteration_ = iteration; }
+
+    /** Exploration-RNG state, for checkpointing mid-schedule. */
+    std::array<std::uint64_t, 4> rngState() const
+    {
+        return rng_.state();
+    }
+    void setRngState(const std::array<std::uint64_t, 4> &state)
+    {
+        rng_.setState(state);
+    }
 
     /** Fresh table and schedule. */
     void reset();

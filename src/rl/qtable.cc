@@ -1,7 +1,9 @@
 #include "rl/qtable.hh"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "sim/logging.hh"
 
@@ -12,6 +14,7 @@ QTable::QTable()
 {
     q_.assign(StateTuple::kNumStates, {});
     touched_.assign(StateTuple::kNumStates, {});
+    visits_.assign(StateTuple::kNumStates, {});
 }
 
 double
@@ -31,6 +34,48 @@ QTable::setQ(unsigned state, unsigned action, double value)
     touched_[state][action] = true;
 }
 
+std::uint64_t
+QTable::visits(unsigned state, unsigned action) const
+{
+    panic_if(state >= StateTuple::kNumStates || action >= kNumActions,
+             "Q-table index out of range");
+    return visits_[state][action];
+}
+
+void
+QTable::setEntry(unsigned state, unsigned action, double value,
+                 std::uint64_t visits)
+{
+    panic_if(state >= StateTuple::kNumStates || action >= kNumActions,
+             "Q-table index out of range");
+    q_[state][action] = value;
+    visits_[state][action] = visits;
+    touched_[state][action] = visits > 0 || value != 0.0;
+}
+
+void
+QTable::merge(const QTable &other)
+{
+    for (unsigned s = 0; s < StateTuple::kNumStates; ++s) {
+        for (unsigned a = 0; a < kNumActions; ++a) {
+            const std::uint64_t vo = other.visits_[s][a];
+            if (vo == 0)
+                continue;
+            const std::uint64_t vm = visits_[s][a];
+            if (vm == 0) {
+                q_[s][a] = other.q_[s][a];
+            } else {
+                const double wm = static_cast<double>(vm);
+                const double wo = static_cast<double>(vo);
+                q_[s][a] = (wm * q_[s][a] + wo * other.q_[s][a]) /
+                           (wm + wo);
+            }
+            visits_[s][a] = vm + vo;
+            touched_[s][a] = true;
+        }
+    }
+}
+
 bool
 QTable::tried(unsigned state, unsigned action) const
 {
@@ -47,6 +92,26 @@ QTable::updatedEntries() const
         for (bool t : row)
             n += t ? 1 : 0;
     return n;
+}
+
+std::uint64_t
+QTable::totalVisits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &row : visits_)
+        for (std::uint64_t v : row)
+            n += v;
+    return n;
+}
+
+bool
+QTable::allFinite() const
+{
+    for (const auto &row : q_)
+        for (double v : row)
+            if (!std::isfinite(v))
+                return false;
+    return true;
 }
 
 void
@@ -68,19 +133,38 @@ QTable::load(std::istream &is)
     unsigned states = 0;
     unsigned actions = 0;
     is >> magic >> states >> actions;
-    fatalIf(!is || magic != "cohmeleon-qtable" ||
-                states != StateTuple::kNumStates ||
-                actions != kNumActions,
+    fatalIf(!is || magic != "cohmeleon-qtable",
             "malformed Q-table file header");
+    fatalIf(states != StateTuple::kNumStates || actions != kNumActions,
+            "Q-table dimensions ", states, "x", actions,
+            " do not match the ", StateTuple::kNumStates, "x",
+            kNumActions, " state space");
+    // Parse into fresh storage and commit only on success, so a
+    // malformed file cannot leave behind a half-loaded table.
+    std::vector<std::array<double, kNumActions>> q(
+        StateTuple::kNumStates, std::array<double, kNumActions>{});
+    std::vector<std::array<bool, kNumActions>> touched(
+        StateTuple::kNumStates, std::array<bool, kNumActions>{});
     for (unsigned s = 0; s < StateTuple::kNumStates; ++s) {
         for (unsigned a = 0; a < kNumActions; ++a) {
             double v = 0.0;
             is >> v;
-            fatalIf(!is, "truncated Q-table file");
-            q_[s][a] = v;
-            touched_[s][a] = v != 0.0;
+            fatalIf(!is, "truncated or unparseable Q-table file at "
+                         "state ", s, " action ", a);
+            fatalIf(!std::isfinite(v), "non-finite Q-value at state ",
+                    s, " action ", a);
+            q[s][a] = v;
+            touched[s][a] = v != 0.0;
         }
     }
+    std::string trailing;
+    is >> trailing;
+    fatalIf(!trailing.empty(), "trailing garbage after Q-table data");
+    q_ = std::move(q);
+    touched_ = std::move(touched);
+    // A standalone Q-table file carries values only; training mass is
+    // part of the full PolicyCheckpoint format.
+    visits_.assign(StateTuple::kNumStates, {});
 }
 
 void
@@ -88,6 +172,7 @@ QTable::resetToZero()
 {
     q_.assign(StateTuple::kNumStates, {});
     touched_.assign(StateTuple::kNumStates, {});
+    visits_.assign(StateTuple::kNumStates, {});
 }
 
 } // namespace cohmeleon::rl

@@ -2,8 +2,14 @@
  * @file
  * The coherence Q-table: |S| x |A| = 243 x 4 = 972 Q-values (paper
  * Section 4.2), with masked argmax for tiles where some modes are
- * unavailable, and a plain-text save/load format so trained policies
- * can be persisted and restored.
+ * unavailable, per-entry visit counts, and a plain-text save/load
+ * format so trained policies can be persisted and restored.
+ *
+ * Visit counts make tables mergeable: N tables trained independently
+ * on disjoint shards of invocations fold into one via merge(), a
+ * visit-weighted average that is a pure function of the shard tables
+ * and the fold order — the property the parallel training driver
+ * relies on for thread-count-invariant results.
  */
 
 #ifndef COHMELEON_RL_QTABLE_HH
@@ -82,16 +88,49 @@ class QTable
         double &cell = q_[state][action];
         cell = (1.0 - alpha) * cell + alpha * reward;
         touched_[state][action] = true;
+        ++visits_[state][action];
     }
+
+    /** Number of learn() updates applied to (s,a). */
+    std::uint64_t visits(unsigned state, unsigned action) const;
+
+    /** Restore one entry from a checkpoint: value, visit count, and
+     *  the touched flag (set when visits > 0 or value != 0). */
+    void setEntry(unsigned state, unsigned action, double value,
+                  std::uint64_t visits);
+
+    /**
+     * Fold @p other into this table, entry by entry, as the
+     * visit-weighted average
+     *   Q <- (v*Q + v_o*Q_o) / (v + v_o),   v <- v + v_o.
+     * Entries of @p other with zero visits contribute nothing (they
+     * carry no training mass). Deterministic: the result depends only
+     * on the two operands, so folding shard tables in index order
+     * yields the same bits regardless of which threads trained them.
+     */
+    void merge(const QTable &other);
 
     /** Number of (s,a) entries ever updated (coverage metric). */
     std::uint64_t updatedEntries() const;
 
+    /** Sum of visits over all entries (total training mass). */
+    std::uint64_t totalVisits() const;
+
     /** Whether (s,a) has ever been set or updated. */
     bool tried(unsigned state, unsigned action) const;
 
+    /** True when every Q-value is finite (no NaN/Inf poisoning). */
+    bool allFinite() const;
+
     void save(std::ostream &os) const;
-    /** @throws FatalError on malformed input */
+
+    /**
+     * Restore from a save() stream. Fails loudly — wrong magic or
+     * dimensions, truncation, unparseable or non-finite values, and
+     * trailing garbage all throw, and the table is left untouched on
+     * any failure (no partially-loaded state).
+     * @throws FatalError on malformed input
+     */
     void load(std::istream &is);
 
     void resetToZero();
@@ -99,6 +138,7 @@ class QTable
   private:
     std::vector<std::array<double, kNumActions>> q_;
     std::vector<std::array<bool, kNumActions>> touched_;
+    std::vector<std::array<std::uint64_t, kNumActions>> visits_;
 };
 
 } // namespace cohmeleon::rl

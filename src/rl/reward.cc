@@ -1,6 +1,7 @@
 #include "rl/reward.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
 
@@ -15,9 +16,31 @@ RewardWeights::normalized() const
     return {exec / sum, comm / sum, mem / sum};
 }
 
+namespace
+{
+
+/** Clamp a component ratio into [0, 1]; a degenerate (non-finite)
+ *  division result counts as a fresh best. */
+double
+clampComponent(double value)
+{
+    if (!std::isfinite(value))
+        return 1.0;
+    return std::clamp(value, 0.0, 1.0);
+}
+
+} // namespace
+
 RewardComponents
 RewardTracker::observe(std::uint32_t k, const InvocationMeasure &m)
 {
+    // Reject degenerate measurements before they touch the history:
+    // folding an Inf into minExec or maxMem would make the extremum
+    // unreachable forever. The observation itself scores pessimally.
+    if (!std::isfinite(m.execScaled) || !std::isfinite(m.commRatio) ||
+        !std::isfinite(m.memScaled))
+        return {0.0, 0.0, 0.0};
+
     PerAcc &t = perAcc_[k];
     if (!t.any) {
         t.any = true;
@@ -35,12 +58,19 @@ RewardTracker::observe(std::uint32_t k, const InvocationMeasure &m)
     RewardComponents c;
     // A zero denominator means the current value *is* the best
     // possible (e.g. a fully compute-bound run with commRatio 0), so
-    // the component saturates at 1.
-    c.execComp = m.execScaled > 0.0 ? t.minExec / m.execScaled : 1.0;
-    c.commComp = m.commRatio > 0.0 ? t.minComm / m.commRatio : 1.0;
+    // the component saturates at 1. Components are clamped to [0, 1]
+    // so a reward can never leave the unit interval.
+    c.execComp = m.execScaled > 0.0
+                     ? clampComponent(t.minExec / m.execScaled)
+                     : 1.0;
+    c.commComp = m.commRatio > 0.0
+                     ? clampComponent(t.minComm / m.commRatio)
+                     : 1.0;
     const double memRange = t.maxMem - t.minMem;
     c.memComp = memRange > 0.0
-                    ? 1.0 - (m.memScaled - t.minMem) / memRange
+                    ? clampComponent(1.0 -
+                                     (m.memScaled - t.minMem) /
+                                         memRange)
                     : 1.0;
     return c;
 }
@@ -58,6 +88,55 @@ void
 RewardTracker::reset()
 {
     perAcc_.clear();
+}
+
+std::vector<AccExtrema>
+RewardTracker::snapshot() const
+{
+    std::vector<AccExtrema> out;
+    out.reserve(perAcc_.size());
+    for (const auto &[k, t] : perAcc_) {
+        if (!t.any)
+            continue;
+        out.push_back({k, t.minExec, t.minComm, t.minMem, t.maxMem});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const AccExtrema &a, const AccExtrema &b) {
+                  return a.acc < b.acc;
+              });
+    return out;
+}
+
+void
+RewardTracker::restore(const std::vector<AccExtrema> &entries)
+{
+    perAcc_.clear();
+    for (const AccExtrema &e : entries) {
+        PerAcc &t = perAcc_[e.acc];
+        t.any = true;
+        t.minExec = e.minExec;
+        t.minComm = e.minComm;
+        t.minMem = e.minMem;
+        t.maxMem = e.maxMem;
+    }
+}
+
+void
+RewardTracker::mergeFrom(const RewardTracker &other)
+{
+    for (const auto &[k, o] : other.perAcc_) {
+        if (!o.any)
+            continue;
+        PerAcc &t = perAcc_[k];
+        if (!t.any) {
+            t = o;
+            continue;
+        }
+        t.minExec = std::min(t.minExec, o.minExec);
+        t.minComm = std::min(t.minComm, o.minComm);
+        t.minMem = std::min(t.minMem, o.minMem);
+        t.maxMem = std::max(t.maxMem, o.maxMem);
+    }
 }
 
 } // namespace cohmeleon::rl

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 namespace cohmeleon::rl
 {
@@ -49,16 +50,30 @@ struct RewardComponents
     double memComp = 0.0;
 };
 
+/** One accelerator's min/max history, as persisted in checkpoints. */
+struct AccExtrema
+{
+    std::uint32_t acc = 0;
+    double minExec = 0.0;
+    double minComm = 0.0;
+    double minMem = 0.0;
+    double maxMem = 0.0;
+};
+
 /**
  * Per-accelerator running min/max trackers and reward evaluation.
  * The current invocation participates in the min/max (j <= i), so
  * every component lies in [0, 1] and a new best scores 1.
+ *
+ * Non-finite measurements never enter the history: a single Inf or
+ * NaN would otherwise pin an extremum and poison every later reward
+ * for that accelerator. Such observations score 0 on all components.
  */
 class RewardTracker
 {
   public:
     /** Fold invocation i of accelerator @p k into the trackers and
-     *  return the reward components. */
+     *  return the reward components (each finite and in [0, 1]). */
     RewardComponents observe(std::uint32_t k,
                              const InvocationMeasure &m);
 
@@ -68,6 +83,18 @@ class RewardTracker
 
     /** Forget all history (start of a fresh training run). */
     void reset();
+
+    /** The full history, sorted by accelerator id (deterministic
+     *  order for serialization). */
+    std::vector<AccExtrema> snapshot() const;
+
+    /** Replace the history with @p entries (a snapshot()). */
+    void restore(const std::vector<AccExtrema> &entries);
+
+    /** Fold @p other's history into this one: min of mins, max of
+     *  maxes per accelerator. Commutative and associative, so the
+     *  merged history is independent of fold order. */
+    void mergeFrom(const RewardTracker &other);
 
   private:
     struct PerAcc

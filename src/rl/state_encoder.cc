@@ -1,5 +1,7 @@
 #include "rl/state_encoder.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace cohmeleon::rl
@@ -47,9 +49,18 @@ std::uint8_t
 bucketFootprint(std::uint64_t bytes, std::uint64_t l2Bytes,
                 std::uint64_t llcSliceBytes)
 {
-    if (bytes <= l2Bytes)
+    // Table 3 assumes private cache <= LLC slice, but presets are free
+    // to invert that (a small-LLC SoC with accL2Bytes >= llcSliceBytes).
+    // Comparing against the raw pair in declaration order would then
+    // make bucket 1 unreachable and classify footprints that exceed
+    // the slice but fit in L2 as 0, so bucket against the ordered
+    // thresholds instead: 0 fits the smaller level, 1 only the larger,
+    // 2 neither.
+    const std::uint64_t lo = std::min(l2Bytes, llcSliceBytes);
+    const std::uint64_t hi = std::max(l2Bytes, llcSliceBytes);
+    if (bytes <= lo)
         return 0;
-    if (bytes <= llcSliceBytes)
+    if (bytes <= hi)
         return 1;
     return 2;
 }

@@ -85,7 +85,12 @@ struct InvocationRecord
     std::uint64_t ddrExact = 0; ///< ground truth (not SW-visible)
     std::uint64_t ddrMonitorDelta = 0; ///< total delta over controllers
 
-    std::uint64_t policyTag = 0; ///< opaque policy bookkeeping
+    /** Opaque policy bookkeeping. The runtime carries the value the
+     *  policy's decide() wrote into tagOut through the invocation
+     *  unchanged and hands it back in feedback() — Cohmeleon encodes
+     *  (state, action) here, so this round trip is what ties each
+     *  reward to the Q-table entry that earned it. */
+    std::uint64_t policyTag = 0;
 };
 
 /**

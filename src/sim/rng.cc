@@ -91,4 +91,19 @@ Rng::split()
     return Rng(next() ^ 0xa0761d6478bd642full);
 }
 
+std::array<std::uint64_t, 4>
+Rng::state() const
+{
+    return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void
+Rng::setState(const std::array<std::uint64_t, 4> &state)
+{
+    fatalIf((state[0] | state[1] | state[2] | state[3]) == 0,
+            "all-zero xoshiro256** state is invalid");
+    for (int i = 0; i < 4; ++i)
+        s_[i] = state[i];
+}
+
 } // namespace cohmeleon

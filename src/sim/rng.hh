@@ -12,6 +12,7 @@
 #ifndef COHMELEON_SIM_RNG_HH
 #define COHMELEON_SIM_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace cohmeleon
@@ -42,6 +43,13 @@ class Rng
 
     /** Derive an independent child stream (for per-thread RNGs). */
     Rng split();
+
+    /** Raw generator state, for checkpointing a stream mid-flight. */
+    std::array<std::uint64_t, 4> state() const;
+
+    /** Resume from a state() snapshot.
+     *  @throws FatalError on the (invalid) all-zero state */
+    void setState(const std::array<std::uint64_t, 4> &state);
 
   private:
     std::uint64_t s_[4];

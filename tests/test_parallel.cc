@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "app/parallel_runner.hh"
+#include "app/training_driver.hh"
 #include "sim/thread_pool.hh"
 #include "test_util.hh"
 
@@ -165,6 +166,50 @@ TEST(ParallelRunner, PolicySweepMatchesSerialBitExactly)
         app::evaluatePoliciesParallel(cfg, opts, runner, names);
 
     expectOutcomesIdentical(serial, parallel);
+}
+
+// ------------------------------------------- parallel training driver
+
+TEST(ParallelRunner, TrainingCheckpointInvariantAcrossThreadCounts)
+{
+    // The headline property of the training subsystem: the worker
+    // count (COHMELEON_THREADS / --train-jobs) schedules the fixed
+    // shard set but never leaks into the model. 1-thread and
+    // 4-thread training must produce byte-identical checkpoints and
+    // hence identical greedy policies.
+    setQuiet(true);
+    const soc::SocConfig cfg = test::tinySocConfig();
+    app::TrainingOptions opts;
+    opts.shards = 3;
+    opts.iterations = 2;
+    opts.appParams.phases = 2;
+    opts.appParams.maxThreads = 3;
+
+    app::ParallelRunner serial(1);
+    app::TrainingDriver serialDriver(serial);
+    const app::TrainingResult one = serialDriver.train(cfg, opts);
+
+    app::ParallelRunner wide(4);
+    app::TrainingDriver wideDriver(wide);
+    const app::TrainingResult four = wideDriver.train(cfg, opts);
+
+    EXPECT_EQ(one.checkpoint.serialized(),
+              four.checkpoint.serialized());
+    EXPECT_EQ(one.totalInvocations, four.totalInvocations);
+    ASSERT_EQ(one.shards.size(), four.shards.size());
+    for (std::size_t i = 0; i < one.shards.size(); ++i) {
+        EXPECT_EQ(one.shards[i].seed, four.shards[i].seed);
+        EXPECT_EQ(one.shards[i].invocations,
+                  four.shards[i].invocations);
+    }
+    // Identical greedy policies, asserted independently of the
+    // serialization.
+    for (unsigned s = 0; s < rl::StateTuple::kNumStates; ++s)
+        EXPECT_EQ(one.checkpoint.table.bestAction(s,
+                                                  coh::kAllModesMask),
+                  four.checkpoint.table.bestAction(s,
+                                                   coh::kAllModesMask))
+            << "state " << s;
 }
 
 TEST(ParallelRunner, SocGridMatchesPerSocSweeps)

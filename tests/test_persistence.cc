@@ -1,15 +1,53 @@
-/** @file Tests for model persistence, the SoC statistics dump, and
- *  the experiment-protocol options added on top of the paper. */
+/** @file Tests for model persistence — the legacy Q-table files and
+ *  the versioned full-state PolicyCheckpoint format — plus the SoC
+ *  statistics dump and the experiment-protocol options added on top
+ *  of the paper. */
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
+#include <string>
 
 #include "app/experiment.hh"
+#include "app/training_driver.hh"
+#include "policy/checkpoint.hh"
 #include "policy/cohmeleon_policy.hh"
 #include "test_util.hh"
 
 using namespace cohmeleon;
+
+namespace
+{
+
+/** Small, fast training setup shared by the checkpoint tests. */
+app::RandomAppParams
+smallAppParams()
+{
+    app::RandomAppParams ap;
+    ap.phases = 2;
+    ap.maxThreads = 3;
+    return ap;
+}
+
+policy::CohmeleonPolicy
+smallTrainedPolicy(const soc::SocConfig &cfg, unsigned iterations,
+                   bool freeze)
+{
+    policy::CohmeleonParams params;
+    params.agent.decayIterations = 4;
+    policy::CohmeleonPolicy policy(params);
+    soc::Soc naming(cfg);
+    const app::AppSpec app =
+        app::generateRandomApp(naming, Rng(5), smallAppParams());
+    for (unsigned it = 0; it < iterations; ++it)
+        app::runTrainingIteration(policy, cfg, app);
+    if (freeze)
+        policy.freeze();
+    return policy;
+}
+
+} // namespace
 
 TEST(Persistence, TrainedPolicySurvivesSaveLoad)
 {
@@ -67,6 +105,181 @@ TEST(Persistence, RestoredPolicyRunsApplications)
     const app::AppResult result =
         app::runPolicyOnApp(restored, cfg, spec);
     EXPECT_GT(result.totalExecCycles(), 0u);
+}
+
+// --------------------------------------------------- policy checkpoints
+
+TEST(Checkpoint, RoundTripIsByteExact)
+{
+    const soc::SocConfig cfg = test::tinySocConfig();
+    const policy::CohmeleonPolicy trained =
+        smallTrainedPolicy(cfg, 3, /*freeze=*/true);
+
+    const policy::PolicyCheckpoint ckpt =
+        policy::PolicyCheckpoint::capture(trained);
+    std::stringstream persisted;
+    ckpt.save(persisted);
+    const policy::PolicyCheckpoint restored =
+        policy::PolicyCheckpoint::load(persisted);
+
+    // save(load(save(x))) == save(x): the text format is lossless.
+    EXPECT_EQ(restored.serialized(), ckpt.serialized());
+    EXPECT_EQ(restored.iteration, ckpt.iteration);
+    EXPECT_EQ(restored.frozen, ckpt.frozen);
+    EXPECT_EQ(restored.rngState, ckpt.rngState);
+    EXPECT_EQ(restored.table.totalVisits(), ckpt.table.totalVisits());
+}
+
+TEST(Checkpoint, CaptureOfRestoredPolicyIsIdentical)
+{
+    // makePolicy() and capture() are exact inverses: restoring a
+    // checkpoint and capturing again reproduces the same bytes.
+    const soc::SocConfig cfg = test::tinySocConfig();
+    const policy::PolicyCheckpoint ckpt =
+        policy::PolicyCheckpoint::capture(
+            smallTrainedPolicy(cfg, 2, /*freeze=*/true));
+    const auto restored = ckpt.makePolicy();
+    EXPECT_EQ(policy::PolicyCheckpoint::capture(*restored).serialized(),
+              ckpt.serialized());
+}
+
+TEST(Checkpoint, RestoredPolicyReproducesEvalDecisionsExactly)
+{
+    // The evaluation split: run the trained, frozen policy on an
+    // evaluation app; then save -> load -> run again. Timing and
+    // off-chip traffic must match cycle for cycle, which requires
+    // the RNG stream (greedy tie-breaks) to resume too.
+    const soc::SocConfig cfg = test::tinySocConfig();
+    policy::CohmeleonPolicy trained =
+        smallTrainedPolicy(cfg, 3, /*freeze=*/true);
+    const policy::PolicyCheckpoint ckpt =
+        policy::PolicyCheckpoint::capture(trained);
+
+    soc::Soc naming(cfg);
+    const app::AppSpec evalApp =
+        app::generateRandomApp(naming, Rng(77), smallAppParams());
+
+    const app::AppResult direct =
+        app::runPolicyOnApp(trained, cfg, evalApp);
+
+    std::stringstream persisted;
+    ckpt.save(persisted);
+    const app::AppResult replayed = app::TrainingDriver::evaluate(
+        policy::PolicyCheckpoint::load(persisted), cfg, evalApp);
+
+    ASSERT_EQ(direct.phases.size(), replayed.phases.size());
+    for (std::size_t i = 0; i < direct.phases.size(); ++i) {
+        EXPECT_EQ(direct.phases[i].execCycles,
+                  replayed.phases[i].execCycles) << "phase " << i;
+        EXPECT_EQ(direct.phases[i].ddrAccesses,
+                  replayed.phases[i].ddrAccesses) << "phase " << i;
+    }
+}
+
+TEST(Checkpoint, ResumedTrainingMatchesUninterruptedTraining)
+{
+    // The checkpoint persists the *whole* learning state — schedule
+    // position, exploration stream, visit counts, and reward
+    // history — so train(2) + checkpoint + train(2) must equal
+    // train(4) bit for bit.
+    const soc::SocConfig cfg = test::tinySocConfig();
+    soc::Soc naming(cfg);
+    const app::AppSpec app =
+        app::generateRandomApp(naming, Rng(5), smallAppParams());
+
+    policy::CohmeleonParams params;
+    params.agent.decayIterations = 4;
+
+    policy::CohmeleonPolicy straight(params);
+    for (unsigned it = 0; it < 4; ++it)
+        app::runTrainingIteration(straight, cfg, app);
+
+    policy::CohmeleonPolicy firstHalf(params);
+    for (unsigned it = 0; it < 2; ++it)
+        app::runTrainingIteration(firstHalf, cfg, app);
+    std::stringstream persisted;
+    policy::PolicyCheckpoint::capture(firstHalf).save(persisted);
+    const auto resumed =
+        policy::PolicyCheckpoint::load(persisted).makePolicy();
+    EXPECT_FALSE(resumed->agent().frozen());
+    EXPECT_EQ(resumed->agent().iteration(), 2u);
+    for (unsigned it = 0; it < 2; ++it)
+        app::runTrainingIteration(*resumed, cfg, app);
+
+    EXPECT_EQ(policy::PolicyCheckpoint::capture(*resumed).serialized(),
+              policy::PolicyCheckpoint::capture(straight).serialized());
+}
+
+TEST(Checkpoint, LoadRejectsCorruption)
+{
+    const soc::SocConfig cfg = test::tinySocConfig();
+    const std::string good =
+        policy::PolicyCheckpoint::capture(
+            smallTrainedPolicy(cfg, 1, /*freeze=*/true))
+            .serialized();
+
+    auto loadOf = [](std::string text) {
+        std::stringstream ss(std::move(text));
+        return policy::PolicyCheckpoint::load(ss);
+    };
+
+    // Sanity: the uncorrupted text loads.
+    EXPECT_NO_THROW(loadOf(good));
+
+    // Wrong magic.
+    EXPECT_THROW(loadOf("not-a-checkpoint 1\n"), FatalError);
+    // Unsupported version.
+    std::string badVersion = good;
+    badVersion.replace(badVersion.find(" 1\n"), 3, " 99\n");
+    EXPECT_THROW(loadOf(badVersion), FatalError);
+    // Truncation (half the file gone).
+    EXPECT_THROW(loadOf(good.substr(0, good.size() / 2)), FatalError);
+    // Missing end marker.
+    std::string noEnd = good.substr(0, good.rfind("end"));
+    EXPECT_THROW(loadOf(noEnd), FatalError);
+    // Trailing garbage after the end marker.
+    EXPECT_THROW(loadOf(good + "junk\n"), FatalError);
+    // A non-finite Q-value.
+    std::string nanQ = good;
+    const std::size_t qtablePos = nanQ.find("qtable 243 4\n");
+    ASSERT_NE(qtablePos, std::string::npos);
+    const std::size_t firstValue =
+        qtablePos + std::string("qtable 243 4\n").size();
+    const std::size_t firstValueEnd = nanQ.find(' ', firstValue);
+    nanQ.replace(firstValue, firstValueEnd - firstValue, "nan");
+    EXPECT_THROW(loadOf(nanQ), FatalError);
+    // A huge (or sign-wrapped "-1") tracker entry count must throw
+    // FatalError, not std::length_error out of vector::reserve.
+    std::string hugeTracker = good;
+    const std::size_t trackerPos = hugeTracker.find("tracker ");
+    ASSERT_NE(trackerPos, std::string::npos);
+    const std::size_t countEnd =
+        hugeTracker.find('\n', trackerPos);
+    hugeTracker.replace(trackerPos, countEnd - trackerPos,
+                        "tracker 18446744073709551615");
+    EXPECT_THROW(loadOf(hugeTracker), FatalError);
+    // Mismatched Q-table dimensions.
+    std::string badDims = good;
+    badDims.replace(badDims.find("qtable 243 4"),
+                    std::string("qtable 243 4").size(),
+                    "qtable 100 4");
+    EXPECT_THROW(loadOf(badDims), FatalError);
+}
+
+TEST(Checkpoint, FileRoundTripAndMissingFile)
+{
+    const soc::SocConfig cfg = test::tinySocConfig();
+    const policy::PolicyCheckpoint ckpt =
+        policy::PolicyCheckpoint::capture(
+            smallTrainedPolicy(cfg, 1, /*freeze=*/true));
+    const std::string path =
+        ::testing::TempDir() + "cohmeleon_ckpt_test.txt";
+    ckpt.saveFile(path);
+    const policy::PolicyCheckpoint restored =
+        policy::PolicyCheckpoint::loadFile(path);
+    EXPECT_EQ(restored.serialized(), ckpt.serialized());
+    std::remove(path.c_str());
+    EXPECT_THROW(policy::PolicyCheckpoint::loadFile(path), FatalError);
 }
 
 TEST(StatsDump, MentionsEveryComponent)

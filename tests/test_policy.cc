@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "policy/cohmeleon_policy.hh"
 #include "policy/fixed.hh"
 #include "policy/manual.hh"
@@ -276,6 +279,83 @@ TEST(CohmeleonPolicy, MeasureScalesByFootprint)
     EXPECT_DOUBLE_EQ(m.execScaled, 500.0); // 1000 / 2KB
     EXPECT_DOUBLE_EQ(m.commRatio, 0.5);
     EXPECT_DOUBLE_EQ(m.memScaled, 32.0);
+}
+
+TEST(CohmeleonPolicy, MeasureClampsSubKilobyteFootprints)
+{
+    // Sub-KB (or zero) footprints used to divide by (near-)zero and
+    // inflate the scaled measures by orders of magnitude, poisoning
+    // the per-accelerator minima; the denominator clamps at 1 KB.
+    rt::InvocationRecord rec;
+    rec.footprintBytes = 0;
+    rec.wallCycles = 1000;
+    rec.ddrApprox = 64.0;
+    rl::InvocationMeasure m = CohmeleonPolicy::measureOf(rec);
+    EXPECT_TRUE(std::isfinite(m.execScaled));
+    EXPECT_DOUBLE_EQ(m.execScaled, 1000.0); // clamped to / 1 KB
+    EXPECT_DOUBLE_EQ(m.memScaled, 64.0);
+
+    rec.footprintBytes = 256; // quarter KB
+    m = CohmeleonPolicy::measureOf(rec);
+    EXPECT_DOUBLE_EQ(m.execScaled, 1000.0); // still / 1 KB, not / 0.25
+    // At and above 1 KB the paper's scaling is untouched.
+    rec.footprintBytes = 2048;
+    m = CohmeleonPolicy::measureOf(rec);
+    EXPECT_DOUBLE_EQ(m.execScaled, 500.0);
+}
+
+TEST(CohmeleonPolicy, DegenerateFeedbackKeepsQTableFinite)
+{
+    CtxFixture f;
+    CohmeleonParams params;
+    params.agent.epsilon0 = 0.0;
+    CohmeleonPolicy p(params);
+
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (int i = 0; i < 50; ++i) {
+        std::uint64_t tag = 0;
+        p.decide(f.ctx, tag);
+        rt::InvocationRecord rec;
+        rec.acc = 0;
+        rec.policyTag = tag;
+        rec.wallCycles = 10000;
+        rec.accTotalCycles = 8000;
+        rec.accCommCycles = 4000;
+        switch (i % 5) {
+          case 0: // zero footprint (used to divide by zero)
+            rec.footprintBytes = 0;
+            rec.ddrApprox = 100.0;
+            break;
+          case 1: // NaN attribution
+            rec.footprintBytes = 64 * 1024;
+            rec.ddrApprox = nan;
+            break;
+          case 2: // Inf attribution
+            rec.footprintBytes = 64 * 1024;
+            rec.ddrApprox = inf;
+            break;
+          case 3: // sub-KB footprint
+            rec.footprintBytes = 16;
+            rec.ddrApprox = 100.0;
+            break;
+          default: // sane record
+            rec.footprintBytes = 64 * 1024;
+            rec.ddrApprox = 100.0;
+        }
+        p.feedback(rec);
+    }
+    // The table survived with every entry finite and in the reward's
+    // unit interval.
+    EXPECT_TRUE(p.agent().table().allFinite());
+    for (unsigned s = 0; s < rl::StateTuple::kNumStates; ++s) {
+        for (unsigned a = 0; a < rl::kNumActions; ++a) {
+            EXPECT_GE(p.agent().table().q(s, a), 0.0);
+            EXPECT_LE(p.agent().table().q(s, a), 1.0);
+        }
+    }
+    // Sane feedback still reached the learner.
+    EXPECT_GT(p.agent().table().totalVisits(), 0u);
 }
 
 TEST(CohmeleonPolicy, FrozenPolicyIsDeterministic)

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <limits>
 #include <sstream>
+#include <vector>
 
 #include "rl/agent.hh"
 #include "rl/qtable.hh"
@@ -75,6 +78,44 @@ TEST(StateEncoder, FullEncoding)
     EXPECT_EQ(s.tileFootprint, 2);
     EXPECT_EQ(s.accFootprint, 0);
     EXPECT_LT(s.index(), StateTuple::kNumStates);
+}
+
+TEST(StateEncoder, FootprintBucketsWithInvertedThresholds)
+{
+    // Regression: a small-LLC SoC whose accelerator private caches
+    // are *larger* than one LLC slice (accL2Bytes >= llcSliceBytes)
+    // used to make bucket 1 unreachable and classify footprints that
+    // fit in L2 but overflow the slice as 0. The thresholds must be
+    // ordered, not taken in declaration order.
+    const std::uint64_t l2 = 64 * 1024;    // private cache
+    const std::uint64_t slice = 16 * 1024; // small LLC slice
+    EXPECT_EQ(bucketFootprint(8 * 1024, l2, slice), 0);
+    EXPECT_EQ(bucketFootprint(slice, l2, slice), 0); // <= both
+    EXPECT_EQ(bucketFootprint(slice + 1, l2, slice), 1);
+    EXPECT_EQ(bucketFootprint(32 * 1024, l2, slice), 1); // <= L2 only
+    EXPECT_EQ(bucketFootprint(l2, l2, slice), 1);
+    EXPECT_EQ(bucketFootprint(l2 + 1, l2, slice), 2); // fits neither
+    // Every bucket stays reachable under the inverted config.
+    std::array<bool, 3> reachable{};
+    for (std::uint64_t bytes = 1024; bytes <= 256 * 1024;
+         bytes += 1024)
+        reachable[bucketFootprint(bytes, l2, slice)] = true;
+    for (bool r : reachable)
+        EXPECT_TRUE(r);
+}
+
+TEST(StateEncoder, SmallLlcSocConfigUsesAllFootprintStates)
+{
+    // Full-encoding regression with a small-LLC SoC's parameters.
+    StateInputs in;
+    in.l2Bytes = 64 * 1024;       // accL2Bytes of the config
+    in.llcSliceBytes = 16 * 1024; // llcSliceBytes of the config
+    in.accFootprintBytes = 32 * 1024; // > slice, <= L2
+    EXPECT_EQ(encodeState(in).accFootprint, 1);
+    in.accFootprintBytes = 8 * 1024;
+    EXPECT_EQ(encodeState(in).accFootprint, 0);
+    in.accFootprintBytes = 128 * 1024;
+    EXPECT_EQ(encodeState(in).accFootprint, 2);
 }
 
 TEST(StateEncoder, IdleSystemEncodesToFootprintOnlyStates)
@@ -152,6 +193,134 @@ TEST(QTable, LoadRejectsGarbage)
     EXPECT_THROW(q.load(ss), FatalError);
     std::stringstream truncated("cohmeleon-qtable 243 4\n1.0 2.0\n");
     EXPECT_THROW(q.load(truncated), FatalError);
+}
+
+TEST(QTable, LoadRejectsWrongDimensions)
+{
+    QTable q;
+    std::stringstream wrongStates("cohmeleon-qtable 100 4\n");
+    EXPECT_THROW(q.load(wrongStates), FatalError);
+    std::stringstream wrongActions("cohmeleon-qtable 243 7\n");
+    EXPECT_THROW(q.load(wrongActions), FatalError);
+}
+
+TEST(QTable, LoadRejectsNonFiniteValues)
+{
+    // A NaN in a persisted table silently corrupts every later
+    // greedy decision (NaN never compares greater); reject it.
+    QTable trained;
+    trained.setQ(0, 1, 0.5);
+    std::stringstream ss;
+    trained.save(ss);
+    std::string text = ss.str();
+    const std::string needle = "0.5";
+    text.replace(text.find(needle), needle.size(), "nan");
+    QTable q;
+    std::stringstream corrupted(text);
+    EXPECT_THROW(q.load(corrupted), FatalError);
+
+    // Overflowing literals (1e999 -> Inf) are rejected too.
+    std::stringstream ss2;
+    trained.save(ss2);
+    std::string text2 = ss2.str();
+    text2.replace(text2.find(needle), needle.size(), "1e999");
+    std::stringstream corrupted2(text2);
+    EXPECT_THROW(q.load(corrupted2), FatalError);
+}
+
+TEST(QTable, LoadRejectsTrailingGarbage)
+{
+    QTable trained;
+    std::stringstream ss;
+    trained.save(ss);
+    ss << "extra-token\n";
+    QTable q;
+    EXPECT_THROW(q.load(ss), FatalError);
+}
+
+TEST(QTable, FailedLoadLeavesTableUntouched)
+{
+    QTable q;
+    q.setQ(5, 3, 42.0);
+    std::stringstream truncated("cohmeleon-qtable 243 4\n1.0 2.0\n");
+    EXPECT_THROW(q.load(truncated), FatalError);
+    // No partially-loaded state: the pre-load contents survive.
+    EXPECT_DOUBLE_EQ(q.q(5, 3), 42.0);
+    EXPECT_DOUBLE_EQ(q.q(0, 0), 0.0);
+    EXPECT_TRUE(q.tried(5, 3));
+}
+
+// ------------------------------------------------------- visits + merge
+
+TEST(QTable, UpdateCountsVisits)
+{
+    QTable q;
+    EXPECT_EQ(q.visits(4, 2), 0u);
+    q.update(4, 2, 1.0, 0.5);
+    q.update(4, 2, 0.0, 0.5);
+    EXPECT_EQ(q.visits(4, 2), 2u);
+    EXPECT_EQ(q.totalVisits(), 2u);
+    // setQ (manual seeding) carries no training mass.
+    q.setQ(4, 3, 1.0);
+    EXPECT_EQ(q.visits(4, 3), 0u);
+    q.resetToZero();
+    EXPECT_EQ(q.totalVisits(), 0u);
+}
+
+TEST(QTable, MergeIsVisitWeighted)
+{
+    QTable a;
+    QTable b;
+    a.setEntry(3, 1, 1.0, 3);
+    b.setEntry(3, 1, 5.0, 1);
+    a.merge(b);
+    // (3*1.0 + 1*5.0) / 4 = 2.0
+    EXPECT_DOUBLE_EQ(a.q(3, 1), 2.0);
+    EXPECT_EQ(a.visits(3, 1), 4u);
+}
+
+TEST(QTable, MergeSkipsEntriesWithoutTrainingMass)
+{
+    QTable a;
+    QTable b;
+    a.setEntry(2, 0, 1.0, 5);
+    b.setQ(2, 0, 99.0); // touched but never visited
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.q(2, 0), 1.0);
+    EXPECT_EQ(a.visits(2, 0), 5u);
+}
+
+TEST(QTable, MergeAdoptsEntriesNewToThisTable)
+{
+    QTable a;
+    QTable b;
+    b.setEntry(7, 2, 0.75, 9);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.q(7, 2), 0.75);
+    EXPECT_EQ(a.visits(7, 2), 9u);
+    EXPECT_TRUE(a.tried(7, 2));
+}
+
+TEST(QTable, SequentialFoldIsDeterministic)
+{
+    // The parallel driver folds shard tables in index order on one
+    // thread; the same fold must give the same bits every time.
+    auto makeShard = [](unsigned salt) {
+        QTable t;
+        t.setEntry(1, 0, 0.1 * (salt + 1), salt + 1);
+        t.setEntry(1, 1, 0.07 * (salt + 2), 2 * salt + 1);
+        return t;
+    };
+    QTable foldA;
+    QTable foldB;
+    for (unsigned s = 0; s < 5; ++s) {
+        foldA.merge(makeShard(s));
+        foldB.merge(makeShard(s));
+    }
+    for (unsigned a = 0; a < kNumActions; ++a) {
+        EXPECT_EQ(foldA.q(1, a), foldB.q(1, a));
+        EXPECT_EQ(foldA.visits(1, a), foldB.visits(1, a));
+    }
 }
 
 // ---------------------------------------------------------------- reward
@@ -245,6 +414,71 @@ TEST(Reward, RewardIsAlwaysInUnitInterval)
         EXPECT_GE(r, 0.0);
         EXPECT_LE(r, 1.0);
     }
+}
+
+TEST(Reward, NonFiniteMeasureScoresZeroAndLeavesHistoryIntact)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    RewardTracker t;
+    t.observe(0, {10.0, 0.5, 100.0});
+    // Degenerate observations score pessimally on every component...
+    for (const InvocationMeasure m :
+         {InvocationMeasure{inf, 0.5, 100.0},
+          InvocationMeasure{10.0, nan, 100.0},
+          InvocationMeasure{10.0, 0.5, -inf}}) {
+        const RewardComponents c = t.observe(0, m);
+        EXPECT_DOUBLE_EQ(c.execComp, 0.0);
+        EXPECT_DOUBLE_EQ(c.commComp, 0.0);
+        EXPECT_DOUBLE_EQ(c.memComp, 0.0);
+    }
+    // ...and never enter the min/max history: an Inf folded into
+    // minExec/maxMem would poison every later reward.
+    const RewardComponents c = t.observe(0, {10.0, 0.5, 100.0});
+    EXPECT_DOUBLE_EQ(c.execComp, 1.0);
+    EXPECT_DOUBLE_EQ(c.commComp, 1.0);
+    EXPECT_DOUBLE_EQ(c.memComp, 1.0);
+}
+
+TEST(Reward, SnapshotRestoreRoundTrips)
+{
+    RewardTracker t;
+    t.observe(2, {10.0, 0.5, 100.0});
+    t.observe(2, {20.0, 0.25, 300.0});
+    t.observe(0, {5.0, 0.1, 50.0});
+    const std::vector<AccExtrema> snap = t.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].acc, 0u); // sorted by accelerator id
+    EXPECT_EQ(snap[1].acc, 2u);
+    EXPECT_DOUBLE_EQ(snap[1].minExec, 10.0);
+    EXPECT_DOUBLE_EQ(snap[1].minComm, 0.25);
+    EXPECT_DOUBLE_EQ(snap[1].maxMem, 300.0);
+
+    RewardTracker r;
+    r.restore(snap);
+    // The restored tracker scores a repeat observation identically.
+    const RewardComponents a = t.observe(2, {15.0, 0.5, 200.0});
+    const RewardComponents b = r.observe(2, {15.0, 0.5, 200.0});
+    EXPECT_DOUBLE_EQ(a.execComp, b.execComp);
+    EXPECT_DOUBLE_EQ(a.commComp, b.commComp);
+    EXPECT_DOUBLE_EQ(a.memComp, b.memComp);
+}
+
+TEST(Reward, MergeTakesExtremaPerAccelerator)
+{
+    RewardTracker a;
+    RewardTracker b;
+    a.observe(0, {10.0, 0.5, 100.0});
+    b.observe(0, {5.0, 0.8, 400.0});
+    b.observe(1, {7.0, 0.2, 70.0});
+    a.mergeFrom(b);
+    const std::vector<AccExtrema> snap = a.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_DOUBLE_EQ(snap[0].minExec, 5.0);  // min of mins
+    EXPECT_DOUBLE_EQ(snap[0].minComm, 0.5);
+    EXPECT_DOUBLE_EQ(snap[0].minMem, 100.0);
+    EXPECT_DOUBLE_EQ(snap[0].maxMem, 400.0); // max of maxes
+    EXPECT_DOUBLE_EQ(snap[1].minExec, 7.0);  // adopted wholesale
 }
 
 TEST(Reward, ResetForgetsMinima)

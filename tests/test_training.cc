@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the training-at-scale subsystem (app::TrainingDriver):
+ * option validation, shard accounting, deterministic merging, and the
+ * train -> freeze -> evaluate split.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "app/training_driver.hh"
+#include "policy/checkpoint.hh"
+#include "test_util.hh"
+
+using namespace cohmeleon;
+
+namespace
+{
+
+/** Fast training options for the tiny SoC. */
+app::TrainingOptions
+tinyTrainingOptions()
+{
+    app::TrainingOptions opts;
+    opts.shards = 3;
+    opts.iterations = 2;
+    opts.appParams.phases = 2;
+    opts.appParams.maxThreads = 3;
+    return opts;
+}
+
+} // namespace
+
+TEST(TrainingDriver, RejectsDegenerateOptions)
+{
+    app::ParallelRunner runner(1);
+    app::TrainingDriver driver(runner);
+    const soc::SocConfig cfg = test::tinySocConfig();
+    app::TrainingOptions noShards = tinyTrainingOptions();
+    noShards.shards = 0;
+    EXPECT_THROW(driver.train(cfg, noShards), FatalError);
+    app::TrainingOptions noIterations = tinyTrainingOptions();
+    noIterations.iterations = 0;
+    EXPECT_THROW(driver.train(cfg, noIterations), FatalError);
+}
+
+TEST(TrainingDriver, TrainIsDeterministic)
+{
+    setQuiet(true);
+    const soc::SocConfig cfg = test::tinySocConfig();
+    app::ParallelRunner runner(2);
+    app::TrainingDriver driver(runner);
+    const app::TrainingResult a =
+        driver.train(cfg, tinyTrainingOptions());
+    const app::TrainingResult b =
+        driver.train(cfg, tinyTrainingOptions());
+    EXPECT_EQ(a.checkpoint.serialized(), b.checkpoint.serialized());
+    EXPECT_EQ(a.totalInvocations, b.totalInvocations);
+}
+
+TEST(TrainingDriver, ShardsTrainOnDistinctSeeds)
+{
+    setQuiet(true);
+    const soc::SocConfig cfg = test::tinySocConfig();
+    app::ParallelRunner runner(2);
+    app::TrainingDriver driver(runner);
+    const app::TrainingResult r =
+        driver.train(cfg, tinyTrainingOptions());
+    ASSERT_EQ(r.shards.size(), 3u);
+    std::set<std::uint64_t> seeds;
+    std::uint64_t invocations = 0;
+    for (const app::ShardReport &s : r.shards) {
+        seeds.insert(s.seed);
+        invocations += s.invocations;
+        EXPECT_GT(s.invocations, 0u);
+    }
+    EXPECT_EQ(seeds.size(), r.shards.size()); // scenario diversity
+    EXPECT_EQ(invocations, r.totalInvocations);
+}
+
+TEST(TrainingDriver, MergedVisitsEqualSumOfShardVisits)
+{
+    setQuiet(true);
+    const soc::SocConfig cfg = test::tinySocConfig();
+    app::ParallelRunner runner(2);
+    app::TrainingDriver driver(runner);
+    const app::TrainingResult r =
+        driver.train(cfg, tinyTrainingOptions());
+    std::uint64_t shardVisits = 0;
+    for (const app::ShardReport &s : r.shards)
+        shardVisits += s.qtableVisits;
+    EXPECT_GT(shardVisits, 0u);
+    EXPECT_EQ(r.checkpoint.table.totalVisits(), shardVisits);
+}
+
+TEST(TrainingDriver, CheckpointIsFrozenAndScheduleComplete)
+{
+    setQuiet(true);
+    const soc::SocConfig cfg = test::tinySocConfig();
+    const app::TrainingOptions opts = tinyTrainingOptions();
+    app::ParallelRunner runner(2);
+    app::TrainingDriver driver(runner);
+    const app::TrainingResult r = driver.train(cfg, opts);
+    EXPECT_TRUE(r.checkpoint.frozen);
+    EXPECT_EQ(r.checkpoint.iteration, opts.iterations);
+    EXPECT_EQ(r.checkpoint.agent.decayIterations, opts.iterations);
+    const auto policy = r.checkpoint.makePolicy();
+    EXPECT_TRUE(policy->agent().frozen());
+    EXPECT_DOUBLE_EQ(policy->agent().epsilon(), 0.0);
+    EXPECT_DOUBLE_EQ(policy->agent().alpha(), 0.0);
+}
+
+TEST(TrainingDriver, EvaluateIsAPureFunction)
+{
+    setQuiet(true);
+    const soc::SocConfig cfg = test::tinySocConfig();
+    app::ParallelRunner runner(2);
+    app::TrainingDriver driver(runner);
+    const app::TrainingResult r =
+        driver.train(cfg, tinyTrainingOptions());
+
+    soc::Soc naming(cfg);
+    app::RandomAppParams ap;
+    ap.phases = 2;
+    ap.maxThreads = 3;
+    const app::AppSpec evalApp =
+        app::generateRandomApp(naming, Rng(99), ap);
+
+    const app::AppResult a =
+        app::TrainingDriver::evaluate(r.checkpoint, cfg, evalApp);
+    const app::AppResult b =
+        app::TrainingDriver::evaluate(r.checkpoint, cfg, evalApp);
+    ASSERT_EQ(a.phases.size(), b.phases.size());
+    for (std::size_t i = 0; i < a.phases.size(); ++i) {
+        EXPECT_EQ(a.phases[i].execCycles, b.phases[i].execCycles);
+        EXPECT_EQ(a.phases[i].ddrAccesses, b.phases[i].ddrAccesses);
+    }
+    EXPECT_GT(a.totalExecCycles(), 0u);
+}
+
+TEST(TrainingDriver, EvaluateAfterSaveLoadMatchesDirectEvaluate)
+{
+    setQuiet(true);
+    const soc::SocConfig cfg = test::tinySocConfig();
+    app::ParallelRunner runner(2);
+    app::TrainingDriver driver(runner);
+    const app::TrainingResult r =
+        driver.train(cfg, tinyTrainingOptions());
+
+    soc::Soc naming(cfg);
+    app::RandomAppParams ap;
+    ap.phases = 2;
+    ap.maxThreads = 3;
+    const app::AppSpec evalApp =
+        app::generateRandomApp(naming, Rng(99), ap);
+
+    const app::AppResult direct =
+        app::TrainingDriver::evaluate(r.checkpoint, cfg, evalApp);
+
+    std::stringstream persisted;
+    r.checkpoint.save(persisted);
+    const app::AppResult replayed = app::TrainingDriver::evaluate(
+        policy::PolicyCheckpoint::load(persisted), cfg, evalApp);
+
+    ASSERT_EQ(direct.phases.size(), replayed.phases.size());
+    for (std::size_t i = 0; i < direct.phases.size(); ++i) {
+        EXPECT_EQ(direct.phases[i].execCycles,
+                  replayed.phases[i].execCycles);
+        EXPECT_EQ(direct.phases[i].ddrAccesses,
+                  replayed.phases[i].ddrAccesses);
+    }
+}
+
+TEST(TrainingDriver, FrozenEvaluationDoesNotLearn)
+{
+    setQuiet(true);
+    const soc::SocConfig cfg = test::tinySocConfig();
+    app::ParallelRunner runner(2);
+    app::TrainingDriver driver(runner);
+    const app::TrainingResult r =
+        driver.train(cfg, tinyTrainingOptions());
+
+    soc::Soc naming(cfg);
+    app::RandomAppParams ap;
+    ap.phases = 2;
+    ap.maxThreads = 3;
+    const app::AppSpec evalApp =
+        app::generateRandomApp(naming, Rng(99), ap);
+
+    const auto policy = r.checkpoint.makePolicy();
+    const std::uint64_t visitsBefore =
+        policy->agent().table().totalVisits();
+    app::runPolicyOnApp(*policy, cfg, evalApp);
+    EXPECT_EQ(policy->agent().table().totalVisits(), visitsBefore);
+}
+
+TEST(TrainingDriver, MoreShardsMeanMoreCoverage)
+{
+    setQuiet(true);
+    const soc::SocConfig cfg = test::tinySocConfig();
+    app::ParallelRunner runner(2);
+    app::TrainingDriver driver(runner);
+    app::TrainingOptions one = tinyTrainingOptions();
+    one.shards = 1;
+    app::TrainingOptions many = tinyTrainingOptions();
+    many.shards = 4;
+    const app::TrainingResult rOne = driver.train(cfg, one);
+    const app::TrainingResult rMany = driver.train(cfg, many);
+    EXPECT_GT(rMany.totalInvocations, rOne.totalInvocations);
+    EXPECT_GE(rMany.checkpoint.table.updatedEntries(),
+              rOne.checkpoint.table.updatedEntries());
+    EXPECT_GT(rMany.checkpoint.table.totalVisits(),
+              rOne.checkpoint.table.totalVisits());
+}

@@ -7,12 +7,21 @@
  *   cohmeleon_run --soc soc5 --policy manual --app pipeline.cfg
  *   cohmeleon_run --soc soc0 --policy cohmeleon --save-qtable q.txt
  *   cohmeleon_run --soc soc0 --policy cohmeleon --load-qtable q.txt
+ *   cohmeleon_run --soc soc1 --train-jobs 8 --save-model m.ckpt
+ *   cohmeleon_run --soc soc1 --load-model m.ckpt --eval
  *   cohmeleon_run --soc soc1 --compare --jobs 4
  *
  * Prints the per-phase results, the coherence-decision breakdown,
  * and (with --stats) the full SoC statistics block. --compare runs
  * the paper's full eight-policy protocol instead, fanned over the
  * deterministic parallel experiment driver (--jobs threads).
+ *
+ * --train-jobs N selects the parallel training driver: a fixed
+ * number of logical shards (--train-shards) trained over N threads
+ * and merged deterministically, so the saved model is byte-identical
+ * for any N. --save-model/--load-model persist the full learning
+ * state (Q-table + visits, schedule, RNG stream, reward history),
+ * unlike the legacy --save-qtable/--load-qtable value-only format.
  */
 
 #include <cctype>
@@ -25,6 +34,8 @@
 #include "app/config_parser.hh"
 #include "app/experiment.hh"
 #include "app/parallel_runner.hh"
+#include "app/training_driver.hh"
+#include "policy/checkpoint.hh"
 #include "policy/cohmeleon_policy.hh"
 #include "sim/logging.hh"
 #include "sim/wall_timer.hh"
@@ -43,7 +54,13 @@ struct Options
     std::string appFile;
     std::string saveQtable;
     std::string loadQtable;
+    std::string saveModel;
+    std::string loadModel;
     unsigned trainIterations = 10;
+    unsigned trainJobs = 0;   // 0 = sequential single-instance training
+    unsigned trainShards = 4; // logical shards for --train-jobs
+    bool trainShardsSet = false;
+    bool evalOnly = false;
     std::uint64_t seed = 2022;
     bool stats = false;
     bool compare = false;
@@ -66,8 +83,22 @@ usage(const char *argv0)
         "  --train N         cohmeleon training iterations "
         "(default 10)\n"
         "  --seed N          random-app seed (default 2022)\n"
-        "  --save-qtable F   persist the trained Q-table\n"
+        "  --save-qtable F   persist the trained Q-table (values "
+        "only)\n"
         "  --load-qtable F   restore a Q-table instead of training\n"
+        "  --train-jobs N    parallel sharded training over N "
+        "threads\n"
+        "                    (model independent of N; implies "
+        "cohmeleon)\n"
+        "  --train-shards N  logical training shards (default 4)\n"
+        "  --save-model F    persist the full learning state "
+        "(checkpoint)\n"
+        "  --load-model F    restore a checkpoint instead of "
+        "training\n"
+        "  --eval            evaluation split: restore (--load-model)"
+        " a\n"
+        "                    frozen model and run the app, no "
+        "training\n"
         "  --stats           dump the SoC statistics block\n"
         "  --compare         evaluate all eight policies (parallel "
         "driver)\n"
@@ -124,6 +155,23 @@ parseArgs(int argc, char **argv)
             opt.saveQtable = value();
         else if (arg == "--load-qtable")
             opt.loadQtable = value();
+        else if (arg == "--save-model")
+            opt.saveModel = value();
+        else if (arg == "--load-model")
+            opt.loadModel = value();
+        else if (arg == "--train-jobs") {
+            opt.trainJobs = static_cast<unsigned>(number(1024));
+            if (opt.trainJobs == 0)
+                usage(argv[0]);
+        }
+        else if (arg == "--train-shards") {
+            opt.trainShards = static_cast<unsigned>(number(4096));
+            opt.trainShardsSet = true;
+            if (opt.trainShards == 0)
+                usage(argv[0]);
+        }
+        else if (arg == "--eval")
+            opt.evalOnly = true;
         else if (arg == "--stats")
             opt.stats = true;
         else if (arg == "--compare")
@@ -152,13 +200,30 @@ main(int argc, char **argv)
 
         fatalIf(!opt.compare && opt.jobs != 0,
                 "--jobs only applies to --compare");
+        fatalIf(opt.evalOnly && opt.loadModel.empty(),
+                "--eval needs a model to evaluate (--load-model)");
+        fatalIf(opt.evalOnly &&
+                    (opt.trainJobs != 0 || !opt.saveModel.empty()),
+                "--eval is the training-free split; it cannot be "
+                "combined with --train-jobs or --save-model");
+        fatalIf(!opt.loadModel.empty() && opt.trainJobs != 0,
+                "--load-model replaces training; drop --train-jobs");
+        fatalIf(opt.trainShardsSet && opt.trainJobs == 0,
+                "--train-shards only applies to the parallel driver; "
+                "add --train-jobs N");
+        fatalIf(!opt.loadModel.empty() && !opt.loadQtable.empty(),
+                "--load-model and --load-qtable are exclusive");
         if (opt.compare) {
             fatalIf(opt.policySet || !opt.appFile.empty() ||
                         !opt.saveQtable.empty() ||
-                        !opt.loadQtable.empty() || opt.stats,
+                        !opt.loadQtable.empty() ||
+                        !opt.saveModel.empty() ||
+                        !opt.loadModel.empty() ||
+                        opt.trainJobs != 0 || opt.evalOnly ||
+                        opt.stats,
                     "--compare runs all eight policies on a random "
                     "app; it cannot be combined with --policy, "
-                    "--app, --stats, or the Q-table options");
+                    "--app, --stats, or the model options");
             // Dense params for training only, like the single-policy
             // mode below, so a policy's row here can be cross-checked
             // against its standalone run at the same --seed.
@@ -187,16 +252,69 @@ main(int argc, char **argv)
         std::unique_ptr<rt::CoherencePolicy> policy =
             app::makePolicyByName(opt.policyName, cfg, eopts);
 
-        // Cohmeleon needs a model: restore or train online.
+        // Cohmeleon needs a model: restore or train.
         if (auto *cohm = dynamic_cast<policy::CohmeleonPolicy *>(
                 policy.get())) {
-            if (!opt.loadQtable.empty()) {
+            if (!opt.loadModel.empty()) {
+                // Full checkpoint: schedule, RNG stream, visit
+                // counts, and reward history all resume.
+                const policy::PolicyCheckpoint ckpt =
+                    policy::PolicyCheckpoint::loadFile(opt.loadModel);
+                auto restored = ckpt.makePolicy();
+                if (opt.evalOnly)
+                    restored->freeze();
+                std::printf("restored model from %s (iteration %u, "
+                            "%s, %llu q-updates over %llu entries)\n",
+                            opt.loadModel.c_str(), ckpt.iteration,
+                            ckpt.frozen || opt.evalOnly ? "frozen"
+                                                        : "learning",
+                            static_cast<unsigned long long>(
+                                ckpt.table.totalVisits()),
+                            static_cast<unsigned long long>(
+                                ckpt.table.updatedEntries()));
+                cohm = restored.get();
+                policy = std::move(restored);
+            } else if (!opt.loadQtable.empty()) {
                 std::ifstream in(opt.loadQtable);
                 fatalIf(!in, "cannot open '", opt.loadQtable, "'");
                 cohm->agent().table().load(in);
                 cohm->freeze();
                 std::printf("restored Q-table from %s\n",
                             opt.loadQtable.c_str());
+            } else if (opt.trainJobs != 0) {
+                // Parallel sharded training; the merged model is a
+                // pure function of (soc, shards, seeds), never of
+                // the thread count.
+                app::TrainingOptions topts;
+                topts.iterations = eopts.trainIterations;
+                topts.shards = opt.trainShards;
+                topts.trainSeed = eopts.trainSeed;
+                topts.agentSeed = eopts.agentSeed;
+                std::printf("training cohmeleon: %u shards x %u "
+                            "iterations over %u thread(s)...\n",
+                            topts.shards, topts.iterations,
+                            opt.trainJobs);
+                app::ParallelRunner trainRunner(opt.trainJobs);
+                app::TrainingDriver driver(trainRunner);
+                const WallTimer timer;
+                const app::TrainingResult tres =
+                    driver.train(cfg, topts);
+                std::printf("trained on %llu invocations in %.2fs "
+                            "(%llu q-updates, %llu/%u entries "
+                            "covered)\n",
+                            static_cast<unsigned long long>(
+                                tres.totalInvocations),
+                            timer.seconds(),
+                            static_cast<unsigned long long>(
+                                tres.checkpoint.table.totalVisits()),
+                            static_cast<unsigned long long>(
+                                tres.checkpoint.table
+                                    .updatedEntries()),
+                            rl::StateTuple::kNumStates *
+                                rl::kNumActions);
+                auto trained = tres.checkpoint.makePolicy();
+                cohm = trained.get();
+                policy = std::move(trained);
             } else {
                 std::printf("training cohmeleon online (%u "
                             "iterations)...\n",
@@ -216,6 +334,17 @@ main(int argc, char **argv)
                 std::printf("saved Q-table to %s\n",
                             opt.saveQtable.c_str());
             }
+            if (!opt.saveModel.empty()) {
+                policy::PolicyCheckpoint::capture(*cohm).saveFile(
+                    opt.saveModel);
+                std::printf("saved model to %s\n",
+                            opt.saveModel.c_str());
+            }
+        } else {
+            fatalIf(!opt.loadModel.empty() || !opt.saveModel.empty() ||
+                        opt.trainJobs != 0 || opt.evalOnly,
+                    "the model/training options only apply to the "
+                    "cohmeleon policy");
         }
 
         // The application: from file or generated.
