@@ -10,15 +10,18 @@
  *  (b) Manual-threshold sensitivity: Algorithm 1's
  *      EXTRA_SMALL_THRESHOLD is hand-tuned for ESP; sweeping it shows
  *      how brittle the hand-tuned heuristic is compared to learning.
+ *
+ * Thin wrapper over the registered "ablation" campaign: one
+ * hand-picked cell per variant (attribution via the scenario
+ * `attribution` knob, thresholds via parameterized "manual@SIZE"
+ * policies), normalized against the fixed non-coherent-DMA cell.
  */
 
 #include <cstdio>
 
-#include "app/experiment.hh"
-#include "policy/fixed.hh"
+#include "app/campaign_runner.hh"
 #include "bench_util.hh"
-#include "policy/manual.hh"
-#include "soc/soc_presets.hh"
+#include "sim/logging.hh"
 
 using namespace cohmeleon;
 using namespace cohmeleon::bench;
@@ -26,46 +29,12 @@ using namespace cohmeleon::bench;
 namespace
 {
 
-/** Evaluate one ready policy on the shared eval app. */
-std::pair<double, double>
-evalPolicy(rt::CoherencePolicy &policy, const soc::SocConfig &cfg,
-           const app::AppSpec &evalApp,
-           const app::AppResult &baseline)
+const app::CellResult &
+cell(const app::CampaignResult &result, const std::string &name)
 {
-    const app::AppResult r = app::runPolicyOnApp(policy, cfg, evalApp);
-    std::vector<double> execRatios;
-    std::vector<double> ddrRatios;
-    for (std::size_t i = 0; i < r.phases.size(); ++i) {
-        execRatios.push_back(app::safeRatio(
-            static_cast<double>(r.phases[i].execCycles),
-            static_cast<double>(baseline.phases[i].execCycles)));
-        ddrRatios.push_back(app::safeRatio(
-            static_cast<double>(r.phases[i].ddrAccesses),
-            static_cast<double>(baseline.phases[i].ddrAccesses)));
-    }
-    return {geometricMean(execRatios), geometricMean(ddrRatios)};
-}
-
-/** Train a Cohmeleon with the chosen attribution scheme. */
-std::pair<double, double>
-trainAndEval(bool exactAttribution, const soc::SocConfig &cfg,
-             const app::AppSpec &trainApp, const app::AppSpec &evalApp,
-             const app::AppResult &baseline, unsigned iterations)
-{
-    policy::CohmeleonParams params;
-    params.agent.decayIterations = iterations;
-    policy::CohmeleonPolicy policy(params);
-    for (unsigned it = 0; it < iterations; ++it) {
-        soc::Soc soc(cfg);
-        rt::EspRuntime runtime(soc, policy);
-        runtime.setUseExactAttribution(exactAttribution);
-        app::AppRunner runner(soc, runtime);
-        runner.setCollectRecords(false);
-        runner.runApp(trainApp);
-        policy.onIterationEnd();
-    }
-    policy.freeze();
-    return evalPolicy(policy, cfg, evalApp, baseline);
+    const app::CellResult *c = result.find(name);
+    fatalIf(c == nullptr, "campaign lost cell '", name, "'");
+    return *c;
 }
 
 } // namespace
@@ -77,34 +46,24 @@ main()
     banner("Ablations: DDR attribution + manual thresholds",
            "design choices from DESIGN.md, evaluated on SoC1");
 
-    const soc::SocConfig cfg = soc::makeSoc1();
-    const unsigned iterations = fullScale() ? 20 : 10;
+    const app::CampaignSpec campaign =
+        app::namedCampaign("ablation", fullScale());
 
-    app::RandomAppParams ap;
-    ap.maxThreads = 6;
-    soc::Soc namingSoc(cfg);
-    const app::AppSpec trainApp =
-        app::generateRandomApp(namingSoc, Rng(2021), ap);
-    const app::AppSpec evalApp =
-        app::generateRandomApp(namingSoc, Rng(2022), ap);
-
-    policy::FixedPolicy baselinePolicy(
-        coh::CoherenceMode::kNonCohDma);
-    const app::AppResult baseline =
-        app::runPolicyOnApp(baselinePolicy, cfg, evalApp);
+    app::ParallelRunner runner;
+    app::CampaignRunner driver(runner);
+    const app::CampaignResult result = driver.run(campaign);
 
     std::printf("(a) off-chip access attribution\n");
     std::printf("%-36s %10s %10s\n", "variant", "exec", "ddr");
-    const auto approx = trainAndEval(false, cfg, trainApp, evalApp,
-                                     baseline, iterations);
-    const auto exact = trainAndEval(true, cfg, trainApp, evalApp,
-                                    baseline, iterations);
+    const app::CellResult &approx =
+        cell(result, "attribution-approx");
+    const app::CellResult &exact = cell(result, "attribution-exact");
     std::printf("%-36s %10.3f %10.3f\n",
-                "footprint-proportional (paper)", approx.first,
-                approx.second);
+                "footprint-proportional (paper)", approx.geoExec,
+                approx.geoDdr);
     std::printf("%-36s %10.3f %10.3f\n",
-                "exact (needs extra hardware)", exact.first,
-                exact.second);
+                "exact (needs extra hardware)", exact.geoExec,
+                exact.geoDdr);
     std::printf("-> the approximation should cost little, which is "
                 "why the paper chose it.\n\n");
 
@@ -113,11 +72,11 @@ main()
                 "ddr");
     for (std::uint64_t threshold :
          {1024ull, 4096ull, 16384ull, 65536ull}) {
-        policy::ManualPolicy manual(threshold);
-        const auto r = evalPolicy(manual, cfg, evalApp, baseline);
+        const app::CellResult &r =
+            cell(result, "manual-" + std::to_string(threshold));
         std::printf("%33lluB    %10.3f %10.3f\n",
                     static_cast<unsigned long long>(threshold),
-                    r.first, r.second);
+                    r.geoExec, r.geoDdr);
     }
     std::printf("-> the hand-tuned heuristic's quality moves with its"
                 " magic constants; the learned policy needs none.\n");

@@ -8,88 +8,21 @@
  * executions, normalized to the same accelerator's single-accelerator
  * non-coherent-DMA run, and the four accelerator types are averaged.
  *
- * Every (mode x concurrency) measurement runs on its own freshly
- * constructed SoC, which makes the cells independent: they are fanned
- * over the deterministic parallel driver (COHMELEON_THREADS=1 for the
- * serial reference; results are bit-identical either way).
+ * Thin wrapper over the registered "fig3" campaign: the (mode x
+ * concurrency) grid plus the per-accelerator baselines expand into
+ * independent cells fanned over the deterministic parallel driver
+ * (COHMELEON_THREADS=1 for the serial reference; results are
+ * bit-identical either way).
  */
 
 #include <cstdio>
-#include <functional>
-#include <vector>
 
-#include "app/parallel_runner.hh"
+#include "app/campaign_runner.hh"
 #include "bench_util.hh"
 #include "soc/soc_presets.hh"
 
 using namespace cohmeleon;
 using namespace cohmeleon::bench;
-
-namespace
-{
-
-constexpr std::uint64_t kFootprint = 256 * 1024;
-
-struct AccAverages
-{
-    double exec = 0.0; ///< mean wall cycles per invocation
-    double ddr = 0.0;  ///< mean attributed off-chip accesses
-};
-
-/** Run the given accelerators concurrently, looped, under one mode,
- *  on a private SoC instance built from @p cfg. */
-std::vector<AccAverages>
-runSet(const soc::SocConfig &cfg, const std::vector<AccId> &accs,
-       coh::CoherenceMode mode, unsigned loops)
-{
-    soc::Soc soc(cfg);
-    policy::ScriptedPolicy policy;
-    rt::EspRuntime runtime(soc, policy);
-    policy.setMode(mode);
-
-    const std::size_t n = accs.size();
-    std::vector<mem::Allocation> allocs(n);
-    std::vector<AccAverages> sums(n);
-    std::vector<unsigned> done(n, 0);
-
-    Cycles warmDone = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        allocs[i] = soc.allocator().allocate(kFootprint);
-        warmDone = std::max(
-            warmDone,
-            soc.cpuWriteRange(0, static_cast<unsigned>(
-                                     i % soc.numCpus()),
-                              allocs[i], kFootprint));
-    }
-
-    std::function<void(std::size_t)> invokeNext = [&](std::size_t i) {
-        rt::InvocationRequest req;
-        req.acc = accs[i];
-        req.footprintBytes = kFootprint;
-        req.data = &allocs[i];
-        runtime.invoke(static_cast<unsigned>(i % soc.numCpus()), req,
-                       [&, i](const rt::InvocationRecord &r) {
-                           sums[i].exec +=
-                               static_cast<double>(r.wallCycles);
-                           sums[i].ddr += r.ddrApprox;
-                           if (++done[i] < loops)
-                               invokeNext(i);
-                       });
-    };
-    soc.eq().scheduleAt(warmDone, [&] {
-        for (std::size_t i = 0; i < n; ++i)
-            invokeNext(i);
-    });
-    soc.eq().run();
-
-    for (std::size_t i = 0; i < n; ++i) {
-        sums[i].exec /= loops;
-        sums[i].ddr /= loops;
-    }
-    return sums;
-}
-
-} // namespace
 
 int
 main()
@@ -99,36 +32,21 @@ main()
            "1/4/8/12 concurrent accelerators, medium 256KB workloads, "
            "normalized to 1-acc non-coh-dma");
 
-    const soc::SocConfig cfg = soc::makeParallelSoc();
-    const unsigned numAccs =
-        static_cast<unsigned>(cfg.accs.size());
-    const unsigned loops = fullScale() ? 6 : 3;
+    const app::CampaignSpec campaign =
+        app::namedCampaign("fig3", fullScale());
+    const std::size_t numAccs =
+        app::resolveSoc(campaign.base).accs.size();
+    const std::size_t numModes = campaign.policies.size();
+    const std::size_t numCounts = campaign.accCounts.size();
 
     app::ParallelRunner runner;
     std::printf("experiment driver: %u thread(s)\n\n",
                 runner.threads());
 
-    // Per-accelerator single-accelerator non-coherent baselines,
-    // measured with the identical looped protocol; one job per
-    // accelerator, fanned over the pool.
-    std::vector<AccAverages> base(numAccs);
-    runner.forEach(numAccs, [&](std::size_t acc) {
-        base[acc] = runSet(cfg, {static_cast<AccId>(acc)},
-                           coh::CoherenceMode::kNonCohDma, loops)[0];
-    });
-
-    // The (mode x concurrency) grid as one flat batch.
-    const unsigned counts[] = {1, 4, 8, 12};
-    const std::size_t numModes = std::size(coh::kAllModes);
-    std::vector<std::vector<AccAverages>> cells(numModes * 4);
-    runner.forEach(cells.size(), [&](std::size_t job) {
-        const coh::CoherenceMode mode = coh::kAllModes[job / 4];
-        const unsigned count = counts[job % 4];
-        std::vector<AccId> accs(count);
-        for (unsigned i = 0; i < count; ++i)
-            accs[i] = i;
-        cells[job] = runSet(cfg, accs, mode, loops);
-    });
+    app::CampaignRunner driver(runner);
+    const app::CampaignResult result = driver.run(campaign);
+    // Cell layout: numAccs single-run baselines, then the grid in
+    // expansion order (mode-major, concurrency innermost).
 
     std::printf("%-13s | %6s %6s %6s %6s | %6s %6s %6s %6s\n", "",
                 "1acc", "4acc", "8acc", "12acc", "1acc", "4acc",
@@ -137,26 +55,17 @@ main()
                 "execution time (norm)", "off-chip accesses (norm)");
 
     for (std::size_t m = 0; m < numModes; ++m) {
-        double execRow[4];
-        double ddrRow[4];
-        for (unsigned c = 0; c < 4; ++c) {
-            const std::vector<AccAverages> &sums = cells[m * 4 + c];
-            double execNorm = 0.0;
-            double ddrNorm = 0.0;
-            for (unsigned i = 0; i < counts[c]; ++i) {
-                execNorm += sums[i].exec / base[i].exec;
-                ddrNorm += sums[i].ddr / std::max(base[i].ddr, 1.0);
-            }
-            execRow[c] = execNorm / counts[c];
-            ddrRow[c] = ddrNorm / counts[c];
-        }
         std::printf("%-13s |",
                     std::string(toString(coh::kAllModes[m])).c_str());
-        for (double e : execRow)
-            std::printf(" %6.2f", e);
+        for (std::size_t c = 0; c < numCounts; ++c)
+            std::printf(" %6.2f",
+                        result.cells[numAccs + m * numCounts + c]
+                            .geoExec);
         std::printf(" |");
-        for (double d : ddrRow)
-            std::printf(" %6.2f", d);
+        for (std::size_t c = 0; c < numCounts; ++c)
+            std::printf(" %6.2f",
+                        result.cells[numAccs + m * numCounts + c]
+                            .geoDdr);
         std::printf("\n");
     }
 

@@ -10,62 +10,12 @@
 #include <cstdio>
 
 #include "app/experiment.hh"
+#include "app/scenario.hh"
 #include "bench_util.hh"
 #include "soc/soc_presets.hh"
 
 using namespace cohmeleon;
 using namespace cohmeleon::bench;
-
-namespace
-{
-
-/** The four named phases over SoC0's 12 traffic generators. */
-app::AppSpec
-figure5App()
-{
-    app::AppSpec spec;
-    spec.name = "fig5";
-
-    // Small = 16KB, Medium = 256KB, Large = 1.5MB (fits the 2MB LLC),
-    // Variable mixes all of them (paper Section 5/6).
-    app::PhaseSpec large;
-    large.name = "6T-Large";
-    for (int t = 0; t < 6; ++t) {
-        large.threads.push_back(
-            {{{"tgen" + std::to_string(t), 1536 * 1024}}, 1});
-    }
-    spec.phases.push_back(large);
-
-    app::PhaseSpec variable;
-    variable.name = "3T-Variable";
-    variable.threads.push_back(
-        {{{"tgen0", 16 * 1024}, {"tgen4", 16 * 1024}}, 2});
-    variable.threads.push_back(
-        {{{"tgen1", 256 * 1024}, {"tgen5", 256 * 1024}}, 1});
-    variable.threads.push_back({{{"tgen2", 3 * 1024 * 1024}}, 1});
-    spec.phases.push_back(variable);
-
-    app::PhaseSpec small;
-    small.name = "10T-Small";
-    for (int t = 0; t < 10; ++t) {
-        small.threads.push_back(
-            {{{"tgen" + std::to_string(t), 16 * 1024}}, 2});
-    }
-    spec.phases.push_back(small);
-
-    app::PhaseSpec medium;
-    medium.name = "4T-Medium";
-    for (int t = 0; t < 4; ++t) {
-        medium.threads.push_back(
-            {{{"tgen" + std::to_string(t), 256 * 1024},
-              {"tgen" + std::to_string(t + 4), 256 * 1024}},
-             1});
-    }
-    spec.phases.push_back(medium);
-    return spec;
-}
-
-} // namespace
 
 int
 main()
@@ -80,8 +30,10 @@ main()
     opts.trainIterations = fullScale() ? 20 : 12;
     opts.appParams = app::denseTrainingParams();
 
+    // The four named phases live in the scenario layer now, where
+    // campaigns select them with `app = fig5`.
     const auto outcomes = app::evaluatePoliciesOnApp(
-        soc::makeSoc0(), opts, figure5App());
+        soc::makeSoc0(), opts, app::figureApp("fig5"));
 
     const auto &phases = outcomes.front().phases;
     std::printf("%-20s", "policy");

@@ -6,15 +6,16 @@
  * reports Cohmeleon's average speedup and off-chip-access reduction
  * versus the five fixed policies — the paper's headline 38% / 66%.
  *
- * The 8x8 (SoC x policy) grid is fanned over the deterministic
- * parallel driver; COHMELEON_THREADS=1 forces the serial reference
- * order, with bit-identical results either way.
+ * Thin wrapper over the registered "fig9" campaign: the 8x8 (SoC x
+ * policy) grid expands into independent cells fanned over the
+ * deterministic parallel driver; COHMELEON_THREADS=1 forces the
+ * serial reference order, with bit-identical results either way.
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "app/parallel_runner.hh"
+#include "app/campaign_runner.hh"
 #include "bench_util.hh"
 #include "soc/soc_presets.hh"
 
@@ -29,21 +30,20 @@ main()
            "8 SoCs x 8 policies; plus Table 4 parameters and the "
            "headline speedup/traffic summary");
 
-    app::EvalOptions opts;
-    opts.trainIterations = 10;
-    opts.appParams = app::denseTrainingParams();
+    const app::CampaignSpec campaign =
+        app::namedCampaign("fig9", fullScale());
 
     std::vector<soc::SocConfig> cfgs;
-    for (std::string_view socName : soc::figure9SocNames())
+    for (const std::string &socName : campaign.socs)
         cfgs.push_back(soc::makeSocByName(socName));
 
     app::ParallelRunner runner;
     std::printf("experiment driver: %u thread(s)\n\n",
                 runner.threads());
 
+    app::CampaignRunner driver(runner);
     const WallTimer timer;
-    const auto grid =
-        app::evaluateSocGridParallel(cfgs, opts, runner);
+    const app::CampaignResult result = driver.run(campaign);
     const double elapsed = timer.seconds();
 
     double speedupSum = 0.0;
@@ -64,7 +64,8 @@ main()
                     static_cast<unsigned long long>(cfg.l2Bytes /
                                                     1024));
 
-        const std::vector<app::PolicyOutcome> &outcomes = grid[s];
+        const std::vector<app::PolicyOutcome> outcomes =
+            result.groupOutcomes(s);
         std::printf("%-20s %10s %10s\n", "policy", "exec", "ddr");
         double cohmExec = 1.0;
         double cohmDdr = 1.0;

@@ -22,6 +22,7 @@
 
 #include "policy/policy.hh"
 #include "rt/runtime.hh"
+#include "sim/json_writer.hh"
 #include "sim/logging.hh"
 #include "sim/wall_timer.hh"
 #include "soc/soc.hh"
@@ -29,96 +30,10 @@
 namespace cohmeleon::bench
 {
 
-/**
- * Machine-readable benchmark output: a flat JSON object of numeric
- * and string metrics written to BENCH_<name>.json, so CI and later
- * PRs can diff performance without scraping stdout. Values are
- * emitted in insertion order.
- */
-class JsonReporter
-{
-  public:
-    explicit JsonReporter(std::string benchName)
-        : benchName_(std::move(benchName))
-    {
-        addString("bench", benchName_);
-    }
-
-    void
-    add(const std::string &key, double value)
-    {
-        // JSON has no literal for NaN/Inf; emit null so the file
-        // stays parseable when a metric degenerates.
-        if (!std::isfinite(value)) {
-            entries_.push_back({key, "null", /*quoted=*/false});
-            return;
-        }
-        char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.6g", value);
-        entries_.push_back({key, buf, /*quoted=*/false});
-    }
-
-    void
-    addString(const std::string &key, const std::string &value)
-    {
-        entries_.push_back({key, value, /*quoted=*/true});
-    }
-
-    /** Write BENCH_<name>.json into the working directory.
-     *  @return the file name written. */
-    std::string
-    write() const
-    {
-        const std::string file = "BENCH_" + benchName_ + ".json";
-        std::ofstream out(file);
-        fatalIf(!out, "cannot write '", file, "'");
-        out << "{\n";
-        for (std::size_t i = 0; i < entries_.size(); ++i) {
-            const Entry &e = entries_[i];
-            out << "  \"" << escaped(e.key) << "\": ";
-            if (e.quoted)
-                out << '"' << escaped(e.value) << '"';
-            else
-                out << e.value;
-            out << (i + 1 < entries_.size() ? ",\n" : "\n");
-        }
-        out << "}\n";
-        return file;
-    }
-
-  private:
-    struct Entry
-    {
-        std::string key;
-        std::string value;
-        bool quoted;
-    };
-
-    static std::string
-    escaped(const std::string &s)
-    {
-        std::string out;
-        out.reserve(s.size());
-        for (char c : s) {
-            if (c == '"' || c == '\\') {
-                out += '\\';
-                out += c;
-            } else if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-        return out;
-    }
-
-    std::string benchName_;
-    std::vector<Entry> entries_;
-};
+/** The JSON metric writer now lives in the library so the campaign
+ *  runner can emit CAMPAIGN_<name>.json through the same code; the
+ *  benches keep addressing it as bench::JsonReporter. */
+using cohmeleon::JsonReporter;
 
 /** Whether the full (paper-scale) configuration was requested. */
 inline bool

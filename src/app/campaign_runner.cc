@@ -1,0 +1,690 @@
+#include "app/campaign_runner.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "app/config_parser.hh"
+#include "app/training_driver.hh"
+#include "policy/checkpoint.hh"
+#include "policy/cohmeleon_policy.hh"
+#include "policy/policy.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace cohmeleon::app
+{
+
+namespace
+{
+
+// ------------------------------------------------------------ expansion
+
+/** expand() plus the per-cell grouping metadata run() needs. */
+struct ExpandedCell
+{
+    ScenarioSpec spec;
+    std::size_t group = 0;
+    bool isBaseline = false;
+};
+
+template <typename T>
+std::vector<T>
+axisOrDefault(const std::vector<T> &axis, T fallback)
+{
+    if (!axis.empty())
+        return axis;
+    return {std::move(fallback)};
+}
+
+std::vector<ExpandedCell>
+expandCells(const CampaignSpec &c)
+{
+    const bool haveAxes = !c.socs.empty() || !c.policies.empty() ||
+                          !c.seeds.empty() || !c.shardCounts.empty() ||
+                          !c.accCounts.empty();
+    const bool concurrent =
+        c.base.workload == WorkloadKind::kConcurrent;
+
+    const std::vector<std::string> socs =
+        axisOrDefault(c.socs, c.base.soc);
+    const std::vector<std::string> policies =
+        axisOrDefault(c.policies, c.base.policy);
+    const std::vector<std::uint64_t> seeds =
+        axisOrDefault(c.seeds, c.base.evalSeed);
+    const std::vector<unsigned> shardCounts =
+        axisOrDefault(c.shardCounts, c.base.trainShards);
+    const std::vector<unsigned> accCounts =
+        axisOrDefault(c.accCounts, c.base.accCount);
+
+    std::vector<ExpandedCell> out;
+    std::size_t group = 0;
+
+    // Hand-picked cells without any axis: the cells ARE the campaign.
+    if (haveAxes || c.cells.empty()) {
+        for (const std::string &socName : socs) {
+            for (std::uint64_t seed : seeds) {
+                for (unsigned shards : shardCounts) {
+                    if (concurrent) {
+                        // Figure-3 normalization: every accelerator's
+                        // own single-accelerator non-coherent run,
+                        // with the grid's loop count.
+                        ScenarioSpec probe = c.base;
+                        probe.soc = socName;
+                        const soc::SocConfig cfg = resolveSoc(probe);
+                        for (std::size_t a = 0; a < cfg.accs.size();
+                             ++a) {
+                            ScenarioSpec cell = c.base;
+                            cell.soc = socName;
+                            cell.evalSeed = seed;
+                            cell.trainShards = shards;
+                            cell.policy = "fixed-non-coh-dma";
+                            cell.accIndex = static_cast<int>(a);
+                            cell.name = socName + "/single/acc" +
+                                        std::to_string(a);
+                            out.push_back(
+                                {std::move(cell), group, true});
+                        }
+                    }
+                    for (const std::string &policyName : policies) {
+                        for (unsigned accCount : accCounts) {
+                            ScenarioSpec cell = c.base;
+                            cell.soc = socName;
+                            cell.evalSeed = seed;
+                            cell.trainShards = shards;
+                            cell.policy = policyName;
+                            cell.accCount = accCount;
+                            cell.name = socName + "/" + policyName;
+                            if (seeds.size() > 1)
+                                cell.name +=
+                                    "/seed" + std::to_string(seed);
+                            if (shardCounts.size() > 1)
+                                cell.name +=
+                                    "/sh" + std::to_string(shards);
+                            if (concurrent)
+                                cell.name +=
+                                    "/x" + std::to_string(accCount);
+                            out.push_back(
+                                {std::move(cell), group, false});
+                        }
+                    }
+                    ++group;
+                }
+            }
+        }
+    }
+
+    if (!c.cells.empty()) {
+        for (const ScenarioSpec &cell : c.cells)
+            out.push_back({cell, group, false});
+        ++group;
+    }
+    return out;
+}
+
+// ------------------------------------------------------ cell execution
+
+/**
+ * Figure-3 measurement unit, moved verbatim from the pre-refactor
+ * bench_fig3_parallel: run @p accs concurrently, looped, under one
+ * scripted mode, on a private SoC built from @p cfg.
+ */
+std::vector<ConcurrentAccMean>
+runSet(const soc::SocConfig &cfg, const std::vector<AccId> &accs,
+       coh::CoherenceMode mode, unsigned loops,
+       std::uint64_t footprint, const RuntimeKnobs &knobs)
+{
+    soc::Soc soc(cfg);
+    policy::ScriptedPolicy policy;
+    rt::EspRuntime runtime(soc, policy);
+    knobs.applyTo(soc, runtime);
+    policy.setMode(mode);
+
+    const std::size_t n = accs.size();
+    std::vector<mem::Allocation> allocs(n);
+    std::vector<ConcurrentAccMean> sums(n);
+    std::vector<unsigned> done(n, 0);
+
+    Cycles warmDone = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        allocs[i] = soc.allocator().allocate(footprint);
+        warmDone = std::max(
+            warmDone,
+            soc.cpuWriteRange(0, static_cast<unsigned>(
+                                     i % soc.numCpus()),
+                              allocs[i], footprint));
+    }
+
+    std::function<void(std::size_t)> invokeNext = [&](std::size_t i) {
+        rt::InvocationRequest req;
+        req.acc = accs[i];
+        req.footprintBytes = footprint;
+        req.data = &allocs[i];
+        runtime.invoke(static_cast<unsigned>(i % soc.numCpus()), req,
+                       [&, i](const rt::InvocationRecord &r) {
+                           sums[i].exec +=
+                               static_cast<double>(r.wallCycles);
+                           sums[i].ddr += r.ddrApprox;
+                           if (++done[i] < loops)
+                               invokeNext(i);
+                       });
+    };
+    soc.eq().scheduleAt(warmDone, [&] {
+        for (std::size_t i = 0; i < n; ++i)
+            invokeNext(i);
+    });
+    soc.eq().run();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        sums[i].exec /= loops;
+        sums[i].ddr /= loops;
+    }
+    return sums;
+}
+
+RuntimeKnobs
+knobsOf(const ScenarioSpec &s)
+{
+    RuntimeKnobs k;
+    k.exactAttribution = s.exactAttribution;
+    k.disabledModes = s.disabledModes;
+    k.accDisabledModes = s.accDisabledModes;
+    return k;
+}
+
+CellResult
+runConcurrentCell(const ScenarioSpec &s)
+{
+    CellResult out;
+    out.scenario = s;
+
+    const soc::SocConfig cfg = resolveSoc(s);
+    fatalIf(s.policy.rfind("fixed-", 0) != 0 ||
+                s.policy == "fixed-hetero",
+            "concurrent cells run one scripted mode; policy must be "
+            "fixed-<mode>, got '", s.policy, "'");
+    const coh::CoherenceMode mode =
+        coh::modeFromString(s.policy.substr(6));
+
+    std::vector<AccId> accs;
+    if (s.accIndex >= 0) {
+        fatalIf(static_cast<std::size_t>(s.accIndex) >=
+                    cfg.accs.size(),
+                "acc-index ", s.accIndex, " outside '", cfg.name,
+                "' (", cfg.accs.size(), " accelerators)");
+        accs = {static_cast<AccId>(s.accIndex)};
+    } else {
+        fatalIf(s.accCount == 0 || s.accCount > cfg.accs.size(),
+                "acc-count ", s.accCount, " outside '", cfg.name,
+                "' (", cfg.accs.size(), " accelerators)");
+        for (unsigned i = 0; i < s.accCount; ++i)
+            accs.push_back(static_cast<AccId>(i));
+    }
+
+    out.accMeans =
+        runSet(cfg, accs, mode, s.loops, s.footprintBytes, knobsOf(s));
+    return out;
+}
+
+void
+summarizeModel(TrainSummary &t, const policy::PolicyCheckpoint &ckpt)
+{
+    t.qUpdates = ckpt.table.totalVisits();
+    t.entriesCovered = ckpt.table.updatedEntries();
+    t.iteration = ckpt.iteration;
+}
+
+CellResult
+runProtocolCell(const ScenarioSpec &s, const std::string *mergedModel)
+{
+    CellResult out;
+    out.scenario = s;
+
+    const soc::SocConfig cfg = resolveSoc(s);
+    const RuntimeKnobs knobs = knobsOf(s);
+
+    EvalOptions eopts;
+    eopts.trainIterations = std::max(1u, s.trainIterations);
+    eopts.trainSeed = s.trainSeed;
+    eopts.evalSeed = s.evalSeed;
+    eopts.appParams = s.appParams;
+    if (s.trainApp == TrainAppShape::kDense)
+        eopts.trainAppParams = denseTrainingParams();
+    eopts.agentSeed = s.agentSeed;
+    eopts.collectRecords = s.collectRecords;
+
+    // The protocol's applications. For random evaluation apps this is
+    // exactly makeProtocolApps(); file/figure apps replace the
+    // evaluation side only (Cohmeleon still trains on a random
+    // instance, per the paper's methodology).
+    AppSpec trainApp;
+    AppSpec evalApp;
+    {
+        soc::Soc naming(cfg);
+        trainApp = generateRandomApp(
+            naming, Rng(eopts.trainSeed),
+            eopts.trainAppParams.value_or(eopts.appParams));
+        switch (s.appSource) {
+          case AppSource::kRandom:
+            evalApp = generateRandomApp(naming, Rng(eopts.evalSeed),
+                                        eopts.appParams);
+            break;
+          case AppSource::kFile: {
+            std::ifstream in(s.appFile);
+            fatalIf(!in, "cannot open '", s.appFile, "'");
+            evalApp = parseAppSpec(in);
+            break;
+          }
+          case AppSource::kFigure:
+            evalApp = figureApp(s.figureName);
+            break;
+        }
+    }
+    out.appName = evalApp.name;
+
+    const bool wantsModelFlow =
+        !s.loadModel.empty() || !s.loadQtable.empty() ||
+        !s.saveModel.empty() || !s.saveQtable.empty() ||
+        s.trainShards > 0 ||
+        (mergedModel != nullptr && s.policy == "cohmeleon");
+
+    if (!wantsModelFlow && !s.captureStats) {
+        // The paper's plain protocol — the exact code path the figure
+        // benches used before the campaign layer existed.
+        out.phases = runProtocolForPolicy(s.policy, cfg, eopts,
+                                          trainApp, evalApp, knobs);
+        if (s.policy == "cohmeleon") {
+            out.training.source = TrainSummary::Source::kOnline;
+            out.training.invocations =
+                static_cast<std::uint64_t>(
+                    trainApp.totalInvocations()) *
+                eopts.trainIterations;
+            out.training.iteration = eopts.trainIterations;
+        }
+        return out;
+    }
+
+    std::unique_ptr<rt::CoherencePolicy> policy =
+        makePolicyByName(s.policy, cfg, eopts);
+    auto *cohm =
+        dynamic_cast<policy::CohmeleonPolicy *>(policy.get());
+    fatalIf(cohm == nullptr &&
+                (!s.loadModel.empty() || !s.saveModel.empty() ||
+                 !s.loadQtable.empty() || !s.saveQtable.empty() ||
+                 s.trainShards > 0),
+            "the model/training options only apply to the cohmeleon "
+            "policy (cell '", s.name, "' runs ", s.policy, ")");
+
+    if (cohm != nullptr) {
+        TrainSummary &t = out.training;
+        fatalIf(!s.loadModel.empty() && s.trainShards != 0,
+                "cell '", s.name,
+                "' both loads a model and asks for sharded training "
+                "(load-model replaces training)");
+        if (!s.loadModel.empty()) {
+            const policy::PolicyCheckpoint ckpt =
+                policy::PolicyCheckpoint::loadFile(s.loadModel);
+            auto restored = ckpt.makePolicy();
+            if (s.freezeLoaded)
+                restored->freeze();
+            cohm = restored.get();
+            policy = std::move(restored);
+            t.source = TrainSummary::Source::kLoaded;
+            summarizeModel(t, ckpt);
+        } else if (mergedModel != nullptr) {
+            std::istringstream in(*mergedModel);
+            const policy::PolicyCheckpoint ckpt =
+                policy::PolicyCheckpoint::load(in);
+            auto restored = ckpt.makePolicy(); // merged models freeze
+            cohm = restored.get();
+            policy = std::move(restored);
+            t.source = TrainSummary::Source::kTransfer;
+            summarizeModel(t, ckpt);
+        } else if (!s.loadQtable.empty()) {
+            std::ifstream in(s.loadQtable);
+            fatalIf(!in, "cannot open '", s.loadQtable, "'");
+            cohm->agent().table().load(in);
+            cohm->freeze();
+            t.source = TrainSummary::Source::kLoaded;
+            t.qUpdates = cohm->agent().table().totalVisits();
+            t.entriesCovered = cohm->agent().table().updatedEntries();
+        } else if (s.trainShards > 0) {
+            // Sharded deterministic training, serial inside the cell
+            // (cells themselves are the parallel unit). The model is
+            // a pure function of the spec — byte-identical to any
+            // --train-jobs width of the standalone driver.
+            TrainingOptions topts;
+            topts.iterations = eopts.trainIterations;
+            topts.shards = s.trainShards;
+            topts.trainSeed = s.trainSeed;
+            topts.agentSeed = s.agentSeed;
+            topts.appParams =
+                eopts.trainAppParams.value_or(eopts.appParams);
+            topts.knobs = knobs;
+            ParallelRunner serial(1);
+            TrainingDriver driver(serial);
+            const TrainingResult tres = driver.train(cfg, topts);
+            auto trained = tres.checkpoint.makePolicy();
+            cohm = trained.get();
+            policy = std::move(trained);
+            t.source = TrainSummary::Source::kSharded;
+            t.invocations = tres.totalInvocations;
+            summarizeModel(t, tres.checkpoint);
+        } else {
+            trainCohmeleon(*cohm, cfg, trainApp,
+                           eopts.trainIterations, knobs);
+            t.source = TrainSummary::Source::kOnline;
+            t.invocations = static_cast<std::uint64_t>(
+                                trainApp.totalInvocations()) *
+                            eopts.trainIterations;
+            t.qUpdates = cohm->agent().table().totalVisits();
+            t.entriesCovered = cohm->agent().table().updatedEntries();
+            t.iteration = eopts.trainIterations;
+        }
+        if (!s.saveQtable.empty()) {
+            std::ofstream qout(s.saveQtable);
+            fatalIf(!qout, "cannot open '", s.saveQtable, "'");
+            cohm->agent().table().save(qout);
+        }
+        if (!s.saveModel.empty())
+            policy::PolicyCheckpoint::capture(*cohm).saveFile(
+                s.saveModel);
+    }
+
+    out.phases =
+        runPolicyOnApp(*policy, cfg, evalApp, knobs, s.collectRecords,
+                       s.captureStats ? &out.statsDump : nullptr)
+            .phases;
+    return out;
+}
+
+CellResult
+runCell(const ScenarioSpec &s, const std::string *mergedModel)
+{
+    if (s.workload == WorkloadKind::kConcurrent)
+        return runConcurrentCell(s);
+    return runProtocolCell(s, mergedModel);
+}
+
+// --------------------------------------------------------- normalizing
+
+/** Per-group normalization (main thread, fixed order). Protocol
+ *  groups replicate normalizeOutcomes() against the baseline-policy
+ *  cell; concurrent groups replicate Figure 3's per-accelerator
+ *  normalization against the auto-generated single-run cells. */
+void
+normalizeGroups(const CampaignSpec &spec,
+                std::vector<CellResult> &cells, std::size_t groupCount,
+                std::size_t explicitGroup)
+{
+    for (std::size_t g = 0; g < groupCount; ++g) {
+        std::vector<std::size_t> idx;
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            if (cells[i].group == g)
+                idx.push_back(i);
+        if (idx.empty())
+            continue;
+
+        const bool concurrent = cells[idx.front()].scenario.workload ==
+                                WorkloadKind::kConcurrent;
+        if (concurrent) {
+            // acc id -> baseline means, from the single-run cells.
+            std::vector<ConcurrentAccMean> base;
+            for (std::size_t i : idx) {
+                const CellResult &c = cells[i];
+                if (!c.isBaseline)
+                    continue;
+                const std::size_t a =
+                    static_cast<std::size_t>(c.scenario.accIndex);
+                if (base.size() <= a)
+                    base.resize(a + 1);
+                base[a] = c.accMeans.front();
+            }
+            // Hand-picked concurrent cells have no auto-generated
+            // baselines; report them raw instead of dying after the
+            // whole group already ran.
+            if (base.empty())
+                continue;
+            for (std::size_t i : idx) {
+                CellResult &c = cells[i];
+                if (c.isBaseline)
+                    continue;
+                fatalIf(c.accMeans.size() > base.size(),
+                        "concurrent cell '", c.scenario.name,
+                        "' has no baseline for every accelerator");
+                double execNorm = 0.0;
+                double ddrNorm = 0.0;
+                for (std::size_t a = 0; a < c.accMeans.size(); ++a) {
+                    execNorm += c.accMeans[a].exec / base[a].exec;
+                    ddrNorm += c.accMeans[a].ddr /
+                               std::max(base[a].ddr, 1.0);
+                }
+                c.geoExec =
+                    execNorm / static_cast<double>(c.accMeans.size());
+                c.geoDdr =
+                    ddrNorm / static_cast<double>(c.accMeans.size());
+            }
+            continue;
+        }
+
+        if (spec.baseline == "none")
+            continue;
+        std::size_t baseIdx = idx.front();
+        if (!spec.baseline.empty()) {
+            bool found = false;
+            for (std::size_t i : idx) {
+                if (cells[i].scenario.policy == spec.baseline) {
+                    baseIdx = i;
+                    found = true;
+                    break;
+                }
+            }
+            // Hand-picked cells may deliberately omit the baseline
+            // (what-if cells reported raw); a cross-product group
+            // without it is a spec error.
+            if (!found && g == explicitGroup)
+                continue;
+            fatalIf(!found, "baseline policy '", spec.baseline,
+                    "' has no cell in group ", g);
+        }
+        const std::vector<PhaseResult> &base = cells[baseIdx].phases;
+        for (std::size_t i : idx) {
+            CellResult &c = cells[i];
+            fatalIf(c.phases.size() != base.size(),
+                    "cells in one normalization group ran different "
+                    "apps ('", c.scenario.name, "' vs the baseline)");
+            std::vector<double> execRatios;
+            std::vector<double> ddrRatios;
+            c.execNorm.clear();
+            c.ddrNorm.clear();
+            for (std::size_t p = 0; p < c.phases.size(); ++p) {
+                const double e = safeRatio(
+                    static_cast<double>(c.phases[p].execCycles),
+                    static_cast<double>(base[p].execCycles));
+                const double d = safeRatio(
+                    static_cast<double>(c.phases[p].ddrAccesses),
+                    static_cast<double>(base[p].ddrAccesses));
+                c.execNorm.push_back(e);
+                c.ddrNorm.push_back(d);
+                execRatios.push_back(std::max(e, 1e-9));
+                ddrRatios.push_back(std::max(d, 1e-9));
+            }
+            c.geoExec = geometricMean(execRatios);
+            c.geoDdr = geometricMean(ddrRatios);
+        }
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------- public API
+
+std::vector<ScenarioSpec>
+CampaignRunner::expand(const CampaignSpec &spec)
+{
+    std::vector<ScenarioSpec> out;
+    for (ExpandedCell &c : expandCells(spec))
+        out.push_back(std::move(c.spec));
+    return out;
+}
+
+CampaignResult
+CampaignRunner::run(const CampaignSpec &spec)
+{
+    std::vector<ExpandedCell> expanded = expandCells(spec);
+    fatalIf(expanded.empty(), "campaign '", spec.name,
+            "' expands to no cells");
+
+    // Stage 1 (optional): cross-SoC transfer training. The merged
+    // model is serialized once and restored per cell, keeping cells
+    // free of shared mutable state.
+    std::string mergedModel;
+    if (spec.transfer.active()) {
+        std::vector<soc::SocConfig> cfgs;
+        for (const std::string &socName : spec.transfer.socs) {
+            ScenarioSpec probe = spec.base;
+            probe.soc = socName;
+            cfgs.push_back(resolveSoc(probe));
+        }
+        TrainingOptions topts;
+        topts.iterations = spec.transfer.iterations;
+        topts.shards = spec.transfer.shardsPerSoc;
+        topts.trainSeed = spec.base.trainSeed;
+        topts.agentSeed = spec.base.agentSeed;
+        if (spec.base.trainApp == TrainAppShape::kSameAsEval)
+            topts.appParams = spec.base.appParams;
+        topts.knobs = knobsOf(spec.base);
+        const TrainingResult tres =
+            trainAcrossSocs(cfgs, topts, runner_);
+        if (!spec.transfer.saveModel.empty())
+            tres.checkpoint.saveFile(spec.transfer.saveModel);
+        mergedModel = tres.checkpoint.serialized();
+    }
+
+    // Stage 2: the cells, one slot each, any thread order.
+    CampaignResult result;
+    result.name = spec.name;
+    result.cells.resize(expanded.size());
+    const std::string *merged =
+        mergedModel.empty() ? nullptr : &mergedModel;
+    runner_.forEach(expanded.size(), [&](std::size_t i) {
+        result.cells[i] = runCell(expanded[i].spec, merged);
+        result.cells[i].group = expanded[i].group;
+        result.cells[i].isBaseline = expanded[i].isBaseline;
+    });
+    for (const ExpandedCell &c : expanded)
+        result.groupCount = std::max(result.groupCount, c.group + 1);
+
+    // Stage 3: normalization, fixed order, calling thread.
+    const std::size_t explicitGroup =
+        spec.cells.empty() ? result.groupCount : result.groupCount - 1;
+    normalizeGroups(spec, result.cells, result.groupCount,
+                    explicitGroup);
+    return result;
+}
+
+CellResult
+runScenario(const ScenarioSpec &spec)
+{
+    return runCell(spec, nullptr);
+}
+
+// ------------------------------------------------------------- results
+
+std::vector<std::size_t>
+CampaignResult::groupCells(std::size_t group) const
+{
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        if (cells[i].group == group)
+            idx.push_back(i);
+    return idx;
+}
+
+std::vector<PolicyOutcome>
+CampaignResult::groupOutcomes(std::size_t group) const
+{
+    std::vector<PolicyOutcome> outcomes;
+    for (std::size_t i : groupCells(group)) {
+        const CellResult &c = cells[i];
+        PolicyOutcome o;
+        o.policy = c.scenario.policy;
+        o.phases = c.phases;
+        o.execNorm = c.execNorm;
+        o.ddrNorm = c.ddrNorm;
+        o.geoExec = c.geoExec;
+        o.geoDdr = c.geoDdr;
+        outcomes.push_back(std::move(o));
+    }
+    return outcomes;
+}
+
+const CellResult *
+CampaignResult::find(const std::string &cellName) const
+{
+    for (const CellResult &c : cells)
+        if (c.scenario.name == cellName)
+            return &c;
+    return nullptr;
+}
+
+void
+CampaignResult::report(JsonReporter &rep) const
+{
+    rep.addString("campaign", name);
+    rep.add("cells", static_cast<double>(cells.size()));
+    rep.add("groups", static_cast<double>(groupCount));
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellResult &c = cells[i];
+        const std::string p = "cell" + std::to_string(i);
+        rep.addString(p + ".name", c.scenario.name);
+        rep.addString(p + ".soc", c.scenario.soc);
+        rep.addString(p + ".policy", c.scenario.policy);
+        rep.add(p + ".group", static_cast<double>(c.group));
+        rep.addString(p + ".seed",
+                      std::to_string(c.scenario.evalSeed));
+        if (c.isBaseline)
+            rep.add(p + ".baseline", 1.0);
+        if (c.scenario.workload == WorkloadKind::kConcurrent) {
+            for (std::size_t a = 0; a < c.accMeans.size(); ++a) {
+                rep.add(p + ".acc" + std::to_string(a) + ".exec",
+                        c.accMeans[a].exec);
+                rep.add(p + ".acc" + std::to_string(a) + ".ddr",
+                        c.accMeans[a].ddr);
+            }
+            if (!c.isBaseline) {
+                rep.add(p + ".norm_exec", c.geoExec);
+                rep.add(p + ".norm_ddr", c.geoDdr);
+            }
+            continue;
+        }
+        Cycles exec = 0;
+        std::uint64_t ddr = 0;
+        for (const PhaseResult &ph : c.phases) {
+            exec += ph.execCycles;
+            ddr += ph.ddrAccesses;
+        }
+        rep.addString(p + ".exec_cycles", std::to_string(exec));
+        rep.addString(p + ".ddr", std::to_string(ddr));
+        rep.add(p + ".phases", static_cast<double>(c.phases.size()));
+        rep.add(p + ".geo_exec", c.geoExec);
+        rep.add(p + ".geo_ddr", c.geoDdr);
+        if (c.training.source != TrainSummary::Source::kNone) {
+            rep.addString(p + ".q_updates",
+                          std::to_string(c.training.qUpdates));
+            rep.addString(p + ".entries_covered",
+                          std::to_string(c.training.entriesCovered));
+        }
+    }
+}
+
+std::string
+CampaignResult::json() const
+{
+    JsonReporter rep(name);
+    report(rep);
+    return rep.str();
+}
+
+} // namespace cohmeleon::app

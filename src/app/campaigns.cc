@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The registered (named) campaigns: the paper-figure sweeps the bench
+ * binaries wrap, plus the tiny CI smoke grid. Each is an ordinary
+ * CampaignSpec value — `cohmeleon_run campaign <name>` runs them and
+ * serializeCampaign() prints them, so every figure sweep is also a
+ * readable, forkable text file.
+ */
+
+#include "app/campaign_runner.hh"
+
+#include "app/experiment.hh"
+#include "sim/logging.hh"
+
+namespace cohmeleon::app
+{
+
+namespace
+{
+
+/** Figure 3: 1/4/8/12 concurrent accelerators x the four modes on
+ *  the Section-3 parallel SoC, medium 256KB workloads, normalized to
+ *  each accelerator's single-run non-coherent baseline. */
+CampaignSpec
+fig3Campaign(bool fullScale)
+{
+    CampaignSpec c;
+    c.name = "fig3";
+    c.base.name = "fig3";
+    c.base.soc = "parallel";
+    c.base.workload = WorkloadKind::kConcurrent;
+    c.base.footprintBytes = 256 * 1024;
+    c.base.loops = fullScale ? 6 : 3;
+    c.base.policy = "fixed-non-coh-dma";
+    for (coh::CoherenceMode m : coh::kAllModes)
+        c.policies.push_back("fixed-" +
+                             std::string(coh::toString(m)));
+    c.accCounts = {1, 4, 8, 12};
+    return c;
+}
+
+/** Figure 9 + Table 4: the eight SoC configurations under the eight
+ *  policies, normalized per SoC to fixed non-coherent DMA. */
+CampaignSpec
+fig9Campaign()
+{
+    CampaignSpec c;
+    c.name = "fig9";
+    c.base.name = "fig9";
+    c.base.trainIterations = 10;
+    c.base.appParams = denseTrainingParams();
+    c.base.trainApp = TrainAppShape::kSameAsEval;
+    for (std::string_view n : soc::figure9SocNames())
+        c.socs.emplace_back(n);
+    c.policies = standardPolicyNames();
+    c.baseline = "fixed-non-coh-dma";
+    return c;
+}
+
+/** The DESIGN.md ablations on SoC1: DDR-attribution scheme and
+ *  Algorithm-1 threshold sensitivity, as hand-picked cells. */
+CampaignSpec
+ablationCampaign(bool fullScale)
+{
+    CampaignSpec c;
+    c.name = "ablation";
+    c.baseline = "fixed-non-coh-dma";
+    c.base.soc = "soc1";
+    c.base.appParams.maxThreads = 6;
+    c.base.trainApp = TrainAppShape::kSameAsEval;
+    c.base.trainIterations = fullScale ? 20 : 10;
+
+    ScenarioSpec cell = c.base;
+    cell.name = "baseline";
+    cell.policy = "fixed-non-coh-dma";
+    c.cells.push_back(cell);
+
+    cell = c.base;
+    cell.name = "attribution-approx";
+    cell.policy = "cohmeleon";
+    cell.exactAttribution = false;
+    c.cells.push_back(cell);
+
+    cell = c.base;
+    cell.name = "attribution-exact";
+    cell.policy = "cohmeleon";
+    cell.exactAttribution = true;
+    c.cells.push_back(cell);
+
+    for (std::uint64_t threshold :
+         {1024ull, 4096ull, 16384ull, 65536ull}) {
+        cell = c.base;
+        cell.name = "manual-" + std::to_string(threshold);
+        cell.policy = "manual@" + std::to_string(threshold);
+        c.cells.push_back(cell);
+    }
+    return c;
+}
+
+/** Tiny 2-cell grid for CI: two non-learning policies on SoC1 with a
+ *  small random app — seconds, not minutes, and fully deterministic
+ *  (the CI smoke cmp-compares its JSON across --jobs values). */
+CampaignSpec
+smokeCampaign()
+{
+    CampaignSpec c;
+    c.name = "smoke";
+    c.baseline = "fixed-non-coh-dma";
+    c.base.soc = "soc1";
+    c.base.appParams.phases = 2;
+    c.base.appParams.maxThreads = 3;
+    c.base.appParams.maxLoops = 1;
+    c.base.trainIterations = 1;
+    c.policies = {"fixed-non-coh-dma", "manual"};
+    return c;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+namedCampaignNames()
+{
+    static const std::vector<std::string> names = {
+        "fig3",
+        "fig9",
+        "ablation",
+        "smoke",
+    };
+    return names;
+}
+
+bool
+isNamedCampaign(const std::string &name)
+{
+    for (const std::string &n : namedCampaignNames())
+        if (n == name)
+            return true;
+    return false;
+}
+
+CampaignSpec
+namedCampaign(const std::string &name, bool fullScale)
+{
+    if (name == "fig3")
+        return fig3Campaign(fullScale);
+    if (name == "fig9")
+        return fig9Campaign();
+    if (name == "ablation")
+        return ablationCampaign(fullScale);
+    if (name == "smoke")
+        return smokeCampaign();
+    std::string known;
+    for (const std::string &n : namedCampaignNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += n;
+    }
+    fatal("unknown campaign '", name, "' (known: ", known, ")");
+}
+
+} // namespace cohmeleon::app

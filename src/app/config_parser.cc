@@ -9,11 +9,8 @@
 namespace cohmeleon::app
 {
 
-namespace
-{
-
 std::string
-trim(const std::string &s)
+trimText(const std::string &s)
 {
     std::size_t b = 0;
     std::size_t e = s.size();
@@ -25,28 +22,26 @@ trim(const std::string &s)
 }
 
 std::vector<std::string>
-splitOn(const std::string &s, char sep)
+splitList(const std::string &s, char sep)
 {
     std::vector<std::string> parts;
     std::string current;
     for (char c : s) {
         if (c == sep) {
-            parts.push_back(trim(current));
+            parts.push_back(trimText(current));
             current.clear();
         } else {
             current += c;
         }
     }
-    parts.push_back(trim(current));
+    parts.push_back(trimText(current));
     return parts;
 }
-
-} // namespace
 
 std::uint64_t
 parseSize(const std::string &text)
 {
-    const std::string t = trim(text);
+    const std::string t = trimText(text);
     fatalIf(t.empty(), "empty size literal");
     std::uint64_t multiplier = 1;
     std::string digits = t;
@@ -63,8 +58,13 @@ parseSize(const std::string &text)
     for (char c : digits) {
         fatalIf(!std::isdigit(static_cast<unsigned char>(c)),
                 "malformed size literal '", t, "'");
-        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        fatalIf(value > (UINT64_MAX - digit) / 10,
+                "size literal '", t, "' overflows 64 bits");
+        value = value * 10 + digit;
     }
+    fatalIf(multiplier != 1 && value > UINT64_MAX / multiplier,
+            "size literal '", t, "' overflows 64 bits");
     return value * multiplier;
 }
 
@@ -81,7 +81,7 @@ parseAppSpec(std::istream &is)
         const std::size_t hash = line.find('#');
         if (hash != std::string::npos)
             line = line.substr(0, hash);
-        line = trim(line);
+        line = trimText(line);
         if (line.empty())
             continue;
 
@@ -89,11 +89,11 @@ parseAppSpec(std::istream &is)
             fatalIf(line.back() != ']', "line ", lineNo,
                     ": unterminated section header");
             const std::string inner =
-                trim(line.substr(1, line.size() - 2));
+                trimText(line.substr(1, line.size() - 2));
             fatalIf(inner.rfind("phase", 0) != 0, "line ", lineNo,
                     ": only [phase <name>] sections are supported");
             PhaseSpec p;
-            p.name = trim(inner.substr(5));
+            p.name = trimText(inner.substr(5));
             fatalIf(p.name.empty(), "line ", lineNo,
                     ": phase needs a name");
             app.phases.push_back(std::move(p));
@@ -104,8 +104,8 @@ parseAppSpec(std::istream &is)
         const std::size_t eq = line.find('=');
         fatalIf(eq == std::string::npos, "line ", lineNo,
                 ": expected 'key = value'");
-        const std::string key = trim(line.substr(0, eq));
-        const std::string value = trim(line.substr(eq + 1));
+        const std::string key = trimText(line.substr(0, eq));
+        const std::string value = trimText(line.substr(eq + 1));
 
         if (key == "app") {
             app.name = value;
@@ -122,20 +122,25 @@ parseAppSpec(std::istream &is)
         std::string chainText = value;
         const std::size_t semi = value.find(';');
         if (semi != std::string::npos) {
-            chainText = trim(value.substr(0, semi));
-            const std::string opts = trim(value.substr(semi + 1));
+            chainText = trimText(value.substr(0, semi));
+            const std::string opts = trimText(value.substr(semi + 1));
             const std::size_t oeq = opts.find('=');
             fatalIf(oeq == std::string::npos ||
-                        trim(opts.substr(0, oeq)) != "loops",
+                        trimText(opts.substr(0, oeq)) != "loops",
                     "line ", lineNo, ": malformed thread option '",
                     opts, "'");
-            thread.loops = static_cast<unsigned>(
-                parseSize(trim(opts.substr(oeq + 1))));
+            const std::uint64_t loops =
+                parseSize(trimText(opts.substr(oeq + 1)));
+            // The narrowing below used to wrap silently for
+            // K/M-suffixed monsters like "20000000000M".
+            fatalIf(loops > UINT32_MAX, "line ", lineNo,
+                    ": loops value overflows");
+            thread.loops = static_cast<unsigned>(loops);
             fatalIf(thread.loops == 0, "line ", lineNo,
                     ": loops must be positive");
         }
 
-        for (const std::string &stepText : splitOn(chainText, ',')) {
+        for (const std::string &stepText : splitList(chainText, ',')) {
             fatalIf(stepText.empty(), "line ", lineNo,
                     ": empty chain step");
             const std::size_t at = stepText.find('@');
@@ -143,7 +148,7 @@ parseAppSpec(std::istream &is)
                     ": chain step '", stepText,
                     "' must be instance@size");
             ChainStep step;
-            step.accName = trim(stepText.substr(0, at));
+            step.accName = trimText(stepText.substr(0, at));
             step.footprintBytes = parseSize(stepText.substr(at + 1));
             fatalIf(step.accName.empty(), "line ", lineNo,
                     ": chain step without an instance name");

@@ -22,6 +22,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "app/app_spec.hh"
 
@@ -30,6 +31,12 @@ namespace cohmeleon::app
 
 /** Parse an application spec. @throws FatalError with line info */
 AppSpec parseAppSpec(std::istream &is);
+
+/** Trim ASCII whitespace (shared by the config/scenario parsers). */
+std::string trimText(const std::string &s);
+
+/** Split @p s on @p sep, trimming every piece. */
+std::vector<std::string> splitList(const std::string &s, char sep);
 
 /** Parse from a string (convenience for tests and examples). */
 AppSpec parseAppSpecString(const std::string &text);

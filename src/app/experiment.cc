@@ -2,7 +2,9 @@
 
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
+#include "app/config_parser.hh"
 #include "app/training_driver.hh"
 #include "policy/fixed.hh"
 #include "policy/manual.hh"
@@ -53,6 +55,17 @@ safeRatio(double value, double baseline)
     return value / baseline;
 }
 
+void
+RuntimeKnobs::applyTo(soc::Soc &soc, rt::EspRuntime &runtime) const
+{
+    if (!any())
+        return;
+    runtime.setUseExactAttribution(exactAttribution);
+    runtime.setDisabledModes(disabledModes);
+    for (const auto &[accName, mask] : accDisabledModes)
+        runtime.setDisabledModes(soc.findAcc(accName), mask);
+}
+
 std::unique_ptr<rt::CoherencePolicy>
 makePolicyByName(const std::string &name, const soc::SocConfig &cfg,
                  const EvalOptions &opts)
@@ -65,6 +78,11 @@ makePolicyByName(const std::string &name, const soc::SocConfig &cfg,
         return std::make_unique<policy::RandomPolicy>(opts.agentSeed);
     if (name == "manual")
         return std::make_unique<policy::ManualPolicy>();
+    if (name.rfind("manual@", 0) == 0) {
+        const std::uint64_t threshold = parseSize(name.substr(7));
+        fatalIf(threshold == 0, "manual threshold must be positive");
+        return std::make_unique<policy::ManualPolicy>(threshold);
+    }
     if (name == "fixed-hetero") {
         soc::Soc profilingSoc(cfg);
         const policy::ProfileResult prof =
@@ -88,10 +106,19 @@ trainCohmeleon(policy::CohmeleonPolicy &policy,
                const soc::SocConfig &cfg, const AppSpec &trainApp,
                unsigned iterations)
 {
+    return trainCohmeleon(policy, cfg, trainApp, iterations,
+                          RuntimeKnobs{});
+}
+
+std::vector<AppResult>
+trainCohmeleon(policy::CohmeleonPolicy &policy,
+               const soc::SocConfig &cfg, const AppSpec &trainApp,
+               unsigned iterations, const RuntimeKnobs &knobs)
+{
     std::vector<AppResult> perIteration;
     for (unsigned it = 0; it < iterations; ++it)
         perIteration.push_back(
-            runTrainingIteration(policy, cfg, trainApp));
+            runTrainingIteration(policy, cfg, trainApp, knobs));
     policy.freeze();
     return perIteration;
 }
@@ -100,11 +127,27 @@ AppResult
 runPolicyOnApp(rt::CoherencePolicy &policy, const soc::SocConfig &cfg,
                const AppSpec &app, bool collectRecords)
 {
+    return runPolicyOnApp(policy, cfg, app, RuntimeKnobs{},
+                          collectRecords);
+}
+
+AppResult
+runPolicyOnApp(rt::CoherencePolicy &policy, const soc::SocConfig &cfg,
+               const AppSpec &app, const RuntimeKnobs &knobs,
+               bool collectRecords, std::string *statsOut)
+{
     soc::Soc soc(cfg);
     rt::EspRuntime runtime(soc, policy);
+    knobs.applyTo(soc, runtime);
     AppRunner runner(soc, runtime);
     runner.setCollectRecords(collectRecords);
-    return runner.runApp(app);
+    AppResult result = runner.runApp(app);
+    if (statsOut != nullptr) {
+        std::ostringstream os;
+        soc.dumpStats(os);
+        *statsOut = os.str();
+    }
+    return result;
 }
 
 namespace
@@ -177,14 +220,25 @@ runProtocolForPolicy(const std::string &name, const soc::SocConfig &cfg,
                      const EvalOptions &opts, const AppSpec &trainApp,
                      const AppSpec &evalApp)
 {
+    return runProtocolForPolicy(name, cfg, opts, trainApp, evalApp,
+                                RuntimeKnobs{});
+}
+
+std::vector<PhaseResult>
+runProtocolForPolicy(const std::string &name, const soc::SocConfig &cfg,
+                     const EvalOptions &opts, const AppSpec &trainApp,
+                     const AppSpec &evalApp, const RuntimeKnobs &knobs)
+{
     std::unique_ptr<rt::CoherencePolicy> policy =
         makePolicyByName(name, cfg, opts);
 
     if (auto *cohm =
             dynamic_cast<policy::CohmeleonPolicy *>(policy.get()))
-        trainCohmeleon(*cohm, cfg, trainApp, opts.trainIterations);
+        trainCohmeleon(*cohm, cfg, trainApp, opts.trainIterations,
+                       knobs);
 
-    return runPolicyOnApp(*policy, cfg, evalApp, opts.collectRecords)
+    return runPolicyOnApp(*policy, cfg, evalApp, knobs,
+                          opts.collectRecords)
         .phases;
 }
 

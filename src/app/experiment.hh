@@ -62,10 +62,39 @@ struct EvalOptions
 };
 
 /**
+ * Runtime perturbations a scenario applies to every SoC it builds:
+ * exact (instead of footprint-proportional) DDR attribution, and
+ * availability masks disabling coherence modes globally or per
+ * accelerator instance. Default-constructed knobs change nothing —
+ * the knob-taking entry points below are then bit-identical to the
+ * plain ones.
+ */
+struct RuntimeKnobs
+{
+    bool exactAttribution = false;
+    coh::ModeMask disabledModes = 0;
+    /** Per-instance masks, by accelerator instance name. */
+    std::vector<std::pair<std::string, coh::ModeMask>> accDisabledModes;
+
+    bool
+    any() const
+    {
+        return exactAttribution || disabledModes != 0 ||
+               !accDisabledModes.empty();
+    }
+
+    /** Configure @p runtime (instance names resolved on @p soc).
+     *  @throws FatalError for unknown instance names */
+    void applyTo(soc::Soc &soc, rt::EspRuntime &runtime) const;
+};
+
+/**
  * Construct a policy by figure name. For "fixed-hetero" the profiling
  * pass runs on a throwaway copy of @p cfg; for "cohmeleon" an
  * untrained policy is returned (training is the caller's business or
- * see evaluatePolicies()).
+ * see evaluatePolicies()). "manual@SIZE" (e.g. "manual@16K") selects
+ * the Algorithm-1 heuristic with an explicit EXTRA_SMALL_THRESHOLD —
+ * the ablation's sensitivity knob.
  */
 std::unique_ptr<rt::CoherencePolicy> makePolicyByName(
     const std::string &name, const soc::SocConfig &cfg,
@@ -82,10 +111,25 @@ std::vector<AppResult> trainCohmeleon(policy::CohmeleonPolicy &policy,
                                       const AppSpec &trainApp,
                                       unsigned iterations);
 
+/** trainCohmeleon() with runtime knobs applied to every training SoC
+ *  (the attribution ablation trains through this). */
+std::vector<AppResult> trainCohmeleon(policy::CohmeleonPolicy &policy,
+                                      const soc::SocConfig &cfg,
+                                      const AppSpec &trainApp,
+                                      unsigned iterations,
+                                      const RuntimeKnobs &knobs);
+
 /** Run @p policy on @p app on a fresh SoC built from @p cfg. */
 AppResult runPolicyOnApp(rt::CoherencePolicy &policy,
                          const soc::SocConfig &cfg, const AppSpec &app,
                          bool collectRecords = false);
+
+/** runPolicyOnApp() with runtime knobs; @p statsOut, when non-null,
+ *  receives the SoC's full statistics block after the run. */
+AppResult runPolicyOnApp(rt::CoherencePolicy &policy,
+                         const soc::SocConfig &cfg, const AppSpec &app,
+                         const RuntimeKnobs &knobs, bool collectRecords,
+                         std::string *statsOut = nullptr);
 
 /** The protocol's application pair for one SoC configuration. */
 struct ProtocolApps
@@ -114,6 +158,13 @@ std::vector<PhaseResult> runProtocolForPolicy(
     const std::string &name, const soc::SocConfig &cfg,
     const EvalOptions &opts, const AppSpec &trainApp,
     const AppSpec &evalApp);
+
+/** runProtocolForPolicy() with runtime knobs applied to the training
+ *  and evaluation SoCs (the campaign runner's protocol-cell unit). */
+std::vector<PhaseResult> runProtocolForPolicy(
+    const std::string &name, const soc::SocConfig &cfg,
+    const EvalOptions &opts, const AppSpec &trainApp,
+    const AppSpec &evalApp, const RuntimeKnobs &knobs);
 
 /**
  * Fill in execNorm/ddrNorm/geoExec/geoDdr for every outcome,

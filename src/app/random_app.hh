@@ -34,6 +34,8 @@ struct RandomAppParams
     double wXL = 0.15;
     /** Relative jitter applied to each class's footprint. */
     double sizeJitter = 0.25;
+
+    bool operator==(const RandomAppParams &) const = default;
 };
 
 /** Draw a size class according to the weights in @p p. */

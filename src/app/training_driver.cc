@@ -9,8 +9,17 @@ AppResult
 runTrainingIteration(policy::CohmeleonPolicy &policy,
                      const soc::SocConfig &cfg, const AppSpec &trainApp)
 {
+    return runTrainingIteration(policy, cfg, trainApp, RuntimeKnobs{});
+}
+
+AppResult
+runTrainingIteration(policy::CohmeleonPolicy &policy,
+                     const soc::SocConfig &cfg, const AppSpec &trainApp,
+                     const RuntimeKnobs &knobs)
+{
     soc::Soc soc(cfg);
     rt::EspRuntime runtime(soc, policy);
+    knobs.applyTo(soc, runtime);
     AppRunner runner(soc, runtime);
     runner.setCollectRecords(false);
     AppResult result = runner.runApp(trainApp);
@@ -45,7 +54,7 @@ trainShard(const soc::SocConfig &cfg, const TrainingOptions &opts,
         generateRandomApp(naming, Rng(appSeed), opts.appParams);
 
     for (unsigned it = 0; it < opts.iterations; ++it)
-        runTrainingIteration(policy, cfg, app);
+        runTrainingIteration(policy, cfg, app, opts.knobs);
 
     ShardState out;
     out.table = policy.agent().table();
@@ -64,19 +73,33 @@ TrainingResult
 TrainingDriver::train(const soc::SocConfig &cfg,
                       const TrainingOptions &opts)
 {
+    // The single-SoC driver is the one-config transfer: same shard
+    // seeds (global index == shard index), same fold, same rngState
+    // derivation, byte-identical checkpoints.
+    return trainAcrossSocs({cfg}, opts, runner_);
+}
+
+TrainingResult
+trainAcrossSocs(const std::vector<soc::SocConfig> &cfgs,
+                const TrainingOptions &opts, ParallelRunner &runner)
+{
+    fatalIf(cfgs.empty(), "training needs at least one SoC");
     fatalIf(opts.shards == 0, "training needs at least one shard");
     fatalIf(opts.iterations == 0,
             "training needs at least one iteration");
 
-    // Fan the shards over the pool. Each shard is an isolated
-    // single-threaded simulation whose result is a pure function of
-    // (cfg, opts, shard index), so the pool width is invisible in the
-    // results.
-    const std::vector<ShardState> shards = runner_.map<ShardState>(
-        opts.shards,
-        [&](std::size_t i) { return trainShard(cfg, opts, i); });
+    // One flat fan-out over the (config, shard) grid. Each shard is
+    // an isolated single-threaded simulation seeded by its global
+    // (config-major) index — a pure function of (cfgs, opts, index),
+    // so the pool width is invisible in the results and no two
+    // shards anywhere share an app or an exploration stream.
+    const std::size_t total = cfgs.size() * opts.shards;
+    const std::vector<ShardState> shards = runner.map<ShardState>(
+        total, [&](std::size_t i) {
+            return trainShard(cfgs[i / opts.shards], opts, i);
+        });
 
-    // Sequential fold in shard-index order — the one place order
+    // Sequential fold in global shard order — the one place order
     // matters, and it is fixed here, never by the scheduler.
     TrainingResult result;
     policy::PolicyCheckpoint &c = result.checkpoint;
@@ -87,7 +110,7 @@ TrainingDriver::train(const soc::SocConfig &cfg,
     c.frozen = true;
     // The merged model's evaluation stream: a fresh stream derived
     // past the shard range, a pure function of the options.
-    c.rngState = Rng(experimentSeed(opts.agentSeed, opts.shards)).state();
+    c.rngState = Rng(experimentSeed(opts.agentSeed, total)).state();
     for (const ShardState &s : shards) {
         c.table.merge(s.table);
         c.tracker.mergeFrom(s.tracker);

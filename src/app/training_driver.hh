@@ -43,6 +43,8 @@ struct TrainingOptions
     rl::RewardWeights weights;      ///< paper defaults
     /** Shape of the per-shard training applications. */
     RandomAppParams appParams;
+    /** Runtime perturbations applied to every shard SoC. */
+    RuntimeKnobs knobs;
 
     TrainingOptions() { appParams = denseTrainingParams(); }
 };
@@ -97,6 +99,26 @@ class TrainingDriver
 AppResult runTrainingIteration(policy::CohmeleonPolicy &policy,
                                const soc::SocConfig &cfg,
                                const AppSpec &trainApp);
+
+/** runTrainingIteration() with runtime knobs applied to the fresh
+ *  SoC (exact attribution, availability masks). */
+AppResult runTrainingIteration(policy::CohmeleonPolicy &policy,
+                               const soc::SocConfig &cfg,
+                               const AppSpec &trainApp,
+                               const RuntimeKnobs &knobs);
+
+/**
+ * Cross-SoC transfer training (the Figure-9-grid ROADMAP item):
+ * opts.shards shards are trained on *each* of @p cfgs — shard seeds
+ * derived from the global (config-major) shard index, so every shard
+ * sees a distinct application and exploration stream — and all
+ * cfgs.size() x opts.shards tables fold into one model in global
+ * index order. Like TrainingDriver::train(), the result is a pure
+ * function of (cfgs, opts), never of @p runner's width.
+ */
+TrainingResult trainAcrossSocs(const std::vector<soc::SocConfig> &cfgs,
+                               const TrainingOptions &opts,
+                               ParallelRunner &runner);
 
 } // namespace cohmeleon::app
 

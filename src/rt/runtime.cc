@@ -12,6 +12,32 @@ EspRuntime::EspRuntime(soc::Soc &soc, CoherencePolicy &policy)
 {
     cpuSw_.resize(soc.numCpus());
     accQueue_.resize(soc.numAccs());
+    accDisabled_.resize(soc.numAccs(), 0);
+}
+
+void
+EspRuntime::setDisabledModes(AccId acc, coh::ModeMask modes)
+{
+    fatalIf(acc >= soc_.numAccs(), "bad accelerator id");
+    accDisabled_[acc] =
+        modes & static_cast<coh::ModeMask>(
+                    ~coh::maskOf(coh::CoherenceMode::kNonCohDma));
+}
+
+coh::ModeMask
+EspRuntime::effectiveModes(AccId acc) const
+{
+    const coh::ModeMask disabled = static_cast<coh::ModeMask>(
+        globalDisabled_ | accDisabled_[acc]);
+    coh::ModeMask mask = static_cast<coh::ModeMask>(
+        soc_.bridge(acc).availableModes() &
+        static_cast<coh::ModeMask>(~disabled));
+    // The bridge always offers non-coherent DMA and the setters never
+    // disable it, so the mask cannot be empty; keep the guarantee
+    // explicit anyway.
+    if (mask == 0)
+        mask = coh::maskOf(coh::CoherenceMode::kNonCohDma);
+    return mask;
 }
 
 void
@@ -52,7 +78,7 @@ EspRuntime::startNow(unsigned cpu, const InvocationRequest &req,
     ctx.accType = accel.config().typeName;
     ctx.footprintBytes = req.footprintBytes;
     ctx.partitions = req.data->partitionsUsed(soc_.map());
-    ctx.availableModes = soc_.bridge(req.acc).availableModes();
+    ctx.availableModes = effectiveModes(req.acc);
     ctx.l2Bytes = cfg.accL2Bytes;
     ctx.llcSliceBytes = cfg.llcSliceBytes;
     ctx.totalLlcBytes = cfg.totalLlcBytes();

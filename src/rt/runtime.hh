@@ -145,6 +145,29 @@ class EspRuntime
      *  (ablation of the paper's approximation). */
     void setUseExactAttribution(bool on) { useExact_ = on; }
 
+    /**
+     * Scenario perturbation: mask @p modes out of every tile's
+     * availability (on top of what the hardware already rules out,
+     * e.g. fully-coherent on cache-less tiles). Non-coherent DMA can
+     * never be masked away — it is the mode every ESP tile implements
+     * — so the effective mask is always non-empty.
+     */
+    void
+    setDisabledModes(coh::ModeMask modes)
+    {
+        globalDisabled_ =
+            modes & static_cast<coh::ModeMask>(
+                        ~coh::maskOf(coh::CoherenceMode::kNonCohDma));
+    }
+
+    /** Per-accelerator variant of setDisabledModes() (hot-unplugged
+     *  coherence planes, per-tile fault injection). Composes with the
+     *  global mask. */
+    void setDisabledModes(AccId acc, coh::ModeMask modes);
+
+    /** The mask decide() will see for @p acc's tile. */
+    coh::ModeMask effectiveModes(AccId acc) const;
+
     std::uint64_t invocationsCompleted() const { return completed_; }
 
     /** Clear transient state between experiments. */
@@ -174,6 +197,8 @@ class EspRuntime
     std::vector<Server> cpuSw_;        ///< per-CPU software serialization
     std::vector<std::vector<Pending>> accQueue_; ///< per-acc FIFO
     bool useExact_ = false;
+    coh::ModeMask globalDisabled_ = 0;
+    std::vector<coh::ModeMask> accDisabled_; ///< per-acc, sized lazily
     std::uint64_t completed_ = 0;
 };
 

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Machine-readable result output: a flat JSON object of numeric and
+ * string metrics emitted in insertion order. Shared by the benchmark
+ * binaries (BENCH_<name>.json) and the campaign runner
+ * (CAMPAIGN_<name>.json), so CI and later PRs can diff results
+ * without scraping stdout.
+ *
+ * The rendering is deliberately canonical — fixed key order, "%.6g"
+ * numbers, no timestamps — so two runs of a deterministic experiment
+ * produce byte-identical files (the property the campaign determinism
+ * checks `cmp` against).
+ */
+
+#ifndef COHMELEON_SIM_JSON_WRITER_HH
+#define COHMELEON_SIM_JSON_WRITER_HH
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon
+{
+
+/** Flat ordered JSON-object builder (see file comment). */
+class JsonReporter
+{
+  public:
+    explicit JsonReporter(std::string benchName)
+        : benchName_(std::move(benchName))
+    {
+        addString("bench", benchName_);
+    }
+
+    void
+    add(const std::string &key, double value)
+    {
+        // JSON has no literal for NaN/Inf; emit null so the file
+        // stays parseable when a metric degenerates.
+        if (!std::isfinite(value)) {
+            entries_.push_back({key, "null", /*quoted=*/false});
+            return;
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        entries_.push_back({key, buf, /*quoted=*/false});
+    }
+
+    void
+    addString(const std::string &key, const std::string &value)
+    {
+        entries_.push_back({key, value, /*quoted=*/true});
+    }
+
+    /** Render the object to @p os. */
+    void
+    render(std::ostream &os) const
+    {
+        os << "{\n";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const Entry &e = entries_[i];
+            os << "  \"" << escaped(e.key) << "\": ";
+            if (e.quoted)
+                os << '"' << escaped(e.value) << '"';
+            else
+                os << e.value;
+            os << (i + 1 < entries_.size() ? ",\n" : "\n");
+        }
+        os << "}\n";
+    }
+
+    /** The rendered object (for byte-level comparisons). */
+    std::string
+    str() const
+    {
+        std::ostringstream os;
+        render(os);
+        return os.str();
+    }
+
+    /** Render to an explicit file path.
+     *  @throws FatalError when the file cannot be written */
+    void
+    writeTo(const std::string &path) const
+    {
+        std::ofstream out(path);
+        fatalIf(!out, "cannot write '", path, "'");
+        render(out);
+    }
+
+    /** Write BENCH_<name>.json into the working directory.
+     *  @return the file name written. */
+    std::string
+    write() const
+    {
+        const std::string file = "BENCH_" + benchName_ + ".json";
+        writeTo(file);
+        return file;
+    }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string value;
+        bool quoted;
+    };
+
+    static std::string
+    escaped(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\') {
+                out += '\\';
+                out += c;
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    std::string benchName_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace cohmeleon
+
+#endif // COHMELEON_SIM_JSON_WRITER_HH

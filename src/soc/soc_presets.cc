@@ -279,32 +279,82 @@ makeParallelSoc()
     return cfg;
 }
 
+namespace
+{
+
+/** The one name -> factory table behind makeSocByName(),
+ *  knownSocNames(), and isKnownSocName(): a preset added here is
+ *  automatically constructible, listable, and validatable. */
+struct PresetEntry
+{
+    std::string_view name;
+    SocConfig (*make)();
+};
+
+const std::vector<PresetEntry> &
+presetTable()
+{
+    static const std::vector<PresetEntry> table = {
+        {"soc0", [] { return makeSoc0(); }},
+        {"soc0-streaming",
+         [] { return makeSoc0(TgenFlavor::kStreaming); }},
+        {"soc0-irregular",
+         [] { return makeSoc0(TgenFlavor::kIrregular); }},
+        {"soc1", makeSoc1},
+        {"soc2", makeSoc2},
+        {"soc3", makeSoc3},
+        {"soc4", makeSoc4},
+        {"soc5", makeSoc5},
+        {"soc6", makeSoc6},
+        {"motivation", makeMotivationSoc},
+        {"parallel", makeParallelSoc},
+    };
+    return table;
+}
+
+} // namespace
+
 SocConfig
 makeSocByName(std::string_view name)
 {
-    if (name == "soc0")
-        return makeSoc0();
-    if (name == "soc0-streaming")
-        return makeSoc0(TgenFlavor::kStreaming);
-    if (name == "soc0-irregular")
-        return makeSoc0(TgenFlavor::kIrregular);
-    if (name == "soc1")
-        return makeSoc1();
-    if (name == "soc2")
-        return makeSoc2();
-    if (name == "soc3")
-        return makeSoc3();
-    if (name == "soc4")
-        return makeSoc4();
-    if (name == "soc5")
-        return makeSoc5();
-    if (name == "soc6")
-        return makeSoc6();
-    if (name == "motivation")
-        return makeMotivationSoc();
-    if (name == "parallel")
-        return makeParallelSoc();
-    fatal("unknown SoC preset '", std::string(name), "'");
+    for (const PresetEntry &entry : presetTable())
+        if (entry.name == name)
+            return entry.make();
+    fatal("unknown SoC preset '", std::string(name), "' (known: ",
+          knownSocNamesText(), ")");
+}
+
+std::string
+knownSocNamesText()
+{
+    std::string known;
+    for (std::string_view n : knownSocNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += n;
+    }
+    return known;
+}
+
+const std::vector<std::string_view> &
+knownSocNames()
+{
+    static const std::vector<std::string_view> names = [] {
+        std::vector<std::string_view> out;
+        for (const PresetEntry &entry : presetTable())
+            out.push_back(entry.name);
+        return out;
+    }();
+    return names;
+}
+
+bool
+isKnownSocName(std::string_view name)
+{
+    for (std::string_view n : knownSocNames())
+        if (n == name)
+            return true;
+    return false;
 }
 
 const std::vector<std::string_view> &

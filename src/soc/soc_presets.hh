@@ -62,6 +62,16 @@ SocConfig makeParallelSoc();
  *  @throws FatalError for unknown names */
 SocConfig makeSocByName(std::string_view name);
 
+/** Every name makeSocByName() accepts, in presentation order. The
+ *  single source of truth for CLI/campaign name validation. */
+const std::vector<std::string_view> &knownSocNames();
+
+/** knownSocNames() joined as "a, b, c" for diagnostics. */
+std::string knownSocNamesText();
+
+/** Whether @p name is a preset makeSocByName() accepts. */
+bool isKnownSocName(std::string_view name);
+
 /** All Figure-9 configuration names in paper order. */
 const std::vector<std::string_view> &figure9SocNames();
 

@@ -79,6 +79,32 @@ TEST(Parser, ParsesSizes)
     EXPECT_THROW(parseSize("K"), FatalError);
 }
 
+TEST(Parser, RejectsSizesThatOverflow)
+{
+    // Regression: K/M-suffixed monsters used to wrap silently
+    // through the 64-bit multiply instead of failing.
+    EXPECT_THROW(parseSize("20000000000000M"), FatalError);
+    EXPECT_THROW(parseSize("20000000000000000000000"), FatalError);
+    EXPECT_THROW(parseSize("18446744073709551615K"), FatalError);
+    // The extremes that still fit parse exactly.
+    EXPECT_EQ(parseSize("18446744073709551615"), UINT64_MAX);
+    EXPECT_THROW(parseSize("18446744073709551616"), FatalError);
+    EXPECT_EQ(parseSize("18014398509481983K"),
+              18014398509481983ull * 1024);
+}
+
+TEST(Parser, RejectsLoopCountsThatOverflowUnsigned)
+{
+    // "20000000000M" fits in 64 bits but used to wrap silently in
+    // the narrowing to the 32-bit loop counter.
+    EXPECT_THROW(parseAppSpecString(
+                     "[phase p]\nthread = fft0@4K ; "
+                     "loops=20000000000M\n"),
+                 FatalError);
+    EXPECT_NO_THROW(parseAppSpecString(
+        "[phase p]\nthread = fft0@4K ; loops=4\n"));
+}
+
 TEST(Parser, ParsesFullSpec)
 {
     const AppSpec app = parseAppSpecString(R"(

@@ -1,0 +1,661 @@
+/** @file Tests for the declarative scenario/campaign layer: the text
+ *  format (round-trips, line-numbered diagnostics, unknown-key hard
+ *  errors), the shared name validators, campaign expansion, the
+ *  runner's thread-count invariance, cross-SoC transfer training,
+ *  and the availability-mask runtime perturbations. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <set>
+
+#include "app/campaign_runner.hh"
+#include "app/training_driver.hh"
+#include "policy/checkpoint.hh"
+#include "policy/fixed.hh"
+#include "test_util.hh"
+
+using namespace cohmeleon;
+using namespace cohmeleon::app;
+
+namespace
+{
+
+/** Small, fast protocol campaign over named presets. */
+CampaignSpec
+tinyCampaign()
+{
+    CampaignSpec c;
+    c.name = "tiny";
+    c.baseline = "fixed-non-coh-dma";
+    c.base.soc = "soc1";
+    c.base.trainIterations = 2;
+    c.base.appParams.phases = 2;
+    c.base.appParams.maxThreads = 3;
+    c.base.appParams.maxLoops = 1;
+    c.policies = {"fixed-non-coh-dma", "manual", "cohmeleon"};
+    return c;
+}
+
+std::string
+diagnosticOf(const std::function<void()> &fn)
+{
+    try {
+        fn();
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+} // namespace
+
+// ----------------------------------------------------------- parsing
+
+TEST(ScenarioParser, RoundTripsThroughSerialize)
+{
+    ScenarioSpec s;
+    s.name = "exotic";
+    s.soc = "soc3";
+    s.socTweaks.llcSliceBytes = 512 * 1024;
+    s.socTweaks.accL2Ways = 8;
+    s.workload = WorkloadKind::kConcurrent;
+    s.appParams.phases = 7;
+    s.appParams.wS = 0.125;
+    s.appParams.wM = 0.375;
+    s.appParams.wL = 0.25;
+    s.appParams.wXL = 0.25;
+    s.appParams.sizeJitter = 0.1234567890123;
+    s.trainApp = TrainAppShape::kDense;
+    s.policy = "manual@16384";
+    s.trainIterations = 17;
+    s.trainShards = 5;
+    s.saveModel = "out.ckpt";
+    s.trainSeed = 99;
+    s.evalSeed = 111;
+    s.agentSeed = 3;
+    s.disabledModes = coh::maskOf(coh::CoherenceMode::kFullyCoh);
+    s.accDisabledModes.emplace_back(
+        "tgen0", coh::maskOf(coh::CoherenceMode::kCohDma));
+    s.exactAttribution = true;
+    s.collectRecords = true;
+    s.accCount = 4;
+    s.accIndex = 2;
+    s.footprintBytes = 128 * 1024;
+    s.loops = 9;
+
+    const ScenarioSpec reparsed =
+        parseScenarioString(serializeScenario(s));
+    EXPECT_EQ(reparsed, s);
+
+    // A second round trip is a fixed point.
+    EXPECT_EQ(serializeScenario(reparsed), serializeScenario(s));
+}
+
+TEST(ScenarioParser, FigureAndFileAppSourcesRoundTrip)
+{
+    ScenarioSpec s;
+    s.appSource = AppSource::kFigure;
+    s.figureName = "fig5";
+    EXPECT_EQ(parseScenarioString(serializeScenario(s)), s);
+
+    s.appSource = AppSource::kFile;
+    s.figureName.clear();
+    s.appFile = "pipeline.cfg";
+    EXPECT_EQ(parseScenarioString(serializeScenario(s)), s);
+}
+
+TEST(CampaignParser, RoundTripsThroughSerialize)
+{
+    CampaignSpec c = tinyCampaign();
+    c.seeds = {2022, 3033};
+    c.shardCounts = {0, 4};
+    c.transfer.socs = {"soc1", "soc2"};
+    c.transfer.iterations = 3;
+    c.transfer.shardsPerSoc = 2;
+    c.transfer.saveModel = "merged.ckpt";
+    ScenarioSpec cell = c.base;
+    cell.name = "what-if";
+    cell.policy = "cohmeleon";
+    cell.disabledModes = coh::maskOf(coh::CoherenceMode::kCohDma) |
+                         coh::maskOf(coh::CoherenceMode::kFullyCoh);
+    c.cells.push_back(cell);
+
+    const CampaignSpec reparsed =
+        parseCampaignString(serializeCampaign(c));
+    EXPECT_EQ(reparsed, c);
+    EXPECT_EQ(serializeCampaign(reparsed), serializeCampaign(c));
+}
+
+TEST(CampaignParser, ParsesTheDocumentedFormat)
+{
+    const CampaignSpec c = parseCampaignString(R"(
+        # comment
+        campaign = demo
+        baseline = fixed-non-coh-dma
+
+        [scenario]
+        soc = soc2
+        train = 4
+        train-app = dense
+
+        [axes]
+        policy = fixed-non-coh-dma, cohmeleon
+        seed = 1, 2, 3
+
+        [train]
+        soc = soc1
+        iterations = 2
+        shards = 2
+
+        [cell special]
+        policy = manual@4K
+    )");
+    EXPECT_EQ(c.name, "demo");
+    EXPECT_EQ(c.baseline, "fixed-non-coh-dma");
+    EXPECT_EQ(c.base.soc, "soc2");
+    EXPECT_EQ(c.base.trainIterations, 4u);
+    EXPECT_EQ(c.base.trainApp, TrainAppShape::kDense);
+    EXPECT_EQ(c.policies.size(), 2u);
+    EXPECT_EQ(c.seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+    EXPECT_EQ(c.transfer.socs, (std::vector<std::string>{"soc1"}));
+    EXPECT_EQ(c.transfer.shardsPerSoc, 2u);
+    ASSERT_EQ(c.cells.size(), 1u);
+    EXPECT_EQ(c.cells[0].name, "special");
+    EXPECT_EQ(c.cells[0].policy, "manual@4K");
+    // Cell sections inherit the base scenario.
+    EXPECT_EQ(c.cells[0].soc, "soc2");
+    EXPECT_EQ(c.cells[0].trainIterations, 4u);
+}
+
+TEST(CampaignParser, UnknownKeysAreHardErrorsWithLineNumbers)
+{
+    // Scenario key.
+    std::string msg = diagnosticOf(
+        [] { parseScenarioString("soc = soc1\nbogus = 3\n"); });
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+
+    // Top-level campaign key.
+    msg = diagnosticOf(
+        [] { parseCampaignString("campaign = x\nwhat = 1\n"); });
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+
+    // Axis key.
+    msg = diagnosticOf([] {
+        parseCampaignString("campaign = x\n[axes]\nmode = a\n");
+    });
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+
+    // [train] key.
+    msg = diagnosticOf([] {
+        parseCampaignString("campaign = x\n[train]\nfoo = 1\n");
+    });
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+
+    // Unknown section.
+    msg = diagnosticOf([] {
+        parseCampaignString("campaign = x\n\n[sweep]\nsoc = soc1\n");
+    });
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+
+    // Sections are rejected in scenario files.
+    msg = diagnosticOf(
+        [] { parseScenarioString("[scenario]\nsoc = soc1\n"); });
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+}
+
+TEST(CampaignParser, DiagnosticsCarryLineNumbersForBadValues)
+{
+    const std::pair<const char *, const char *> cases[] = {
+        {"soc = nope\n", "line 1"},
+        {"policy = nope\n", "line 1"},
+        {"workload = sideways\n", "line 1"},
+        {"\ntrain = -3\n", "line 2"},
+        {"\n\nfootprint = 12Q\n", "line 3"},
+        {"seed = 12x\n", "line 1"},
+        {"app-weights = 1, 2\n", "line 1"},
+        {"disable-modes = non-coh-dma\n", "line 1"},
+        {"disable-modes = warp\n", "line 1"},
+        {"attribution = psychic\n", "line 1"},
+        {"records = yes\n", "line 1"},
+        {"footprint = 20000000000000M\n", "line 1"},
+    };
+    for (const auto &[text, expect] : cases) {
+        const std::string msg = diagnosticOf(
+            [t = text] { parseScenarioString(t); });
+        EXPECT_FALSE(msg.empty()) << text;
+        EXPECT_NE(msg.find(expect), std::string::npos)
+            << text << " -> " << msg;
+    }
+}
+
+TEST(CampaignParser, RequiresACampaignName)
+{
+    EXPECT_THROW(parseCampaignString("[scenario]\nsoc = soc1\n"),
+                 FatalError);
+}
+
+// -------------------------------------------------------- validators
+
+TEST(Validators, PolicyNamesIncludeParameterizedManual)
+{
+    EXPECT_TRUE(checkPolicyName("cohmeleon").empty());
+    EXPECT_TRUE(checkPolicyName("fixed-non-coh-dma").empty());
+    EXPECT_TRUE(checkPolicyName("manual@16K").empty());
+    EXPECT_TRUE(checkPolicyName("manual@4096").empty());
+
+    const std::string err = checkPolicyName("qlearning");
+    EXPECT_NE(err.find("unknown policy"), std::string::npos);
+    // The diagnostic lists the known names.
+    EXPECT_NE(err.find("cohmeleon"), std::string::npos);
+    EXPECT_NE(err.find("manual@SIZE"), std::string::npos);
+
+    EXPECT_FALSE(checkPolicyName("manual@").empty());
+    EXPECT_FALSE(checkPolicyName("manual@12Q").empty());
+    // A zero threshold must fail at validation time, not deep inside
+    // cell execution.
+    EXPECT_FALSE(checkPolicyName("manual@0").empty());
+}
+
+TEST(Validators, SocNameRegistryMatchesFactory)
+{
+    for (std::string_view name : soc::knownSocNames()) {
+        EXPECT_TRUE(soc::isKnownSocName(name));
+        EXPECT_NO_THROW(soc::makeSocByName(name));
+    }
+    EXPECT_FALSE(soc::isKnownSocName("soc99"));
+    try {
+        soc::makeSocByName("soc99");
+        FAIL() << "expected a throw";
+    } catch (const FatalError &e) {
+        // The error lists the known names.
+        EXPECT_NE(std::string(e.what()).find("parallel"),
+                  std::string::npos);
+    }
+}
+
+TEST(Validators, MakePolicyByNameAcceptsManualThresholds)
+{
+    const soc::SocConfig cfg = test::tinySocConfig();
+    EvalOptions opts;
+    const auto p = makePolicyByName("manual@16K", cfg, opts);
+    EXPECT_EQ(p->name(), "manual");
+    EXPECT_THROW(makePolicyByName("manual@0", cfg, opts), FatalError);
+    EXPECT_THROW(makePolicyByName("manual@x", cfg, opts), FatalError);
+}
+
+TEST(Validators, FigureAppRegistry)
+{
+    EXPECT_EQ(figureAppNames(), std::vector<std::string>{"fig5"});
+    const AppSpec fig5 = figureApp("fig5");
+    EXPECT_EQ(fig5.phases.size(), 4u);
+    EXPECT_EQ(fig5.phases[0].name, "6T-Large");
+    EXPECT_THROW(figureApp("fig7"), FatalError);
+}
+
+// -------------------------------------------------------- resolution
+
+TEST(Scenario, ResolveSocAppliesInlineTweaks)
+{
+    ScenarioSpec s;
+    s.soc = "soc1";
+    const soc::SocConfig plain = resolveSoc(s);
+    s.socTweaks.llcSliceBytes = 512 * 1024;
+    s.socTweaks.l2Ways = 8;
+    const soc::SocConfig tweaked = resolveSoc(s);
+    EXPECT_EQ(tweaked.llcSliceBytes, 512u * 1024);
+    EXPECT_EQ(tweaked.l2Ways, 8u);
+    // Untouched fields keep the preset's values.
+    EXPECT_EQ(tweaked.accs.size(), plain.accs.size());
+    EXPECT_EQ(tweaked.l2Bytes, plain.l2Bytes);
+}
+
+// --------------------------------------------------------- expansion
+
+TEST(Campaign, ExpandCrossesAxesPolicyMajor)
+{
+    CampaignSpec c = tinyCampaign();
+    c.socs = {"soc1", "soc2"};
+    c.seeds = {5, 6};
+    const std::vector<ScenarioSpec> cells =
+        CampaignRunner::expand(c);
+    // 2 socs x 2 seeds x 3 policies.
+    ASSERT_EQ(cells.size(), 12u);
+    EXPECT_EQ(cells[0].soc, "soc1");
+    EXPECT_EQ(cells[0].evalSeed, 5u);
+    EXPECT_EQ(cells[0].policy, "fixed-non-coh-dma");
+    EXPECT_EQ(cells[1].policy, "manual");
+    EXPECT_EQ(cells[2].policy, "cohmeleon");
+    EXPECT_EQ(cells[3].evalSeed, 6u);
+    EXPECT_EQ(cells[6].soc, "soc2");
+    // Axis values land in the cell, names are unique.
+    std::set<std::string> names;
+    for (const ScenarioSpec &cell : cells)
+        EXPECT_TRUE(names.insert(cell.name).second) << cell.name;
+}
+
+TEST(Campaign, ExpandPrependsConcurrentBaselines)
+{
+    const CampaignSpec fig3 = namedCampaign("fig3", false);
+    const std::vector<ScenarioSpec> cells =
+        CampaignRunner::expand(fig3);
+    const std::size_t numAccs = resolveSoc(fig3.base).accs.size();
+    ASSERT_EQ(cells.size(), numAccs + 4 * 4);
+    for (std::size_t a = 0; a < numAccs; ++a) {
+        EXPECT_EQ(cells[a].accIndex, static_cast<int>(a));
+        EXPECT_EQ(cells[a].policy, "fixed-non-coh-dma");
+    }
+    // Grid is mode-major with concurrency innermost.
+    EXPECT_EQ(cells[numAccs].policy, "fixed-non-coh-dma");
+    EXPECT_EQ(cells[numAccs].accCount, 1u);
+    EXPECT_EQ(cells[numAccs + 1].accCount, 4u);
+    EXPECT_EQ(cells[numAccs + 4].policy, "fixed-llc-coh-dma");
+}
+
+TEST(Campaign, NamedCampaignsAreRegistered)
+{
+    for (const std::string &name : namedCampaignNames()) {
+        EXPECT_TRUE(isNamedCampaign(name));
+        const CampaignSpec c = namedCampaign(name, false);
+        EXPECT_EQ(c.name, name);
+        EXPECT_FALSE(CampaignRunner::expand(c).empty());
+        // Registered campaigns survive the text format.
+        EXPECT_EQ(parseCampaignString(serializeCampaign(c)), c);
+    }
+    EXPECT_FALSE(isNamedCampaign("fig42"));
+    EXPECT_THROW(namedCampaign("fig42", false), FatalError);
+}
+
+// ---------------------------------------------------------- running
+
+TEST(Campaign, ResultsAreByteIdenticalAcrossJobCounts)
+{
+    const CampaignSpec c = tinyCampaign();
+    ParallelRunner serial(1);
+    ParallelRunner wide(3);
+    const CampaignResult a = CampaignRunner(serial).run(c);
+    const CampaignResult b = CampaignRunner(wide).run(c);
+    EXPECT_EQ(a.json(), b.json());
+    ASSERT_EQ(a.cells.size(), 3u);
+    // The baseline normalizes to exactly 1.
+    EXPECT_DOUBLE_EQ(a.cells[0].geoExec, 1.0);
+    EXPECT_DOUBLE_EQ(a.cells[0].geoDdr, 1.0);
+    for (const CellResult &cell : a.cells) {
+        EXPECT_FALSE(cell.phases.empty());
+        EXPECT_GT(cell.geoExec, 0.0);
+    }
+}
+
+TEST(Campaign, MatchesTheSerialProtocolDriver)
+{
+    // The campaign path must reproduce evaluatePolicies() bit for
+    // bit: same apps, same policies, same normalization.
+    CampaignSpec c = tinyCampaign();
+    ParallelRunner serial(1);
+    const CampaignResult result = CampaignRunner(serial).run(c);
+
+    EvalOptions opts;
+    opts.trainIterations = c.base.trainIterations;
+    opts.appParams = c.base.appParams;
+    const std::vector<PolicyOutcome> expected = evaluatePolicies(
+        soc::makeSocByName(c.base.soc), opts,
+        {"fixed-non-coh-dma", "manual", "cohmeleon"});
+
+    const std::vector<PolicyOutcome> got = result.groupOutcomes(0);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].policy, expected[i].policy);
+        EXPECT_EQ(got[i].geoExec, expected[i].geoExec);
+        EXPECT_EQ(got[i].geoDdr, expected[i].geoDdr);
+        ASSERT_EQ(got[i].phases.size(), expected[i].phases.size());
+        for (std::size_t p = 0; p < got[i].phases.size(); ++p) {
+            EXPECT_EQ(got[i].phases[p].execCycles,
+                      expected[i].phases[p].execCycles);
+            EXPECT_EQ(got[i].phases[p].ddrAccesses,
+                      expected[i].phases[p].ddrAccesses);
+        }
+    }
+}
+
+TEST(Campaign, ExplicitCellsFormTheirOwnGroup)
+{
+    CampaignSpec c;
+    c.name = "cells-only";
+    c.baseline = "fixed-non-coh-dma";
+    c.base.soc = "soc1";
+    c.base.appParams.phases = 2;
+    c.base.appParams.maxThreads = 3;
+    c.base.appParams.maxLoops = 1;
+
+    ScenarioSpec cell = c.base;
+    cell.name = "baseline";
+    cell.policy = "fixed-non-coh-dma";
+    c.cells.push_back(cell);
+    cell.name = "manual-big";
+    cell.policy = "manual@64K";
+    c.cells.push_back(cell);
+
+    ParallelRunner serial(1);
+    const CampaignResult result = CampaignRunner(serial).run(c);
+    ASSERT_EQ(result.cells.size(), 2u);
+    EXPECT_EQ(result.groupCount, 1u);
+    EXPECT_DOUBLE_EQ(result.cells[0].geoExec, 1.0);
+    const CellResult *manual = result.find("manual-big");
+    ASSERT_NE(manual, nullptr);
+    EXPECT_GT(manual->geoExec, 0.0);
+    EXPECT_NE(manual->geoExec, 1.0);
+}
+
+TEST(Campaign, HandPickedConcurrentCellsReportRaw)
+{
+    // Explicit concurrent cells have no auto-generated baselines;
+    // they must come back raw instead of dying in normalization
+    // after the whole group already ran.
+    CampaignSpec c;
+    c.name = "concurrent-cells";
+    c.base.soc = "parallel";
+    c.base.workload = WorkloadKind::kConcurrent;
+    c.base.footprintBytes = 16 * 1024;
+    c.base.loops = 1;
+    ScenarioSpec cell = c.base;
+    cell.name = "one-acc";
+    cell.policy = "fixed-non-coh-dma";
+    cell.accCount = 1;
+    c.cells.push_back(cell);
+
+    ParallelRunner serial(1);
+    const CampaignResult result = CampaignRunner(serial).run(c);
+    ASSERT_EQ(result.cells.size(), 1u);
+    ASSERT_EQ(result.cells[0].accMeans.size(), 1u);
+    EXPECT_GT(result.cells[0].accMeans[0].exec, 0.0);
+    EXPECT_DOUBLE_EQ(result.cells[0].geoExec, 1.0); // unnormalized
+}
+
+TEST(Campaign, LoadedCheckpointsKeepTheirFrozenFlagByDefault)
+{
+    // freezeLoaded defaults off so an unfrozen checkpoint restored
+    // through a scenario resumes learning (the PR-3 resume
+    // semantics); freezing is the explicit --eval / freeze-loaded
+    // opt-in.
+    const ScenarioSpec s;
+    EXPECT_FALSE(s.freezeLoaded);
+    EXPECT_EQ(parseScenarioString(serializeScenario(s)), s);
+}
+
+TEST(Campaign, JsonReportCarriesCellsAndMetrics)
+{
+    ParallelRunner serial(1);
+    const CampaignResult result =
+        CampaignRunner(serial).run(tinyCampaign());
+    const std::string json = result.json();
+    EXPECT_NE(json.find("\"campaign\": \"tiny\""), std::string::npos);
+    EXPECT_NE(json.find("\"cell0.policy\": \"fixed-non-coh-dma\""),
+              std::string::npos);
+    EXPECT_NE(json.find("cell2.geo_exec"), std::string::npos);
+    EXPECT_NE(json.find("cell2.q_updates"), std::string::npos);
+}
+
+TEST(Campaign, ShardedCellsMatchTheStandaloneTrainingDriver)
+{
+    // A scenario with shards must produce the exact model the
+    // standalone driver produces for the same options.
+    ScenarioSpec s;
+    s.soc = "soc1";
+    s.policy = "cohmeleon";
+    s.trainIterations = 2;
+    s.trainShards = 2;
+    s.trainApp = TrainAppShape::kSameAsEval;
+    s.appParams.phases = 2;
+    s.appParams.maxThreads = 3;
+    s.appParams.maxLoops = 1;
+    const std::string path = "test_campaign_shard.ckpt";
+    s.saveModel = path;
+    const CellResult cell = runScenario(s);
+    EXPECT_EQ(cell.training.source, TrainSummary::Source::kSharded);
+    EXPECT_GT(cell.training.qUpdates, 0u);
+
+    TrainingOptions topts;
+    topts.iterations = 2;
+    topts.shards = 2;
+    topts.appParams = s.appParams;
+    ParallelRunner serial(1);
+    TrainingDriver driver(serial);
+    const TrainingResult expected =
+        driver.train(soc::makeSocByName("soc1"), topts);
+
+    const policy::PolicyCheckpoint saved =
+        policy::PolicyCheckpoint::loadFile(path);
+    EXPECT_EQ(saved.serialized(), expected.checkpoint.serialized());
+    std::remove(path.c_str());
+}
+
+// ----------------------------------------------------- transfer stage
+
+TEST(Transfer, TrainAcrossSocsIsThreadCountInvariant)
+{
+    std::vector<soc::SocConfig> cfgs = {test::tinySocConfig(),
+                                        soc::makeSocByName("soc1")};
+    TrainingOptions topts;
+    topts.iterations = 1;
+    topts.shards = 2;
+    topts.appParams.phases = 2;
+    topts.appParams.maxThreads = 3;
+    topts.appParams.maxLoops = 1;
+
+    ParallelRunner serial(1);
+    ParallelRunner wide(3);
+    const TrainingResult a = trainAcrossSocs(cfgs, topts, serial);
+    const TrainingResult b = trainAcrossSocs(cfgs, topts, wide);
+    EXPECT_EQ(a.checkpoint.serialized(), b.checkpoint.serialized());
+    EXPECT_EQ(a.shards.size(), 4u);
+    EXPECT_TRUE(a.checkpoint.frozen);
+    EXPECT_GT(a.checkpoint.table.totalVisits(), 0u);
+
+    // Shards on different SoCs see different seeds (global index).
+    EXPECT_NE(a.shards[0].seed, a.shards[2].seed);
+
+    // The merged model restores and evaluates on a third SoC.
+    const auto policy = a.checkpoint.makePolicy();
+    soc::Soc naming(cfgs[0]);
+    const AppSpec evalApp =
+        generateRandomApp(naming, Rng(7), topts.appParams);
+    const AppResult r =
+        runPolicyOnApp(*policy, cfgs[0], evalApp);
+    EXPECT_GT(r.totalExecCycles(), 0u);
+}
+
+TEST(Transfer, CampaignTransferStageFeedsCohmeleonCells)
+{
+    CampaignSpec c = tinyCampaign();
+    c.transfer.socs = {"soc1", "soc2"};
+    c.transfer.iterations = 1;
+    c.transfer.shardsPerSoc = 1;
+
+    ParallelRunner serial(1);
+    ParallelRunner wide(3);
+    const CampaignResult a = CampaignRunner(serial).run(c);
+    const CampaignResult b = CampaignRunner(wide).run(c);
+    EXPECT_EQ(a.json(), b.json());
+
+    const CellResult *cohm = a.find("soc1/cohmeleon");
+    ASSERT_NE(cohm, nullptr);
+    // The cell restored the merged model instead of training.
+    EXPECT_EQ(cohm->training.source, TrainSummary::Source::kTransfer);
+    EXPECT_GT(cohm->training.qUpdates, 0u);
+}
+
+// ------------------------------------------------- availability masks
+
+TEST(AvailabilityMask, RuntimeMasksModesGlobally)
+{
+    const soc::SocConfig cfg = test::tinySocConfig();
+    // A policy that always wants fully-coherent...
+    policy::FixedPolicy policy(coh::CoherenceMode::kFullyCoh);
+    RuntimeKnobs knobs;
+    knobs.disabledModes = coh::maskOf(coh::CoherenceMode::kFullyCoh);
+
+    soc::Soc naming(cfg);
+    RandomAppParams ap;
+    ap.phases = 2;
+    ap.maxThreads = 3;
+    const AppSpec appSpec = generateRandomApp(naming, Rng(3), ap);
+
+    // ...never gets it when the mask removes it.
+    const AppResult masked =
+        runPolicyOnApp(policy, cfg, appSpec, knobs,
+                       /*collectRecords=*/true);
+    unsigned invocations = 0;
+    for (const PhaseResult &p : masked.phases) {
+        for (const rt::InvocationRecord &r : p.invocations) {
+            EXPECT_NE(r.mode, coh::CoherenceMode::kFullyCoh);
+            ++invocations;
+        }
+    }
+    EXPECT_GT(invocations, 0u);
+
+    // Without the mask the same protocol does use it.
+    const AppResult plain = runPolicyOnApp(policy, cfg, appSpec,
+                                           RuntimeKnobs{}, true);
+    bool sawFullCoh = false;
+    for (const PhaseResult &p : plain.phases)
+        for (const rt::InvocationRecord &r : p.invocations)
+            sawFullCoh |= r.mode == coh::CoherenceMode::kFullyCoh;
+    EXPECT_TRUE(sawFullCoh);
+}
+
+TEST(AvailabilityMask, PerInstanceMasksOnlyHitTheirTile)
+{
+    const soc::SocConfig cfg = test::tinySocConfig();
+    policy::FixedPolicy policy(coh::CoherenceMode::kFullyCoh);
+    RuntimeKnobs knobs;
+    knobs.accDisabledModes.emplace_back(
+        "fft0", coh::maskOf(coh::CoherenceMode::kFullyCoh));
+
+    soc::Soc soc(cfg);
+    rt::EspRuntime runtime(soc, policy);
+    knobs.applyTo(soc, runtime);
+    const AccId fft = soc.findAcc("fft0");
+    const AccId spmv = soc.findAcc("spmv0");
+    EXPECT_FALSE(coh::maskHas(runtime.effectiveModes(fft),
+                              coh::CoherenceMode::kFullyCoh));
+    EXPECT_TRUE(coh::maskHas(runtime.effectiveModes(spmv),
+                             coh::CoherenceMode::kFullyCoh));
+    // Unknown instance names fail loudly.
+    RuntimeKnobs bad;
+    bad.accDisabledModes.emplace_back(
+        "nope", coh::maskOf(coh::CoherenceMode::kFullyCoh));
+    EXPECT_THROW(bad.applyTo(soc, runtime), FatalError);
+}
+
+TEST(AvailabilityMask, NonCohDmaCannotBeMaskedAway)
+{
+    const soc::SocConfig cfg = test::tinySocConfig();
+    policy::FixedPolicy policy(coh::CoherenceMode::kNonCohDma);
+    soc::Soc soc(cfg);
+    rt::EspRuntime runtime(soc, policy);
+    runtime.setDisabledModes(coh::kAllModesMask);
+    EXPECT_TRUE(coh::maskHas(runtime.effectiveModes(0),
+                             coh::CoherenceMode::kNonCohDma));
+}

@@ -1,42 +1,42 @@
 /**
  * @file
- * Command-line driver: run an application (from a config file or the
- * random generator) on any preset SoC under any coherence policy.
+ * Command-line driver over the declarative scenario/campaign layer.
  *
- *   cohmeleon_run --soc soc1 --policy cohmeleon --train 10
- *   cohmeleon_run --soc soc5 --policy manual --app pipeline.cfg
- *   cohmeleon_run --soc soc0 --policy cohmeleon --save-qtable q.txt
- *   cohmeleon_run --soc soc0 --policy cohmeleon --load-qtable q.txt
- *   cohmeleon_run --soc soc1 --train-jobs 8 --save-model m.ckpt
- *   cohmeleon_run --soc soc1 --load-model m.ckpt --eval
- *   cohmeleon_run --soc soc1 --compare --jobs 4
+ *   cohmeleon_run run --soc soc1 --policy cohmeleon --train 10
+ *   cohmeleon_run run --scenario cell.scenario --stats
+ *   cohmeleon_run run --soc soc1 --load-model m.ckpt --eval
+ *   cohmeleon_run train --soc soc1 --shards 8 --jobs 4 -o m.ckpt
+ *   cohmeleon_run train --soc soc0,soc1 --shards 2 -o merged.ckpt
+ *   cohmeleon_run compare --soc soc5 --jobs 4
+ *   cohmeleon_run campaign fig9 --jobs 8
+ *   cohmeleon_run campaign examples/transfer.campaign -o out.json
+ *   cohmeleon_run list
  *
- * Prints the per-phase results, the coherence-decision breakdown,
- * and (with --stats) the full SoC statistics block. --compare runs
- * the paper's full eight-policy protocol instead, fanned over the
- * deterministic parallel experiment driver (--jobs threads).
+ * `run` executes one scenario cell (per-phase table, decision
+ * breakdown, optional --stats block). `train` is the deterministic
+ * sharded trainer — a comma list of SoCs selects cross-SoC transfer
+ * training with a visit-weighted merge. `compare` runs the paper's
+ * eight-policy protocol. `campaign` expands a registered name or a
+ * .campaign file over the parallel driver and writes the structured
+ * CAMPAIGN_<name>.json. All results are independent of --jobs.
  *
- * --train-jobs N selects the parallel training driver: a fixed
- * number of logical shards (--train-shards) trained over N threads
- * and merged deterministically, so the saved model is byte-identical
- * for any N. --save-model/--load-model persist the full learning
- * state (Q-table + visits, schedule, RNG stream, reward history),
- * unlike the legacy --save-qtable/--load-qtable value-only format.
+ * The pre-subcommand flat flags (--soc/--policy/--compare/...) keep
+ * working as deprecated aliases.
  */
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 
-#include "app/app_runner.hh"
+#include "app/campaign_runner.hh"
 #include "app/config_parser.hh"
 #include "app/experiment.hh"
-#include "app/parallel_runner.hh"
 #include "app/training_driver.hh"
 #include "policy/checkpoint.hh"
-#include "policy/cohmeleon_policy.hh"
 #include "sim/logging.hh"
 #include "sim/wall_timer.hh"
 #include "soc/soc_presets.hh"
@@ -46,145 +46,697 @@ using namespace cohmeleon;
 namespace
 {
 
-struct Options
-{
-    std::string socName = "soc1";
-    std::string policyName = "cohmeleon";
-    bool policySet = false;
-    std::string appFile;
-    std::string saveQtable;
-    std::string loadQtable;
-    std::string saveModel;
-    std::string loadModel;
-    unsigned trainIterations = 10;
-    unsigned trainJobs = 0;   // 0 = sequential single-instance training
-    unsigned trainShards = 4; // logical shards for --train-jobs
-    bool trainShardsSet = false;
-    bool evalOnly = false;
-    std::uint64_t seed = 2022;
-    bool stats = false;
-    bool compare = false;
-    unsigned jobs = 0; // 0 = auto (COHMELEON_THREADS or hw threads)
-};
-
 [[noreturn]] void
-usage(const char *argv0)
+usage()
 {
     std::printf(
-        "usage: %s [options]\n"
-        "  --soc NAME        soc0..soc6, soc0-streaming, "
-        "soc0-irregular,\n"
-        "                    motivation, parallel (default soc1)\n"
-        "  --policy NAME     fixed-<mode>, rand, fixed-hetero, "
-        "manual,\n"
-        "                    cohmeleon (default cohmeleon)\n"
-        "  --app FILE        application config file (default: a "
-        "random app)\n"
-        "  --train N         cohmeleon training iterations "
-        "(default 10)\n"
-        "  --seed N          random-app seed (default 2022)\n"
-        "  --save-qtable F   persist the trained Q-table (values "
-        "only)\n"
-        "  --load-qtable F   restore a Q-table instead of training\n"
-        "  --train-jobs N    parallel sharded training over N "
-        "threads\n"
-        "                    (model independent of N; implies "
-        "cohmeleon)\n"
-        "  --train-shards N  logical training shards (default 4)\n"
-        "  --save-model F    persist the full learning state "
-        "(checkpoint)\n"
-        "  --load-model F    restore a checkpoint instead of "
-        "training\n"
-        "  --eval            evaluation split: restore (--load-model)"
-        " a\n"
-        "                    frozen model and run the app, no "
-        "training\n"
-        "  --stats           dump the SoC statistics block\n"
-        "  --compare         evaluate all eight policies (parallel "
-        "driver)\n"
-        "  --jobs N          threads for --compare (default: "
-        "COHMELEON_THREADS\n"
-        "                    or hardware concurrency)\n",
-        argv0);
+        "usage: cohmeleon_run <subcommand> [options]\n"
+        "\n"
+        "  run       run one scenario cell\n"
+        "    --scenario FILE    load a .scenario file (flags "
+        "override)\n"
+        "    --soc NAME         SoC preset (default soc1)\n"
+        "    --policy NAME      policy, e.g. cohmeleon, manual@16K\n"
+        "    --app FILE         application config file\n"
+        "    --figure-app NAME  registered figure app (fig5)\n"
+        "    --train N          training iterations (default 10)\n"
+        "    --shards N         sharded deterministic training\n"
+        "    --seed N           evaluation-app seed (default 2022)\n"
+        "    --train-seed N     training-app seed (default 2021)\n"
+        "    --agent-seed N     exploration seed (default 7)\n"
+        "    --save-model F / --load-model F   full checkpoints\n"
+        "    --save-qtable F / --load-qtable F legacy Q-values only\n"
+        "    --eval             frozen evaluation of --load-model\n"
+        "    --disable-modes L  mask modes out (comma list)\n"
+        "    --exact-attribution  exact DDR attribution (ablation)\n"
+        "    --stats            dump the SoC statistics block\n"
+        "  train     deterministic sharded training -> checkpoint\n"
+        "    --soc NAME[,NAME...]  one SoC, or several for cross-SoC\n"
+        "                          transfer training (merged model)\n"
+        "    --train N --shards N --jobs N\n"
+        "    --train-seed N --agent-seed N\n"
+        "    -o F / --save-model F   output checkpoint (required)\n"
+        "  compare   the eight-policy protocol on one SoC\n"
+        "    --soc NAME --train N --seed N --jobs N\n"
+        "  campaign  run a campaign\n"
+        "    campaign NAME|FILE [--jobs N] [-o F] [--full] [--print]\n"
+        "  list      known SoCs, policies, campaigns, figure apps\n");
     std::exit(2);
 }
 
-Options
-parseArgs(int argc, char **argv)
+/** Flag cursor with validated value/number accessors. */
+struct Args
 {
-    Options opt;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            return argv[++i];
-        };
-        auto number = [&](std::uint64_t max) -> std::uint64_t {
-            // Digits only: stoull would accept "-1" (wrapping mod
-            // 2^64) and trailing garbage ("4x"). The cap keeps the
-            // later narrowing casts from truncating.
-            const std::string text = value();
-            try {
-                std::size_t used = 0;
-                if (text.empty() ||
-                    !std::isdigit(static_cast<unsigned char>(text[0])))
-                    usage(argv[0]);
-                const std::uint64_t n = std::stoull(text, &used);
-                if (used != text.size() || n > max)
-                    usage(argv[0]);
-                return n;
-            } catch (const std::exception &) {
-                usage(argv[0]);
-            }
-        };
-        if (arg == "--soc")
-            opt.socName = value();
-        else if (arg == "--policy") {
-            opt.policyName = value();
-            opt.policySet = true;
-        }
-        else if (arg == "--app")
-            opt.appFile = value();
-        else if (arg == "--train")
-            opt.trainIterations =
-                static_cast<unsigned>(number(1'000'000));
-        else if (arg == "--seed")
-            opt.seed = number(UINT64_MAX);
-        else if (arg == "--save-qtable")
-            opt.saveQtable = value();
-        else if (arg == "--load-qtable")
-            opt.loadQtable = value();
-        else if (arg == "--save-model")
-            opt.saveModel = value();
-        else if (arg == "--load-model")
-            opt.loadModel = value();
-        else if (arg == "--train-jobs") {
-            opt.trainJobs = static_cast<unsigned>(number(1024));
-            if (opt.trainJobs == 0)
-                usage(argv[0]);
-        }
-        else if (arg == "--train-shards") {
-            opt.trainShards = static_cast<unsigned>(number(4096));
-            opt.trainShardsSet = true;
-            if (opt.trainShards == 0)
-                usage(argv[0]);
-        }
-        else if (arg == "--eval")
-            opt.evalOnly = true;
-        else if (arg == "--stats")
-            opt.stats = true;
-        else if (arg == "--compare")
-            opt.compare = true;
-        else if (arg == "--jobs") {
-            opt.jobs = static_cast<unsigned>(number(1024));
-            if (opt.jobs == 0) // 0 is the internal "unset" sentinel
-                usage(argv[0]);
-        }
-        else
-            usage(argv[0]);
+    int argc;
+    char **argv;
+    int i;
+
+    bool
+    next(const char *flag, const char *alias = nullptr)
+    {
+        return std::strcmp(argv[i], flag) == 0 ||
+               (alias != nullptr && std::strcmp(argv[i], alias) == 0);
     }
-    return opt;
+
+    std::string
+    value()
+    {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "fatal: %s needs a value\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    }
+
+    std::uint64_t
+    number(std::uint64_t max)
+    {
+        // Digits only: stoull would accept "-1" (wrapping mod 2^64)
+        // and trailing garbage ("4x"). The cap keeps the later
+        // narrowing casts from truncating.
+        const std::string flag = argv[i];
+        const std::string text = value();
+        try {
+            std::size_t used = 0;
+            if (text.empty() ||
+                !std::isdigit(static_cast<unsigned char>(text[0])))
+                throw std::invalid_argument(text);
+            const std::uint64_t n = std::stoull(text, &used);
+            if (used != text.size() || n > max)
+                throw std::invalid_argument(text);
+            return n;
+        } catch (const std::exception &) {
+            std::fprintf(stderr,
+                         "fatal: bad value '%s' for %s (max %llu)\n",
+                         text.c_str(), flag.c_str(),
+                         static_cast<unsigned long long>(max));
+            std::exit(2);
+        }
+    }
+};
+
+/** Parse-time SoC-name validation: fail before any setup, listing
+ *  the known names. */
+std::string
+validatedSoc(const std::string &name)
+{
+    if (!soc::isKnownSocName(name)) {
+        std::fprintf(stderr,
+                     "fatal: unknown SoC preset '%s'\n  known: %s\n",
+                     name.c_str(),
+                     soc::knownSocNamesText().c_str());
+        std::exit(2);
+    }
+    return name;
+}
+
+/** Parse-time policy-name validation via the shared validator. */
+std::string
+validatedPolicy(const std::string &name)
+{
+    const std::string err = app::checkPolicyName(name);
+    if (!err.empty()) {
+        std::fprintf(stderr, "fatal: %s\n", err.c_str());
+        std::exit(2);
+    }
+    return name;
+}
+
+coh::ModeMask
+parseDisableModes(const std::string &list)
+{
+    coh::ModeMask mask = 0;
+    for (const std::string &part : app::splitList(list, ',')) {
+        const coh::CoherenceMode m = coh::modeFromString(part);
+        fatalIf(m == coh::CoherenceMode::kNonCohDma,
+                "non-coh-dma cannot be disabled");
+        mask |= coh::maskOf(m);
+    }
+    return mask;
+}
+
+// --------------------------------------------------------------- run
+
+void
+printCellResult(const app::CellResult &result,
+                const soc::SocConfig &cfg)
+{
+    const app::ScenarioSpec &s = result.scenario;
+    const app::TrainSummary &t = result.training;
+    switch (t.source) {
+      case app::TrainSummary::Source::kNone:
+        break;
+      case app::TrainSummary::Source::kOnline:
+        std::printf("trained cohmeleon online: %u iterations, %llu "
+                    "invocations, %llu q-updates over %llu entries\n",
+                    t.iteration,
+                    static_cast<unsigned long long>(t.invocations),
+                    static_cast<unsigned long long>(t.qUpdates),
+                    static_cast<unsigned long long>(t.entriesCovered));
+        break;
+      case app::TrainSummary::Source::kSharded:
+        std::printf("trained cohmeleon: %u shards x %u iterations, "
+                    "%llu invocations, %llu q-updates over %llu "
+                    "entries\n",
+                    s.trainShards, s.trainIterations,
+                    static_cast<unsigned long long>(t.invocations),
+                    static_cast<unsigned long long>(t.qUpdates),
+                    static_cast<unsigned long long>(t.entriesCovered));
+        break;
+      case app::TrainSummary::Source::kLoaded:
+        std::printf("restored model (iteration %u, %llu q-updates "
+                    "over %llu entries)\n",
+                    t.iteration,
+                    static_cast<unsigned long long>(t.qUpdates),
+                    static_cast<unsigned long long>(t.entriesCovered));
+        break;
+      case app::TrainSummary::Source::kTransfer:
+        std::printf("restored the campaign's merged cross-SoC model "
+                    "(%llu q-updates over %llu entries)\n",
+                    static_cast<unsigned long long>(t.qUpdates),
+                    static_cast<unsigned long long>(t.entriesCovered));
+        break;
+    }
+
+    if (s.workload == app::WorkloadKind::kConcurrent) {
+        // Concurrent cells measure per-accelerator loop averages,
+        // not phases.
+        std::printf("\n%u concurrent accelerator(s) on %s, %s mode, "
+                    "%u loop(s):\n",
+                    static_cast<unsigned>(result.accMeans.size()),
+                    cfg.name.c_str(), s.policy.c_str(), s.loops);
+        std::printf("%-16s %16s %14s\n", "accelerator",
+                    "cycles/invoc", "ddr/invoc");
+        for (std::size_t a = 0; a < result.accMeans.size(); ++a) {
+            const AccId id = s.accIndex >= 0
+                                 ? static_cast<AccId>(s.accIndex)
+                                 : static_cast<AccId>(a);
+            std::printf("%-16s %16.1f %14.1f\n",
+                        cfg.accs[id].name.c_str(),
+                        result.accMeans[a].exec,
+                        result.accMeans[a].ddr);
+        }
+        return;
+    }
+
+    std::printf("\n%s on %s under %s:\n", result.appName.c_str(),
+                cfg.name.c_str(), s.policy.c_str());
+    std::printf("%-16s %14s %12s %8s\n", "phase", "cycles",
+                "off-chip", "invocs");
+    for (const app::PhaseResult &p : result.phases) {
+        std::printf("%-16s %14llu %12llu %8zu\n", p.name.c_str(),
+                    static_cast<unsigned long long>(p.execCycles),
+                    static_cast<unsigned long long>(p.ddrAccesses),
+                    p.invocations.size());
+    }
+    Cycles totalExec = 0;
+    std::uint64_t totalDdr = 0;
+    for (const app::PhaseResult &p : result.phases) {
+        totalExec += p.execCycles;
+        totalDdr += p.ddrAccesses;
+    }
+    std::printf("%-16s %14llu %12llu\n", "total",
+                static_cast<unsigned long long>(totalExec),
+                static_cast<unsigned long long>(totalDdr));
+
+    // Decision breakdown.
+    std::map<coh::CoherenceMode, unsigned> modes;
+    for (const auto &p : result.phases)
+        for (const auto &r : p.invocations)
+            ++modes[r.mode];
+    std::printf("\ndecisions:");
+    for (const auto &[mode, count] : modes)
+        std::printf(" %s=%u", std::string(toString(mode)).c_str(),
+                    count);
+    std::printf("\n");
+
+    if (!result.statsDump.empty()) {
+        std::printf("\n");
+        std::fputs(result.statsDump.c_str(), stdout);
+    }
+}
+
+int
+cmdRun(Args &args)
+{
+    app::ScenarioSpec s;
+    s.trainApp = app::TrainAppShape::kDense;
+    bool evalOnly = false;
+    // The scenario file is the base regardless of where --scenario
+    // sits in the argument list; the other flags then override it.
+    for (int i = args.i; i + 1 < args.argc; ++i) {
+        if (std::strcmp(args.argv[i], "--scenario") == 0) {
+            std::ifstream in(args.argv[i + 1]);
+            fatalIf(!in, "cannot open scenario file '",
+                    args.argv[i + 1], "'");
+            s = app::parseScenario(in);
+        }
+    }
+    s.collectRecords = true;
+    for (; args.i < args.argc; ++args.i) {
+        if (args.next("--scenario")) {
+            args.value(); // consumed in the pre-scan above
+        } else if (args.next("--soc"))
+            s.soc = validatedSoc(args.value());
+        else if (args.next("--policy"))
+            s.policy = validatedPolicy(args.value());
+        else if (args.next("--app")) {
+            s.appSource = app::AppSource::kFile;
+            s.appFile = args.value();
+        } else if (args.next("--figure-app")) {
+            s.appSource = app::AppSource::kFigure;
+            s.figureName = args.value();
+        } else if (args.next("--train"))
+            s.trainIterations =
+                static_cast<unsigned>(args.number(1'000'000));
+        else if (args.next("--shards"))
+            s.trainShards = static_cast<unsigned>(args.number(4096));
+        else if (args.next("--seed"))
+            s.evalSeed = args.number(UINT64_MAX);
+        else if (args.next("--train-seed"))
+            s.trainSeed = args.number(UINT64_MAX);
+        else if (args.next("--agent-seed"))
+            s.agentSeed = args.number(UINT64_MAX);
+        else if (args.next("--save-model"))
+            s.saveModel = args.value();
+        else if (args.next("--load-model"))
+            s.loadModel = args.value();
+        else if (args.next("--save-qtable"))
+            s.saveQtable = args.value();
+        else if (args.next("--load-qtable"))
+            s.loadQtable = args.value();
+        else if (args.next("--eval"))
+            evalOnly = true;
+        else if (args.next("--disable-modes"))
+            s.disabledModes = parseDisableModes(args.value());
+        else if (args.next("--exact-attribution"))
+            s.exactAttribution = true;
+        else if (args.next("--stats"))
+            s.captureStats = true;
+        else
+            usage();
+    }
+    fatalIf(evalOnly && s.loadModel.empty(),
+            "--eval needs a model to evaluate (--load-model)");
+    fatalIf(evalOnly && (s.trainShards != 0 || !s.saveModel.empty()),
+            "--eval is the training-free split; it cannot be "
+            "combined with --shards or --save-model");
+    fatalIf(!s.loadModel.empty() && !s.loadQtable.empty(),
+            "--load-model and --load-qtable are exclusive");
+    fatalIf(!s.loadModel.empty() && s.trainShards != 0,
+            "--load-model replaces training; drop --shards");
+    if (evalOnly)
+        s.freezeLoaded = true;
+
+    const soc::SocConfig cfg = app::resolveSoc(s);
+    const app::CellResult result = app::runScenario(s);
+    printCellResult(result, cfg);
+    if (!s.saveQtable.empty())
+        std::printf("saved Q-table to %s\n", s.saveQtable.c_str());
+    if (!s.saveModel.empty())
+        std::printf("saved model to %s\n", s.saveModel.c_str());
+    return 0;
+}
+
+// ------------------------------------------------------------- train
+
+int
+cmdTrain(Args &args)
+{
+    std::vector<std::string> socNames = {"soc1"};
+    app::TrainingOptions topts;
+    unsigned jobs = 0;
+    std::string saveModel;
+    for (; args.i < args.argc; ++args.i) {
+        if (args.next("--soc")) {
+            socNames.clear();
+            for (const std::string &n :
+                 app::splitList(args.value(), ','))
+                socNames.push_back(validatedSoc(n));
+        } else if (args.next("--train"))
+            topts.iterations =
+                static_cast<unsigned>(args.number(1'000'000));
+        else if (args.next("--shards"))
+            topts.shards = static_cast<unsigned>(args.number(4096));
+        else if (args.next("--jobs"))
+            jobs = static_cast<unsigned>(args.number(1024));
+        else if (args.next("--train-seed"))
+            topts.trainSeed = args.number(UINT64_MAX);
+        else if (args.next("--agent-seed"))
+            topts.agentSeed = args.number(UINT64_MAX);
+        else if (args.next("--save-model", "-o"))
+            saveModel = args.value();
+        else
+            usage();
+    }
+    fatalIf(saveModel.empty(),
+            "train produces a checkpoint; name it with -o FILE");
+    fatalIf(topts.shards == 0, "--shards must be positive");
+
+    std::vector<soc::SocConfig> cfgs;
+    for (const std::string &n : socNames)
+        cfgs.push_back(soc::makeSocByName(n));
+
+    app::ParallelRunner runner(jobs);
+    std::printf("training cohmeleon: %zu SoC(s) x %u shards x %u "
+                "iterations over %u thread(s)...\n",
+                cfgs.size(), topts.shards, topts.iterations,
+                runner.threads());
+    const WallTimer timer;
+    app::TrainingResult tres;
+    if (cfgs.size() == 1) {
+        app::TrainingDriver driver(runner);
+        tres = driver.train(cfgs.front(), topts);
+    } else {
+        // Cross-SoC transfer: shards per SoC, one visit-weighted
+        // merge in global shard order.
+        tres = app::trainAcrossSocs(cfgs, topts, runner);
+    }
+    tres.checkpoint.saveFile(saveModel);
+    std::printf("trained on %llu invocations in %.2fs (%llu "
+                "q-updates, %llu/%u entries covered)\n",
+                static_cast<unsigned long long>(tres.totalInvocations),
+                timer.seconds(),
+                static_cast<unsigned long long>(
+                    tres.checkpoint.table.totalVisits()),
+                static_cast<unsigned long long>(
+                    tres.checkpoint.table.updatedEntries()),
+                rl::StateTuple::kNumStates * rl::kNumActions);
+    std::printf("saved model to %s\n", saveModel.c_str());
+    return 0;
+}
+
+// ----------------------------------------------------------- compare
+
+int
+cmdCompare(Args &args)
+{
+    std::string socName = "soc1";
+    unsigned trainIterations = 10;
+    std::uint64_t seed = 2022;
+    unsigned jobs = 0;
+    for (; args.i < args.argc; ++args.i) {
+        if (args.next("--soc"))
+            socName = validatedSoc(args.value());
+        else if (args.next("--train"))
+            trainIterations =
+                static_cast<unsigned>(args.number(1'000'000));
+        else if (args.next("--seed"))
+            seed = args.number(UINT64_MAX);
+        else if (args.next("--jobs"))
+            jobs = static_cast<unsigned>(args.number(1024));
+        else
+            usage();
+    }
+
+    // The paper's protocol as a one-group campaign: dense training
+    // apps so a policy's row can be cross-checked against its
+    // standalone run at the same --seed.
+    app::CampaignSpec spec;
+    spec.name = "compare";
+    spec.base.soc = socName;
+    spec.base.trainIterations = std::max(1u, trainIterations);
+    spec.base.evalSeed = seed;
+    spec.base.trainApp = app::TrainAppShape::kDense;
+    spec.policies = app::standardPolicyNames();
+    spec.baseline = "fixed-non-coh-dma";
+
+    app::ParallelRunner runner(jobs);
+    std::printf("comparing the eight policies on %s "
+                "(%u thread(s))...\n",
+                socName.c_str(), runner.threads());
+    const WallTimer timer;
+    app::CampaignRunner driver(runner);
+    const app::CampaignResult result = driver.run(spec);
+    const double elapsed = timer.seconds();
+    std::ostringstream os;
+    app::printOutcomeTable(os, result.groupOutcomes(0));
+    std::fputs(os.str().c_str(), stdout);
+    std::printf("\nsweep wall time: %.2fs\n", elapsed);
+    return 0;
+}
+
+// ---------------------------------------------------------- campaign
+
+int
+cmdCampaign(Args &args)
+{
+    std::string source;
+    std::string outFile;
+    unsigned jobs = 0;
+    bool full = false;
+    bool printOnly = false;
+    for (; args.i < args.argc; ++args.i) {
+        if (args.next("--jobs"))
+            jobs = static_cast<unsigned>(args.number(1024));
+        else if (args.next("--out", "-o"))
+            outFile = args.value();
+        else if (args.next("--full"))
+            full = true;
+        else if (args.next("--print"))
+            printOnly = true;
+        else if (args.argv[args.i][0] == '-')
+            usage();
+        else if (source.empty())
+            source = args.argv[args.i];
+        else
+            usage();
+    }
+    if (source.empty()) {
+        std::fprintf(stderr,
+                     "fatal: campaign needs a registered name or a "
+                     "file\n  registered:");
+        for (const std::string &n : app::namedCampaignNames())
+            std::fprintf(stderr, " %s", n.c_str());
+        std::fprintf(stderr, "\n");
+        return 2;
+    }
+
+    app::CampaignSpec spec;
+    if (app::isNamedCampaign(source)) {
+        spec = app::namedCampaign(source, full);
+    } else {
+        std::ifstream in(source);
+        fatalIf(!in, "cannot open campaign '", source,
+                "' (not a registered name either)");
+        spec = app::parseCampaign(in);
+    }
+
+    if (printOnly) {
+        std::fputs(app::serializeCampaign(spec).c_str(), stdout);
+        return 0;
+    }
+
+    app::ParallelRunner runner(jobs);
+    std::printf("campaign %s over %u thread(s)%s...\n",
+                spec.name.c_str(), runner.threads(),
+                spec.transfer.active()
+                    ? " (after cross-SoC transfer training)"
+                    : "");
+    const WallTimer timer;
+    app::CampaignRunner driver(runner);
+    const app::CampaignResult result = driver.run(spec);
+    const double elapsed = timer.seconds();
+
+    for (std::size_t g = 0; g < result.groupCount; ++g) {
+        const std::vector<std::size_t> idx = result.groupCells(g);
+        if (idx.empty())
+            continue;
+        const app::CellResult &first = result.cells[idx.front()];
+        std::printf("\n--- group %zu (soc %s, seed %llu) ---\n", g,
+                    first.scenario.soc.c_str(),
+                    static_cast<unsigned long long>(
+                        first.scenario.evalSeed));
+        if (first.scenario.workload ==
+            app::WorkloadKind::kConcurrent) {
+            std::printf("%-28s %10s %10s\n", "cell", "exec(norm)",
+                        "ddr(norm)");
+            for (std::size_t i : idx) {
+                const app::CellResult &c = result.cells[i];
+                if (c.isBaseline)
+                    continue;
+                std::printf("%-28s %10.3f %10.3f\n",
+                            c.scenario.name.c_str(), c.geoExec,
+                            c.geoDdr);
+            }
+            continue;
+        }
+        const bool normalized = std::any_of(
+            idx.begin(), idx.end(), [&](std::size_t i) {
+                return !result.cells[i].execNorm.empty();
+            });
+        if (!normalized) {
+            // Unnormalized (e.g. baseline-free what-if cells): raw
+            // totals, by cell name.
+            std::printf("%-28s %14s %12s\n", "cell", "cycles",
+                        "off-chip");
+            for (std::size_t i : idx) {
+                const app::CellResult &c = result.cells[i];
+                Cycles exec = 0;
+                std::uint64_t ddr = 0;
+                for (const app::PhaseResult &p : c.phases) {
+                    exec += p.execCycles;
+                    ddr += p.ddrAccesses;
+                }
+                std::printf("%-28s %14llu %12llu\n",
+                            c.scenario.name.c_str(),
+                            static_cast<unsigned long long>(exec),
+                            static_cast<unsigned long long>(ddr));
+            }
+            continue;
+        }
+        std::ostringstream os;
+        app::printOutcomeTable(os, result.groupOutcomes(g));
+        std::fputs(os.str().c_str(), stdout);
+    }
+
+    if (outFile.empty())
+        outFile = "CAMPAIGN_" + spec.name + ".json";
+    JsonReporter rep(spec.name);
+    result.report(rep);
+    rep.writeTo(outFile);
+    std::printf("\n%zu cells in %.2fs; wrote %s\n",
+                result.cells.size(), elapsed, outFile.c_str());
+    return 0;
+}
+
+// -------------------------------------------------------------- list
+
+int
+cmdList()
+{
+    std::printf("SoC presets:");
+    for (std::string_view n : soc::knownSocNames())
+        std::printf(" %s", std::string(n).c_str());
+    std::printf("\npolicies:");
+    for (const std::string &n : app::standardPolicyNames())
+        std::printf(" %s", n.c_str());
+    std::printf(" manual@SIZE");
+    std::printf("\ncampaigns:");
+    for (const std::string &n : app::namedCampaignNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\nfigure apps:");
+    for (const std::string &n : app::figureAppNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\n");
+    return 0;
+}
+
+// ------------------------------------------------- deprecated aliases
+
+/** The pre-subcommand flat-flag interface, kept alive for scripts:
+ *  maps onto the same scenario/campaign machinery. */
+int
+legacyMain(Args &args)
+{
+    std::fprintf(stderr,
+                 "note: the flat flags are deprecated; see "
+                 "'cohmeleon_run --help' for the subcommands\n");
+
+    app::ScenarioSpec s;
+    s.trainApp = app::TrainAppShape::kDense;
+    s.collectRecords = true;
+    bool policySet = false;
+    bool evalOnly = false;
+    bool compare = false;
+    unsigned trainJobs = 0;
+    bool trainShardsSet = false;
+    unsigned jobs = 0;
+    s.trainShards = 4; // the legacy --train-jobs default shard count
+
+    for (; args.i < args.argc; ++args.i) {
+        if (args.next("--soc"))
+            s.soc = validatedSoc(args.value());
+        else if (args.next("--policy")) {
+            s.policy = validatedPolicy(args.value());
+            policySet = true;
+        } else if (args.next("--app")) {
+            s.appSource = app::AppSource::kFile;
+            s.appFile = args.value();
+        } else if (args.next("--train"))
+            s.trainIterations =
+                static_cast<unsigned>(args.number(1'000'000));
+        else if (args.next("--seed"))
+            s.evalSeed = args.number(UINT64_MAX);
+        else if (args.next("--save-qtable"))
+            s.saveQtable = args.value();
+        else if (args.next("--load-qtable"))
+            s.loadQtable = args.value();
+        else if (args.next("--save-model"))
+            s.saveModel = args.value();
+        else if (args.next("--load-model"))
+            s.loadModel = args.value();
+        else if (args.next("--train-jobs")) {
+            trainJobs = static_cast<unsigned>(args.number(1024));
+            if (trainJobs == 0)
+                usage();
+        } else if (args.next("--train-shards")) {
+            s.trainShards = static_cast<unsigned>(args.number(4096));
+            trainShardsSet = true;
+            if (s.trainShards == 0)
+                usage();
+        } else if (args.next("--eval"))
+            evalOnly = true;
+        else if (args.next("--stats"))
+            s.captureStats = true;
+        else if (args.next("--compare"))
+            compare = true;
+        else if (args.next("--jobs")) {
+            jobs = static_cast<unsigned>(args.number(1024));
+            if (jobs == 0) // 0 is the internal "unset" sentinel
+                usage();
+        } else
+            usage();
+    }
+
+    fatalIf(!compare && jobs != 0, "--jobs only applies to --compare");
+    fatalIf(evalOnly && s.loadModel.empty(),
+            "--eval needs a model to evaluate (--load-model)");
+    fatalIf(evalOnly && (trainJobs != 0 || !s.saveModel.empty()),
+            "--eval is the training-free split; it cannot be "
+            "combined with --train-jobs or --save-model");
+    fatalIf(!s.loadModel.empty() && trainJobs != 0,
+            "--load-model replaces training; drop --train-jobs");
+    fatalIf(trainShardsSet && trainJobs == 0,
+            "--train-shards only applies to the parallel driver; "
+            "add --train-jobs N");
+    fatalIf(!s.loadModel.empty() && !s.loadQtable.empty(),
+            "--load-model and --load-qtable are exclusive");
+    s.freezeLoaded = evalOnly;
+
+    if (compare) {
+        fatalIf(policySet || !s.appFile.empty() ||
+                    !s.saveQtable.empty() || !s.loadQtable.empty() ||
+                    !s.saveModel.empty() || !s.loadModel.empty() ||
+                    trainJobs != 0 || evalOnly || s.captureStats,
+                "--compare runs all eight policies on a random "
+                "app; it cannot be combined with --policy, "
+                "--app, --stats, or the model options");
+        std::vector<std::string> argvText = {
+            "--soc", s.soc, "--train",
+            std::to_string(s.trainIterations), "--seed",
+            std::to_string(s.evalSeed)};
+        if (jobs != 0) {
+            argvText.push_back("--jobs");
+            argvText.push_back(std::to_string(jobs));
+        }
+        std::vector<char *> argvPtrs;
+        for (std::string &t : argvText)
+            argvPtrs.push_back(t.data());
+        Args cargs{static_cast<int>(argvPtrs.size()),
+                   argvPtrs.data(), 0};
+        return cmdCompare(cargs);
+    }
+
+    s.trainShards = trainJobs != 0 ? s.trainShards : 0;
+    const soc::SocConfig cfg = app::resolveSoc(s);
+    const app::CellResult result = app::runScenario(s);
+    printCellResult(result, cfg);
+    if (!s.saveQtable.empty())
+        std::printf("saved Q-table to %s\n", s.saveQtable.c_str());
+    if (!s.saveModel.empty())
+        std::printf("saved model to %s\n", s.saveModel.c_str());
+    return 0;
 }
 
 } // namespace
@@ -192,213 +744,29 @@ parseArgs(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    const Options opt = parseArgs(argc, argv);
     setQuiet(true);
-
     try {
-        const soc::SocConfig cfg = soc::makeSocByName(opt.socName);
-
-        fatalIf(!opt.compare && opt.jobs != 0,
-                "--jobs only applies to --compare");
-        fatalIf(opt.evalOnly && opt.loadModel.empty(),
-                "--eval needs a model to evaluate (--load-model)");
-        fatalIf(opt.evalOnly &&
-                    (opt.trainJobs != 0 || !opt.saveModel.empty()),
-                "--eval is the training-free split; it cannot be "
-                "combined with --train-jobs or --save-model");
-        fatalIf(!opt.loadModel.empty() && opt.trainJobs != 0,
-                "--load-model replaces training; drop --train-jobs");
-        fatalIf(opt.trainShardsSet && opt.trainJobs == 0,
-                "--train-shards only applies to the parallel driver; "
-                "add --train-jobs N");
-        fatalIf(!opt.loadModel.empty() && !opt.loadQtable.empty(),
-                "--load-model and --load-qtable are exclusive");
-        if (opt.compare) {
-            fatalIf(opt.policySet || !opt.appFile.empty() ||
-                        !opt.saveQtable.empty() ||
-                        !opt.loadQtable.empty() ||
-                        !opt.saveModel.empty() ||
-                        !opt.loadModel.empty() ||
-                        opt.trainJobs != 0 || opt.evalOnly ||
-                        opt.stats,
-                    "--compare runs all eight policies on a random "
-                    "app; it cannot be combined with --policy, "
-                    "--app, --stats, or the model options");
-            // Dense params for training only, like the single-policy
-            // mode below, so a policy's row here can be cross-checked
-            // against its standalone run at the same --seed.
-            app::EvalOptions eopts;
-            eopts.trainIterations = std::max(1u, opt.trainIterations);
-            eopts.evalSeed = opt.seed;
-            eopts.trainAppParams = app::denseTrainingParams();
-            app::ParallelRunner runner(opt.jobs);
-            std::printf("comparing the eight policies on %s "
-                        "(%u thread(s))...\n",
-                        cfg.name.c_str(), runner.threads());
-            const WallTimer timer;
-            const auto outcomes =
-                app::evaluatePoliciesParallel(cfg, eopts, runner);
-            const double elapsed = timer.seconds();
-            std::ostringstream os;
-            app::printOutcomeTable(os, outcomes);
-            std::fputs(os.str().c_str(), stdout);
-            std::printf("\nsweep wall time: %.2fs\n", elapsed);
-            return 0;
+        if (argc < 2)
+            usage();
+        const std::string cmd = argv[1];
+        Args args{argc, argv, 2};
+        if (cmd == "run")
+            return cmdRun(args);
+        if (cmd == "train")
+            return cmdTrain(args);
+        if (cmd == "compare")
+            return cmdCompare(args);
+        if (cmd == "campaign")
+            return cmdCampaign(args);
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "--help" || cmd == "-h" || cmd == "help")
+            usage();
+        if (!cmd.empty() && cmd.front() == '-') {
+            Args largs{argc, argv, 1};
+            return legacyMain(largs);
         }
-
-        app::EvalOptions eopts;
-        eopts.trainIterations = std::max(1u, opt.trainIterations);
-        eopts.trainAppParams = app::denseTrainingParams();
-        std::unique_ptr<rt::CoherencePolicy> policy =
-            app::makePolicyByName(opt.policyName, cfg, eopts);
-
-        // Cohmeleon needs a model: restore or train.
-        if (auto *cohm = dynamic_cast<policy::CohmeleonPolicy *>(
-                policy.get())) {
-            if (!opt.loadModel.empty()) {
-                // Full checkpoint: schedule, RNG stream, visit
-                // counts, and reward history all resume.
-                const policy::PolicyCheckpoint ckpt =
-                    policy::PolicyCheckpoint::loadFile(opt.loadModel);
-                auto restored = ckpt.makePolicy();
-                if (opt.evalOnly)
-                    restored->freeze();
-                std::printf("restored model from %s (iteration %u, "
-                            "%s, %llu q-updates over %llu entries)\n",
-                            opt.loadModel.c_str(), ckpt.iteration,
-                            ckpt.frozen || opt.evalOnly ? "frozen"
-                                                        : "learning",
-                            static_cast<unsigned long long>(
-                                ckpt.table.totalVisits()),
-                            static_cast<unsigned long long>(
-                                ckpt.table.updatedEntries()));
-                cohm = restored.get();
-                policy = std::move(restored);
-            } else if (!opt.loadQtable.empty()) {
-                std::ifstream in(opt.loadQtable);
-                fatalIf(!in, "cannot open '", opt.loadQtable, "'");
-                cohm->agent().table().load(in);
-                cohm->freeze();
-                std::printf("restored Q-table from %s\n",
-                            opt.loadQtable.c_str());
-            } else if (opt.trainJobs != 0) {
-                // Parallel sharded training; the merged model is a
-                // pure function of (soc, shards, seeds), never of
-                // the thread count.
-                app::TrainingOptions topts;
-                topts.iterations = eopts.trainIterations;
-                topts.shards = opt.trainShards;
-                topts.trainSeed = eopts.trainSeed;
-                topts.agentSeed = eopts.agentSeed;
-                std::printf("training cohmeleon: %u shards x %u "
-                            "iterations over %u thread(s)...\n",
-                            topts.shards, topts.iterations,
-                            opt.trainJobs);
-                app::ParallelRunner trainRunner(opt.trainJobs);
-                app::TrainingDriver driver(trainRunner);
-                const WallTimer timer;
-                const app::TrainingResult tres =
-                    driver.train(cfg, topts);
-                std::printf("trained on %llu invocations in %.2fs "
-                            "(%llu q-updates, %llu/%u entries "
-                            "covered)\n",
-                            static_cast<unsigned long long>(
-                                tres.totalInvocations),
-                            timer.seconds(),
-                            static_cast<unsigned long long>(
-                                tres.checkpoint.table.totalVisits()),
-                            static_cast<unsigned long long>(
-                                tres.checkpoint.table
-                                    .updatedEntries()),
-                            rl::StateTuple::kNumStates *
-                                rl::kNumActions);
-                auto trained = tres.checkpoint.makePolicy();
-                cohm = trained.get();
-                policy = std::move(trained);
-            } else {
-                std::printf("training cohmeleon online (%u "
-                            "iterations)...\n",
-                            eopts.trainIterations);
-                soc::Soc naming(cfg);
-                app::trainCohmeleon(
-                    *cohm, cfg,
-                    app::generateRandomApp(naming,
-                                           Rng(eopts.trainSeed),
-                                           *eopts.trainAppParams),
-                    eopts.trainIterations);
-            }
-            if (!opt.saveQtable.empty()) {
-                std::ofstream out(opt.saveQtable);
-                fatalIf(!out, "cannot open '", opt.saveQtable, "'");
-                cohm->agent().table().save(out);
-                std::printf("saved Q-table to %s\n",
-                            opt.saveQtable.c_str());
-            }
-            if (!opt.saveModel.empty()) {
-                policy::PolicyCheckpoint::capture(*cohm).saveFile(
-                    opt.saveModel);
-                std::printf("saved model to %s\n",
-                            opt.saveModel.c_str());
-            }
-        } else {
-            fatalIf(!opt.loadModel.empty() || !opt.saveModel.empty() ||
-                        opt.trainJobs != 0 || opt.evalOnly,
-                    "the model/training options only apply to the "
-                    "cohmeleon policy");
-        }
-
-        // The application: from file or generated.
-        soc::Soc soc(cfg);
-        app::AppSpec spec;
-        if (!opt.appFile.empty()) {
-            std::ifstream in(opt.appFile);
-            fatalIf(!in, "cannot open '", opt.appFile, "'");
-            spec = app::parseAppSpec(in);
-        } else {
-            spec = app::generateRandomApp(soc, Rng(opt.seed));
-        }
-        spec.validate(soc);
-
-        rt::EspRuntime runtime(soc, *policy);
-        app::AppRunner runner(soc, runtime);
-        const app::AppResult result = runner.runApp(spec);
-
-        std::printf("\n%s on %s under %s:\n", spec.name.c_str(),
-                    cfg.name.c_str(),
-                    std::string(policy->name()).c_str());
-        std::printf("%-16s %14s %12s %8s\n", "phase", "cycles",
-                    "off-chip", "invocs");
-        for (const app::PhaseResult &p : result.phases) {
-            std::printf("%-16s %14llu %12llu %8zu\n", p.name.c_str(),
-                        static_cast<unsigned long long>(p.execCycles),
-                        static_cast<unsigned long long>(
-                            p.ddrAccesses),
-                        p.invocations.size());
-        }
-        std::printf("%-16s %14llu %12llu\n", "total",
-                    static_cast<unsigned long long>(
-                        result.totalExecCycles()),
-                    static_cast<unsigned long long>(
-                        result.totalDdrAccesses()));
-
-        // Decision breakdown.
-        std::map<coh::CoherenceMode, unsigned> modes;
-        for (const auto &p : result.phases)
-            for (const auto &r : p.invocations)
-                ++modes[r.mode];
-        std::printf("\ndecisions:");
-        for (const auto &[mode, count] : modes)
-            std::printf(" %s=%u", std::string(toString(mode)).c_str(),
-                        count);
-        std::printf("\n");
-
-        if (opt.stats) {
-            std::printf("\n");
-            std::ostringstream os;
-            soc.dumpStats(os);
-            std::fputs(os.str().c_str(), stdout);
-        }
-        return 0;
+        usage();
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());
         return 1;
