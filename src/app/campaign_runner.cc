@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <sstream>
 
 #include "app/config_parser.hh"
@@ -29,6 +30,20 @@ struct ExpandedCell
     bool isBaseline = false;
 };
 
+/**
+ * The transfer stage's serialized merged models, one per (merge,
+ * explore) strategy pair appearing in the expanded cells — when the
+ * campaign sweeps strategies, every cohmeleon cell restores the model
+ * folded with *its* strategy pair.
+ */
+using TransferModels = std::map<std::string, std::string>;
+
+std::string
+strategyKey(const ScenarioSpec &s)
+{
+    return rl::toString(s.merge) + '|' + rl::toString(s.explore);
+}
+
 template <typename T>
 std::vector<T>
 axisOrDefault(const std::vector<T> &axis, T fallback)
@@ -43,7 +58,8 @@ expandCells(const CampaignSpec &c)
 {
     const bool haveAxes = !c.socs.empty() || !c.policies.empty() ||
                           !c.seeds.empty() || !c.shardCounts.empty() ||
-                          !c.accCounts.empty();
+                          !c.accCounts.empty() || !c.merges.empty() ||
+                          !c.explores.empty();
     const bool concurrent =
         c.base.workload == WorkloadKind::kConcurrent;
 
@@ -57,6 +73,10 @@ expandCells(const CampaignSpec &c)
         axisOrDefault(c.shardCounts, c.base.trainShards);
     const std::vector<unsigned> accCounts =
         axisOrDefault(c.accCounts, c.base.accCount);
+    const std::vector<rl::MergeSpec> merges =
+        axisOrDefault(c.merges, c.base.merge);
+    const std::vector<rl::ExploreSpec> explores =
+        axisOrDefault(c.explores, c.base.explore);
 
     std::vector<ExpandedCell> out;
     std::size_t group = 0;
@@ -66,6 +86,8 @@ expandCells(const CampaignSpec &c)
         for (const std::string &socName : socs) {
             for (std::uint64_t seed : seeds) {
                 for (unsigned shards : shardCounts) {
+                    for (const rl::MergeSpec &merge : merges) {
+                    for (const rl::ExploreSpec &explore : explores) {
                     if (concurrent) {
                         // Figure-3 normalization: every accelerator's
                         // own single-accelerator non-coherent run,
@@ -79,6 +101,8 @@ expandCells(const CampaignSpec &c)
                             cell.soc = socName;
                             cell.evalSeed = seed;
                             cell.trainShards = shards;
+                            cell.merge = merge;
+                            cell.explore = explore;
                             cell.policy = "fixed-non-coh-dma";
                             cell.accIndex = static_cast<int>(a);
                             cell.name = socName + "/single/acc" +
@@ -93,6 +117,8 @@ expandCells(const CampaignSpec &c)
                             cell.soc = socName;
                             cell.evalSeed = seed;
                             cell.trainShards = shards;
+                            cell.merge = merge;
+                            cell.explore = explore;
                             cell.policy = policyName;
                             cell.accCount = accCount;
                             cell.name = socName + "/" + policyName;
@@ -102,6 +128,12 @@ expandCells(const CampaignSpec &c)
                             if (shardCounts.size() > 1)
                                 cell.name +=
                                     "/sh" + std::to_string(shards);
+                            if (merges.size() > 1)
+                                cell.name +=
+                                    "/mg-" + rl::toString(merge);
+                            if (explores.size() > 1)
+                                cell.name +=
+                                    "/ex-" + rl::toString(explore);
                             if (concurrent)
                                 cell.name +=
                                     "/x" + std::to_string(accCount);
@@ -110,6 +142,8 @@ expandCells(const CampaignSpec &c)
                         }
                     }
                     ++group;
+                    }
+                    }
                 }
             }
         }
@@ -236,7 +270,8 @@ summarizeModel(TrainSummary &t, const policy::PolicyCheckpoint &ckpt)
 }
 
 CellResult
-runProtocolCell(const ScenarioSpec &s, const std::string *mergedModel)
+runProtocolCell(const ScenarioSpec &s,
+                const TransferModels *transferModels)
 {
     CellResult out;
     out.scenario = s;
@@ -252,6 +287,7 @@ runProtocolCell(const ScenarioSpec &s, const std::string *mergedModel)
     if (s.trainApp == TrainAppShape::kDense)
         eopts.trainAppParams = denseTrainingParams();
     eopts.agentSeed = s.agentSeed;
+    eopts.explore = s.explore;
     eopts.collectRecords = s.collectRecords;
 
     // The protocol's applications. For random evaluation apps this is
@@ -287,7 +323,7 @@ runProtocolCell(const ScenarioSpec &s, const std::string *mergedModel)
         !s.loadModel.empty() || !s.loadQtable.empty() ||
         !s.saveModel.empty() || !s.saveQtable.empty() ||
         s.trainShards > 0 ||
-        (mergedModel != nullptr && s.policy == "cohmeleon");
+        (transferModels != nullptr && s.policy == "cohmeleon");
 
     if (!wantsModelFlow && !s.captureStats) {
         // The paper's plain protocol — the exact code path the figure
@@ -318,6 +354,10 @@ runProtocolCell(const ScenarioSpec &s, const std::string *mergedModel)
 
     if (cohm != nullptr) {
         TrainSummary &t = out.training;
+        // capture() cannot know how a model's table was folded; the
+        // branches below record it so a re-saved model keeps its
+        // merge metadata.
+        rl::MergeSpec modelMerge;
         fatalIf(!s.loadModel.empty() && s.trainShards != 0,
                 "cell '", s.name,
                 "' both loads a model and asks for sharded training "
@@ -331,15 +371,22 @@ runProtocolCell(const ScenarioSpec &s, const std::string *mergedModel)
             cohm = restored.get();
             policy = std::move(restored);
             t.source = TrainSummary::Source::kLoaded;
+            modelMerge = ckpt.merge;
             summarizeModel(t, ckpt);
-        } else if (mergedModel != nullptr) {
-            std::istringstream in(*mergedModel);
+        } else if (transferModels != nullptr) {
+            const auto model =
+                transferModels->find(strategyKey(s));
+            fatalIf(model == transferModels->end(),
+                    "no transfer model trained for cell '", s.name,
+                    "' (strategy ", strategyKey(s), ")");
+            std::istringstream in(model->second);
             const policy::PolicyCheckpoint ckpt =
                 policy::PolicyCheckpoint::load(in);
             auto restored = ckpt.makePolicy(); // merged models freeze
             cohm = restored.get();
             policy = std::move(restored);
             t.source = TrainSummary::Source::kTransfer;
+            modelMerge = ckpt.merge;
             summarizeModel(t, ckpt);
         } else if (!s.loadQtable.empty()) {
             std::ifstream in(s.loadQtable);
@@ -359,6 +406,8 @@ runProtocolCell(const ScenarioSpec &s, const std::string *mergedModel)
             topts.shards = s.trainShards;
             topts.trainSeed = s.trainSeed;
             topts.agentSeed = s.agentSeed;
+            topts.merge = s.merge;
+            topts.explore = s.explore;
             topts.appParams =
                 eopts.trainAppParams.value_or(eopts.appParams);
             topts.knobs = knobs;
@@ -369,6 +418,7 @@ runProtocolCell(const ScenarioSpec &s, const std::string *mergedModel)
             cohm = trained.get();
             policy = std::move(trained);
             t.source = TrainSummary::Source::kSharded;
+            modelMerge = s.merge;
             t.invocations = tres.totalInvocations;
             summarizeModel(t, tres.checkpoint);
         } else {
@@ -387,9 +437,12 @@ runProtocolCell(const ScenarioSpec &s, const std::string *mergedModel)
             fatalIf(!qout, "cannot open '", s.saveQtable, "'");
             cohm->agent().table().save(qout);
         }
-        if (!s.saveModel.empty())
-            policy::PolicyCheckpoint::capture(*cohm).saveFile(
-                s.saveModel);
+        if (!s.saveModel.empty()) {
+            policy::PolicyCheckpoint snap =
+                policy::PolicyCheckpoint::capture(*cohm);
+            snap.merge = modelMerge;
+            snap.saveFile(s.saveModel);
+        }
     }
 
     out.phases =
@@ -400,11 +453,11 @@ runProtocolCell(const ScenarioSpec &s, const std::string *mergedModel)
 }
 
 CellResult
-runCell(const ScenarioSpec &s, const std::string *mergedModel)
+runCell(const ScenarioSpec &s, const TransferModels *transferModels)
 {
     if (s.workload == WorkloadKind::kConcurrent)
         return runConcurrentCell(s);
-    return runProtocolCell(s, mergedModel);
+    return runProtocolCell(s, transferModels);
 }
 
 // --------------------------------------------------------- normalizing
@@ -536,10 +589,13 @@ CampaignRunner::run(const CampaignSpec &spec)
     fatalIf(expanded.empty(), "campaign '", spec.name,
             "' expands to no cells");
 
-    // Stage 1 (optional): cross-SoC transfer training. The merged
-    // model is serialized once and restored per cell, keeping cells
-    // free of shared mutable state.
-    std::string mergedModel;
+    // Stage 1 (optional): cross-SoC transfer training — one merged
+    // model per (merge, explore) strategy pair the expanded cells
+    // use, trained sequentially in first-encounter (expansion) order
+    // so the stage is deterministic for any runner width. The models
+    // are serialized once and restored per cell, keeping cells free
+    // of shared mutable state.
+    TransferModels transferModels;
     if (spec.transfer.active()) {
         std::vector<soc::SocConfig> cfgs;
         for (const std::string &socName : spec.transfer.socs) {
@@ -547,32 +603,67 @@ CampaignRunner::run(const CampaignSpec &spec)
             probe.soc = socName;
             cfgs.push_back(resolveSoc(probe));
         }
-        TrainingOptions topts;
-        topts.iterations = spec.transfer.iterations;
-        topts.shards = spec.transfer.shardsPerSoc;
-        topts.trainSeed = spec.base.trainSeed;
-        topts.agentSeed = spec.base.agentSeed;
-        if (spec.base.trainApp == TrainAppShape::kSameAsEval)
-            topts.appParams = spec.base.appParams;
-        topts.knobs = knobsOf(spec.base);
-        const TrainingResult tres =
-            trainAcrossSocs(cfgs, topts, runner_);
-        if (!spec.transfer.saveModel.empty())
-            tres.checkpoint.saveFile(spec.transfer.saveModel);
-        mergedModel = tres.checkpoint.serialized();
+        for (const ExpandedCell &c : expanded) {
+            const std::string key = strategyKey(c.spec);
+            if (transferModels.count(key))
+                continue;
+            TrainingOptions topts;
+            topts.iterations = spec.transfer.iterations;
+            topts.shards = spec.transfer.shardsPerSoc;
+            topts.trainSeed = spec.base.trainSeed;
+            topts.agentSeed = spec.base.agentSeed;
+            topts.merge = c.spec.merge;
+            topts.explore = c.spec.explore;
+            if (spec.base.trainApp == TrainAppShape::kSameAsEval)
+                topts.appParams = spec.base.appParams;
+            topts.knobs = knobsOf(spec.base);
+            const TrainingResult tres =
+                trainAcrossSocs(cfgs, topts, runner_);
+            // With a strategy sweep, save-model keeps the first
+            // (base-strategy-ordered) pair's model.
+            if (!spec.transfer.saveModel.empty() &&
+                transferModels.empty())
+                tres.checkpoint.saveFile(spec.transfer.saveModel);
+            transferModels.emplace(key,
+                                   tres.checkpoint.serialized());
+        }
     }
 
-    // Stage 2: the cells, one slot each, any thread order.
+    // Stage 2: the cells, one slot each, any thread order. Cells are
+    // pure functions of their spec, and sweeps repeat some specs
+    // verbatim under different names — e.g. a fixed-policy baseline
+    // recurs once per swept (merge, explore) pair it cannot depend
+    // on — so each unique spec runs once and duplicates share its
+    // result (byte-identical output, strictly less simulation).
+    const TransferModels *merged =
+        transferModels.empty() ? nullptr : &transferModels;
+    std::map<std::string, std::size_t> slotOf; // canonical spec
+    std::vector<std::size_t> uniqueCells;      // -> expanded index
+    std::vector<std::size_t> cellSlot(expanded.size());
+    for (std::size_t i = 0; i < expanded.size(); ++i) {
+        ScenarioSpec key = expanded[i].spec;
+        key.name.clear(); // names differ, simulations may not
+        const auto [it, inserted] =
+            slotOf.emplace(serializeScenario(key), uniqueCells.size());
+        if (inserted)
+            uniqueCells.push_back(i);
+        cellSlot[i] = it->second;
+    }
+    std::vector<CellResult> unique(uniqueCells.size());
+    runner_.forEach(uniqueCells.size(), [&](std::size_t slot) {
+        unique[slot] = runCell(expanded[uniqueCells[slot]].spec,
+                               merged);
+    });
+
     CampaignResult result;
     result.name = spec.name;
     result.cells.resize(expanded.size());
-    const std::string *merged =
-        mergedModel.empty() ? nullptr : &mergedModel;
-    runner_.forEach(expanded.size(), [&](std::size_t i) {
-        result.cells[i] = runCell(expanded[i].spec, merged);
+    for (std::size_t i = 0; i < expanded.size(); ++i) {
+        result.cells[i] = unique[cellSlot[i]];
+        result.cells[i].scenario = expanded[i].spec; // own name back
         result.cells[i].group = expanded[i].group;
         result.cells[i].isBaseline = expanded[i].isBaseline;
-    });
+    }
     for (const ExpandedCell &c : expanded)
         result.groupCount = std::max(result.groupCount, c.group + 1);
 
@@ -641,6 +732,14 @@ CampaignResult::report(JsonReporter &rep) const
         rep.addString(p + ".name", c.scenario.name);
         rep.addString(p + ".soc", c.scenario.soc);
         rep.addString(p + ".policy", c.scenario.policy);
+        // Strategy axes only when swept off the defaults, so the
+        // figure campaigns' JSON stays noise-free.
+        if (!(c.scenario.merge == rl::MergeSpec{}))
+            rep.addString(p + ".merge",
+                          rl::toString(c.scenario.merge));
+        if (!(c.scenario.explore == rl::ExploreSpec{}))
+            rep.addString(p + ".explore",
+                          rl::toString(c.scenario.explore));
         rep.add(p + ".group", static_cast<double>(c.group));
         rep.addString(p + ".seed",
                       std::to_string(c.scenario.evalSeed));

@@ -122,7 +122,8 @@ class CampaignRunner
     /**
      * The campaign's cells in execution order: the cross-product of
      * the axes (policy-major within a group, acc-count innermost),
-     * grouped by (soc, seed, shards); concurrent campaigns prepend
+     * grouped by (soc, seed, shards, merge, explore); concurrent
+     * campaigns prepend
      * their per-accelerator single-run baseline cells to each group;
      * explicit cells follow as one final group (and are the whole
      * campaign when no axis is given).
@@ -145,7 +146,7 @@ class CampaignRunner
 CellResult runScenario(const ScenarioSpec &spec);
 
 /** Names of the registered campaigns ("fig3", "fig9", "ablation",
- *  "smoke"). */
+ *  "transfer", "smoke"). */
 const std::vector<std::string> &namedCampaignNames();
 bool isNamedCampaign(const std::string &name);
 

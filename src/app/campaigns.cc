@@ -97,6 +97,53 @@ ablationCampaign(bool fullScale)
     return c;
 }
 
+/**
+ * The cross-SoC transfer-generalization study (the ROADMAP's
+ * Figure-9-grid item): train shards on a small SoC set, fold them
+ * into one model per (merge, explore) strategy pair, and evaluate
+ * every merged model frozen over an evaluation grid of SoCs the
+ * model never trained on — soc5/soc6 are the domain-specific
+ * designs — next to a training SoC as a control. The default scale
+ * is CI-sized; --full evaluates over the whole Figure-9 grid at
+ * paper training density.
+ */
+CampaignSpec
+transferCampaign(bool fullScale)
+{
+    CampaignSpec c;
+    c.name = "transfer";
+    c.base.name = "transfer";
+    c.baseline = "fixed-non-coh-dma";
+    c.transfer.socs = {"soc1", "soc2"};
+    // 6+ iterations even at CI scale: with fewer, the epsilon floor
+    // never binds and the strategies collapse onto each other.
+    c.transfer.iterations = fullScale ? 10 : 6;
+    c.transfer.shardsPerSoc = fullScale ? 4 : 2;
+    c.base.trainApp = TrainAppShape::kSameAsEval;
+    if (fullScale) {
+        c.base.appParams = denseTrainingParams();
+        for (std::string_view n : soc::figure9SocNames())
+            c.socs.emplace_back(n);
+    } else {
+        c.base.appParams.phases = 2;
+        c.base.appParams.maxThreads = 3;
+        c.base.appParams.maxLoops = 1;
+        c.socs = {"soc1", "soc5"};
+    }
+    c.policies = {"fixed-non-coh-dma", "cohmeleon"};
+    c.merges = {
+        rl::MergeSpec{},
+        rl::mergeSpecFromString("recency@0.5"),
+        rl::mergeSpecFromString("reward-norm"),
+    };
+    c.explores = {
+        rl::ExploreSpec{},
+        rl::exploreSpecFromString("floor@0.1"),
+        rl::exploreSpecFromString("visit@1"),
+    };
+    return c;
+}
+
 /** Tiny 2-cell grid for CI: two non-learning policies on SoC1 with a
  *  small random app — seconds, not minutes, and fully deterministic
  *  (the CI smoke cmp-compares its JSON across --jobs values). */
@@ -124,6 +171,7 @@ namedCampaignNames()
         "fig3",
         "fig9",
         "ablation",
+        "transfer",
         "smoke",
     };
     return names;
@@ -147,6 +195,8 @@ namedCampaign(const std::string &name, bool fullScale)
         return fig9Campaign();
     if (name == "ablation")
         return ablationCampaign(fullScale);
+    if (name == "transfer")
+        return transferCampaign(fullScale);
     if (name == "smoke")
         return smokeCampaign();
     std::string known;

@@ -96,6 +96,7 @@ makePolicyByName(const std::string &name, const soc::SocConfig &cfg,
         params.agent.decayIterations =
             std::max(1u, opts.trainIterations);
         params.agent.seed = opts.agentSeed;
+        params.agent.explore = opts.explore;
         return std::make_unique<policy::CohmeleonPolicy>(params);
     }
     fatal("unknown policy name '", name, "'");

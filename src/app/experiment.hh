@@ -58,6 +58,8 @@ struct EvalOptions
     std::optional<RandomAppParams> trainAppParams;
     rl::RewardWeights weights; ///< defaults to the paper's 67.5/7.5/25
     std::uint64_t agentSeed = 7;
+    /** Cohmeleon's exploration schedule (paper linear decay). */
+    rl::ExploreSpec explore;
     bool collectRecords = false;
 };
 

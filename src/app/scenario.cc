@@ -271,6 +271,16 @@ applyScenarioKey(ScenarioSpec &s, const ConfigLine &l)
         s.trainIterations = parseU32At(value, no);
     } else if (key == "shards") {
         s.trainShards = parseU32At(value, no);
+    } else if (key == "merge") {
+        const std::string err = rl::checkMergeSpecText(value);
+        if (!err.empty())
+            lineFatal(no, err);
+        s.merge = rl::mergeSpecFromString(value);
+    } else if (key == "explore") {
+        const std::string err = rl::checkExploreSpecText(value);
+        if (!err.empty())
+            lineFatal(no, err);
+        s.explore = rl::exploreSpecFromString(value);
     } else if (key == "load-model") {
         s.loadModel = value;
     } else if (key == "save-model") {
@@ -365,10 +375,24 @@ applyAxisKey(CampaignSpec &c, const ConfigLine &l)
                 lineFatal(l.no, "acc-count must be positive");
             c.accCounts.push_back(n);
         }
+    } else if (l.key == "merge") {
+        for (const std::string &p : parts) {
+            const std::string err = rl::checkMergeSpecText(p);
+            if (!err.empty())
+                lineFatal(l.no, err);
+            c.merges.push_back(rl::mergeSpecFromString(p));
+        }
+    } else if (l.key == "explore") {
+        for (const std::string &p : parts) {
+            const std::string err = rl::checkExploreSpecText(p);
+            if (!err.empty())
+                lineFatal(l.no, err);
+            c.explores.push_back(rl::exploreSpecFromString(p));
+        }
     } else {
         lineFatal(l.no, "unknown axis '" + l.key +
                             "' (known: soc, policy, seed, shards, "
-                            "acc-count)");
+                            "acc-count, merge, explore)");
     }
 }
 
@@ -598,6 +622,8 @@ writeScenarioKeys(std::ostream &os, const ScenarioSpec &s,
     os << "policy = " << s.policy << '\n';
     os << "train = " << s.trainIterations << '\n';
     os << "shards = " << s.trainShards << '\n';
+    os << "merge = " << rl::toString(s.merge) << '\n';
+    os << "explore = " << rl::toString(s.explore) << '\n';
     if (!s.loadModel.empty())
         os << "load-model = " << s.loadModel << '\n';
     if (!s.saveModel.empty())
@@ -660,13 +686,16 @@ serializeCampaign(const CampaignSpec &spec)
 
     if (!spec.socs.empty() || !spec.policies.empty() ||
         !spec.seeds.empty() || !spec.shardCounts.empty() ||
-        !spec.accCounts.empty()) {
+        !spec.accCounts.empty() || !spec.merges.empty() ||
+        !spec.explores.empty()) {
         os << "\n[axes]\n";
         writeAxis(os, "soc", spec.socs);
         writeAxis(os, "policy", spec.policies);
         writeAxis(os, "seed", spec.seeds);
         writeAxis(os, "shards", spec.shardCounts);
         writeAxis(os, "acc-count", spec.accCounts);
+        writeAxis(os, "merge", spec.merges);
+        writeAxis(os, "explore", spec.explores);
     }
 
     if (spec.transfer.active()) {

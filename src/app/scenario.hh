@@ -29,6 +29,8 @@
  *     [axes]                # cross-product axes
  *     policy = fixed-non-coh-dma, manual, cohmeleon
  *     seed = 2022, 3033
+ *     merge = visit-weighted, recency@0.5, reward-norm
+ *     explore = linear, floor@0.1
  *
  *     [train]               # optional: train-many-SoCs -> merge
  *     soc = soc0, soc1
@@ -53,6 +55,7 @@
 
 #include "app/random_app.hh"
 #include "coh/coherence_mode.hh"
+#include "rl/strategy.hh"
 #include "soc/soc_presets.hh"
 
 namespace cohmeleon::app
@@ -127,6 +130,10 @@ struct ScenarioSpec
     std::string policy = "cohmeleon"; ///< may carry args ("manual@16K")
     unsigned trainIterations = 10;
     unsigned trainShards = 0; ///< 0 = online (unsharded) training
+    /** How shard tables fold (sharded/transfer training). */
+    rl::MergeSpec merge;
+    /** Cohmeleon's exploration schedule. */
+    rl::ExploreSpec explore;
     std::string loadModel;    ///< checkpoint path replacing training
     std::string saveModel;    ///< persist the trained checkpoint
     std::string loadQtable;   ///< legacy value-only Q-table restore
@@ -182,6 +189,8 @@ struct CampaignSpec
     std::vector<std::uint64_t> seeds;    ///< evaluation seeds
     std::vector<unsigned> shardCounts;   ///< training shard counts
     std::vector<unsigned> accCounts;     ///< concurrent workloads only
+    std::vector<rl::MergeSpec> merges;   ///< fold strategies
+    std::vector<rl::ExploreSpec> explores; ///< exploration schedules
 
     /**
      * Normalization baseline: the policy whose cell every other cell

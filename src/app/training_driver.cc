@@ -46,6 +46,7 @@ trainShard(const soc::SocConfig &cfg, const TrainingOptions &opts,
     params.weights = opts.weights;
     params.agent.decayIterations = opts.iterations;
     params.agent.seed = experimentSeed(opts.agentSeed, shard);
+    params.agent.explore = opts.explore;
     policy::CohmeleonPolicy policy(params);
 
     const std::uint64_t appSeed = experimentSeed(opts.trainSeed, shard);
@@ -87,6 +88,8 @@ trainAcrossSocs(const std::vector<soc::SocConfig> &cfgs,
     fatalIf(opts.shards == 0, "training needs at least one shard");
     fatalIf(opts.iterations == 0,
             "training needs at least one iteration");
+    opts.merge.validate();
+    opts.explore.validate();
 
     // One flat fan-out over the (config, shard) grid. Each shard is
     // an isolated single-threaded simulation seeded by its global
@@ -106,13 +109,15 @@ trainAcrossSocs(const std::vector<soc::SocConfig> &cfgs,
     c.weights = opts.weights;
     c.agent.decayIterations = opts.iterations;
     c.agent.seed = opts.agentSeed;
+    c.agent.explore = opts.explore;
+    c.merge = opts.merge;
     c.iteration = opts.iterations;
     c.frozen = true;
     // The merged model's evaluation stream: a fresh stream derived
     // past the shard range, a pure function of the options.
     c.rngState = Rng(experimentSeed(opts.agentSeed, total)).state();
     for (const ShardState &s : shards) {
-        c.table.merge(s.table);
+        c.table.merge(s.table, opts.merge);
         c.tracker.mergeFrom(s.tracker);
         result.shards.push_back(s.report);
         result.totalInvocations += s.report.invocations;

@@ -6,10 +6,11 @@
  * The paper trains one agent online on one SoC. To train orders of
  * magnitude more invocations, the driver splits training into a fixed
  * number of logical *shards*: shard i trains its own agent (seeded
- * experimentSeed(agentSeed, i)) on its own random application
- * instance (seeded experimentSeed(trainSeed, i)) for the full decay
- * schedule, and the shard tables then fold into one model via the
- * visit-weighted QTable::merge() in shard-index order.
+ * experimentSeed(agentSeed, i), exploring per the configured
+ * ExploreSpec) on its own random application instance (seeded
+ * experimentSeed(trainSeed, i)) for the full decay schedule, and the
+ * shard tables then fold into one model via the configured MergeSpec
+ * (QTable::merge(), visit-weighted by default) in shard-index order.
  *
  * Thread-count invariance is by construction: the shard count is a
  * training parameter, the thread pool only decides *which thread*
@@ -41,6 +42,10 @@ struct TrainingOptions
     std::uint64_t trainSeed = 2021; ///< base seed for shard apps
     std::uint64_t agentSeed = 7;    ///< base seed for shard agents
     rl::RewardWeights weights;      ///< paper defaults
+    /** How the shard tables fold into the merged model. */
+    rl::MergeSpec merge;
+    /** How every shard agent schedules exploration. */
+    rl::ExploreSpec explore;
     /** Shape of the per-shard training applications. */
     RandomAppParams appParams;
     /** Runtime perturbations applied to every shard SoC. */

@@ -86,6 +86,8 @@ PolicyCheckpoint::save(std::ostream &os) const
     os << "agent " << agent.epsilon0 << ' ' << agent.alpha0 << ' '
        << agent.decayIterations << ' ' << agent.seed << ' '
        << iteration << ' ' << (frozen ? 1 : 0) << '\n';
+    os << "explore " << rl::toString(agent.explore) << '\n';
+    os << "merge " << rl::toString(merge) << '\n';
     os << "rng " << rngState[0] << ' ' << rngState[1] << ' '
        << rngState[2] << ' ' << rngState[3] << '\n';
     os << "qtable " << rl::StateTuple::kNumStates << ' '
@@ -115,8 +117,10 @@ PolicyCheckpoint::load(std::istream &is)
     fatalIf(magic != kMagic, "not a Cohmeleon checkpoint (magic '",
             magic, "')");
     const unsigned version = expect<unsigned>(is, "version");
-    fatalIf(version != kVersion, "unsupported checkpoint version ",
-            version, " (this build reads version ", kVersion, ")");
+    fatalIf(version < kOldestVersion || version > kVersion,
+            "unsupported checkpoint version ", version,
+            " (this build reads versions ", kOldestVersion,
+            " through ", kVersion, ")");
 
     expectKeyword(is, "weights");
     c.weights.exec = expectFinite(is, "weights.exec");
@@ -140,6 +144,23 @@ PolicyCheckpoint::load(std::istream &is)
                 c.agent.alpha0 <= 0.0 || c.agent.alpha0 > 1.0 ||
                 c.agent.decayIterations == 0,
             "invalid agent hyper-parameters in checkpoint");
+
+    if (version >= 2) {
+        // v2: the strategy axes. v1 streams predate them and migrate
+        // to the defaults (the paper's linear decay, the PR-3
+        // visit-weighted fold) — exactly the behavior they were
+        // trained under.
+        expectKeyword(is, "explore");
+        try {
+            c.agent.explore = rl::exploreSpecFromString(
+                expect<std::string>(is, "explore spec"));
+            expectKeyword(is, "merge");
+            c.merge = rl::mergeSpecFromString(
+                expect<std::string>(is, "merge spec"));
+        } catch (const FatalError &e) {
+            fatal("malformed strategy in checkpoint: ", e.what());
+        }
+    }
 
     expectKeyword(is, "rng");
     for (int i = 0; i < 4; ++i)

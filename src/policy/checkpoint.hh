@@ -12,6 +12,16 @@
  * The format is line-oriented text with doubles printed at 17
  * significant digits (lossless for IEEE binary64), so two checkpoints
  * are byte-identical exactly when the learning states are.
+ *
+ * Format history (the ROADMAP's "checkpoint evolution" contract:
+ * older versions migrate forward, unknown future versions hard-fail):
+ *  - v1 (PR 3): weights, agent schedule, RNG state, Q-table with
+ *    visit counts, reward-tracker extrema.
+ *  - v2 (this PR): adds the strategy axes — the agent's ExploreSpec
+ *    and the MergeSpec the model was folded with. A v1 stream loads
+ *    cleanly, takes the default (paper) strategies, and re-saves as
+ *    v2; resuming training from a migrated v1 checkpoint is
+ *    bit-identical to a v2 run with default strategies.
  */
 
 #ifndef COHMELEON_POLICY_CHECKPOINT_HH
@@ -26,6 +36,7 @@
 #include "rl/agent.hh"
 #include "rl/qtable.hh"
 #include "rl/reward.hh"
+#include "rl/strategy.hh"
 
 namespace cohmeleon::policy
 {
@@ -33,11 +44,16 @@ namespace cohmeleon::policy
 /** Complete learning state of one Cohmeleon policy. */
 struct PolicyCheckpoint
 {
-    /** Current format version (written by save, accepted by load). */
-    static constexpr unsigned kVersion = 1;
+    /** Current format version (written by save). load() accepts
+     *  every version back to kOldestVersion and migrates it. */
+    static constexpr unsigned kVersion = 2;
+    static constexpr unsigned kOldestVersion = 1;
 
     rl::RewardWeights weights;   ///< (x, y, z) of Section 4.2
-    rl::AgentParams agent;       ///< epsilon/alpha schedule + seed
+    rl::AgentParams agent;       ///< schedule + seed + ExploreSpec
+    /** How this model's shards were folded (metadata the training
+     *  driver stamps; defaults for online-trained policies). */
+    rl::MergeSpec merge;
     unsigned iteration = 0;      ///< schedule position
     bool frozen = false;         ///< evaluation mode
     std::array<std::uint64_t, 4> rngState{}; ///< exploration stream

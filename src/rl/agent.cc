@@ -1,6 +1,7 @@
 #include "rl/agent.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
 
@@ -16,6 +17,7 @@ QLearningAgent::QLearningAgent(AgentParams params)
             "alpha0 must be in (0, 1]");
     fatalIf(params.decayIterations == 0,
             "decay horizon must be positive");
+    params.explore.validate();
 }
 
 double
@@ -30,7 +32,33 @@ QLearningAgent::decayFactor() const
 double
 QLearningAgent::epsilon() const
 {
-    return frozen_ ? 0.0 : params_.epsilon0 * decayFactor();
+    if (frozen_)
+        return 0.0;
+    switch (params_.explore.kind) {
+      case ExploreSpec::Kind::kLinearDecay:
+        return params_.epsilon0 * decayFactor();
+      case ExploreSpec::Kind::kEpsilonFloor:
+        return std::max(params_.explore.epsilonFloor,
+                        params_.epsilon0 * decayFactor());
+      case ExploreSpec::Kind::kVisitCount:
+        return params_.epsilon0; // per-state cap; see epsilonFor()
+    }
+    panic("unreachable explore kind");
+}
+
+double
+QLearningAgent::epsilonFor(unsigned state) const
+{
+    if (frozen_)
+        return 0.0;
+    if (params_.explore.kind == ExploreSpec::Kind::kVisitCount) {
+        const double n =
+            static_cast<double>(table_.stateVisits(state));
+        return std::min(params_.epsilon0,
+                        params_.explore.visitScale /
+                            std::sqrt(1.0 + n));
+    }
+    return epsilon();
 }
 
 double
@@ -60,7 +88,7 @@ QLearningAgent::chooseAction(unsigned state, std::uint8_t availMask)
         if (nUntried > 0)
             return untried[rng_.uniformInt(nUntried)];
     }
-    if (!frozen_ && rng_.bernoulli(epsilon())) {
+    if (!frozen_ && rng_.bernoulli(epsilonFor(state))) {
         // Exploration: uniform over the available actions.
         unsigned options[kNumActions];
         unsigned n = 0;

@@ -4,7 +4,10 @@
  * coherence Q-table with the paper's training schedule — epsilon and
  * alpha initialized to 0.5 / 0.25 and decayed linearly to zero over a
  * selected number of training iterations, after which the model can
- * be frozen for evaluation (paper Section 5).
+ * be frozen for evaluation (paper Section 5). The epsilon side of the
+ * schedule is pluggable (rl::ExploreSpec): the paper's linear decay,
+ * an epsilon floor, or per-state visit-count-driven exploration; the
+ * learning rate always keeps the paper's linear decay.
  */
 
 #ifndef COHMELEON_RL_AGENT_HH
@@ -14,6 +17,7 @@
 #include <cstdint>
 
 #include "rl/qtable.hh"
+#include "rl/strategy.hh"
 #include "sim/rng.hh"
 
 namespace cohmeleon::rl
@@ -26,6 +30,7 @@ struct AgentParams
     double alpha0 = 0.25;           ///< initial learning rate
     unsigned decayIterations = 10;  ///< linear decay horizon
     std::uint64_t seed = 7;         ///< exploration RNG seed
+    ExploreSpec explore;            ///< epsilon schedule strategy
 };
 
 /** Epsilon-greedy Q-learning over the coherence table. */
@@ -51,7 +56,16 @@ class QLearningAgent
     void unfreeze() { frozen_ = false; }
     bool frozen() const { return frozen_; }
 
+    /** Schedule (state-independent) epsilon: the linear-decay value,
+     *  floored for ExploreSpec::kEpsilonFloor; for kVisitCount the
+     *  per-state cap (epsilon0). The value chooseAction() actually
+     *  draws against is epsilonFor(). */
     double epsilon() const;
+
+    /** The exploration rate of @p state under the configured
+     *  strategy (0 when frozen). */
+    double epsilonFor(unsigned state) const;
+
     double alpha() const;
     unsigned iteration() const { return iteration_; }
 

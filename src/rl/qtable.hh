@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "rl/state_encoder.hh"
+#include "rl/strategy.hh"
 #include "sim/logging.hh"
 
 namespace cohmeleon::rl
@@ -94,6 +95,18 @@ class QTable
     /** Number of learn() updates applied to (s,a). */
     std::uint64_t visits(unsigned state, unsigned action) const;
 
+    /** Total visits over every action of @p state (the N(s) of
+     *  visit-count-driven exploration). */
+    std::uint64_t
+    stateVisits(unsigned state) const
+    {
+        panic_if(state >= StateTuple::kNumStates, "state out of range");
+        std::uint64_t n = 0;
+        for (std::uint64_t v : visits_[state])
+            n += v;
+        return n;
+    }
+
     /** Restore one entry from a checkpoint: value, visit count, and
      *  the touched flag (set when visits > 0 or value != 0). */
     void setEntry(unsigned state, unsigned action, double value,
@@ -109,6 +122,22 @@ class QTable
      * yields the same bits regardless of which threads trained them.
      */
     void merge(const QTable &other);
+
+    /**
+     * Strategy-parameterized fold (see rl::MergeSpec for the three
+     * weighting schemes). Whatever the strategy, visit counts sum
+     * exactly — v <- v + v_o — so the merged table's training mass
+     * is always the sum of its shards'. Like the plain merge() (the
+     * kVisitWeighted case, bit for bit), the fold is a pure function
+     * of the two operands: left-folding shard tables in index order
+     * is deterministic for any thread count.
+     * @throws FatalError when @p spec is invalid
+     */
+    void merge(const QTable &other, const MergeSpec &spec);
+
+    /** Largest |Q| over touched entries (0 for a fresh table) — the
+     *  per-shard scale of the reward-normalized merge. */
+    double maxAbsQ() const;
 
     /** Number of (s,a) entries ever updated (coverage metric). */
     std::uint64_t updatedEntries() const;

@@ -169,6 +169,69 @@ TEST(CampaignParser, ParsesTheDocumentedFormat)
     EXPECT_EQ(c.cells[0].trainIterations, 4u);
 }
 
+TEST(ScenarioParser, StrategyKeysRoundTrip)
+{
+    ScenarioSpec s;
+    s.merge = rl::mergeSpecFromString("recency@0.25");
+    s.explore = rl::exploreSpecFromString("visit@2");
+    const std::string text = serializeScenario(s);
+    EXPECT_NE(text.find("merge = recency@0.25"), std::string::npos);
+    EXPECT_NE(text.find("explore = visit@2"), std::string::npos);
+    EXPECT_EQ(parseScenarioString(text), s);
+}
+
+TEST(CampaignParser, StrategyAxesRoundTrip)
+{
+    CampaignSpec c = tinyCampaign();
+    c.merges = {rl::MergeSpec{},
+                rl::mergeSpecFromString("recency@0.5"),
+                rl::mergeSpecFromString("reward-norm")};
+    c.explores = {rl::exploreSpecFromString("linear"),
+                  rl::exploreSpecFromString("floor@0.1")};
+    const std::string text = serializeCampaign(c);
+    EXPECT_NE(
+        text.find("merge = visit-weighted, recency@0.5, reward-norm"),
+        std::string::npos);
+    EXPECT_NE(text.find("explore = linear, floor@0.1"),
+              std::string::npos);
+    const CampaignSpec reparsed = parseCampaignString(text);
+    EXPECT_EQ(reparsed, c);
+    EXPECT_EQ(serializeCampaign(reparsed), text);
+}
+
+TEST(CampaignParser, StrategyDiagnosticsCarryLineNumbers)
+{
+    // Unknown scenario-level values.
+    std::string msg = diagnosticOf(
+        [] { parseScenarioString("soc = soc1\nmerge = bogus\n"); });
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("visit-weighted"), std::string::npos) << msg;
+
+    msg = diagnosticOf([] {
+        parseScenarioString("\n\nexplore = floor@nope\n");
+    });
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+
+    // Out-of-range parameters.
+    msg = diagnosticOf(
+        [] { parseScenarioString("merge = recency@1.5\n"); });
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(0, 1]"), std::string::npos) << msg;
+
+    // Axis lists: the bad element is named with the axis line.
+    msg = diagnosticOf([] {
+        parseCampaignString(
+            "campaign = x\n[axes]\nmerge = visit-weighted, warp\n");
+    });
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("warp"), std::string::npos) << msg;
+
+    msg = diagnosticOf([] {
+        parseCampaignString("campaign = x\n[axes]\nexplore = visit@0\n");
+    });
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
 TEST(CampaignParser, UnknownKeysAreHardErrorsWithLineNumbers)
 {
     // Scenario key.
@@ -352,6 +415,31 @@ TEST(Campaign, ExpandPrependsConcurrentBaselines)
     EXPECT_EQ(cells[numAccs].accCount, 1u);
     EXPECT_EQ(cells[numAccs + 1].accCount, 4u);
     EXPECT_EQ(cells[numAccs + 4].policy, "fixed-llc-coh-dma");
+}
+
+TEST(Campaign, ExpandCrossesStrategyAxes)
+{
+    CampaignSpec c = tinyCampaign();
+    c.policies = {"fixed-non-coh-dma", "cohmeleon"};
+    c.merges = {rl::MergeSpec{},
+                rl::mergeSpecFromString("recency@0.5")};
+    c.explores = {rl::ExploreSpec{},
+                  rl::exploreSpecFromString("floor@0.1")};
+    const std::vector<ScenarioSpec> cells =
+        CampaignRunner::expand(c);
+    // 2 merges x 2 explores x 2 policies, policy innermost.
+    ASSERT_EQ(cells.size(), 8u);
+    EXPECT_EQ(cells[0].merge, c.merges[0]);
+    EXPECT_EQ(cells[0].explore, c.explores[0]);
+    EXPECT_EQ(cells[1].policy, "cohmeleon");
+    EXPECT_EQ(cells[2].explore, c.explores[1]);
+    EXPECT_EQ(cells[4].merge, c.merges[1]);
+    // Swept strategies land in the cell names.
+    EXPECT_NE(cells[4].name.find("recency@0.5"), std::string::npos);
+    EXPECT_NE(cells[2].name.find("floor@0.1"), std::string::npos);
+    std::set<std::string> names;
+    for (const ScenarioSpec &cell : cells)
+        EXPECT_TRUE(names.insert(cell.name).second) << cell.name;
 }
 
 TEST(Campaign, NamedCampaignsAreRegistered)
@@ -584,6 +672,79 @@ TEST(Transfer, CampaignTransferStageFeedsCohmeleonCells)
     // The cell restored the merged model instead of training.
     EXPECT_EQ(cohm->training.source, TrainSummary::Source::kTransfer);
     EXPECT_GT(cohm->training.qUpdates, 0u);
+}
+
+TEST(Transfer, StrategyAxesTrainOneModelPerPair)
+{
+    // A transfer campaign sweeping merge strategies must hand every
+    // cohmeleon cell the model folded with *its* strategy — and stay
+    // byte-identical across --jobs.
+    CampaignSpec c = tinyCampaign();
+    c.policies = {"fixed-non-coh-dma", "cohmeleon"};
+    c.transfer.socs = {"soc1", "soc2"};
+    c.transfer.iterations = 6; // enough for the folds to diverge
+    c.transfer.shardsPerSoc = 1;
+    c.merges = {rl::MergeSpec{},
+                rl::mergeSpecFromString("recency@0.5")};
+
+    ParallelRunner serial(1);
+    ParallelRunner wide(3);
+    const CampaignResult a = CampaignRunner(serial).run(c);
+    const CampaignResult b = CampaignRunner(wide).run(c);
+    EXPECT_EQ(a.json(), b.json());
+
+    const CellResult *vw = a.find("soc1/cohmeleon/mg-visit-weighted");
+    const CellResult *rc = a.find("soc1/cohmeleon/mg-recency@0.5");
+    ASSERT_NE(vw, nullptr);
+    ASSERT_NE(rc, nullptr);
+    EXPECT_EQ(vw->training.source, TrainSummary::Source::kTransfer);
+    EXPECT_EQ(rc->training.source, TrainSummary::Source::kTransfer);
+    // Same shard trainings, different folds: identical mass...
+    EXPECT_EQ(vw->training.qUpdates, rc->training.qUpdates);
+    EXPECT_GT(vw->training.qUpdates, 0u);
+    // ...and the JSON labels the swept strategy per cell.
+    EXPECT_NE(a.json().find(".merge\": \"recency@0.5\""),
+              std::string::npos);
+}
+
+TEST(Campaign, ShardedCellsThreadTheStrategiesThrough)
+{
+    // An in-cell sharded training with non-default strategies must
+    // produce exactly the standalone driver's model for the same
+    // options (and record them in the saved checkpoint).
+    ScenarioSpec s;
+    s.soc = "soc1";
+    s.policy = "cohmeleon";
+    s.trainIterations = 2;
+    s.trainShards = 2;
+    s.merge = rl::mergeSpecFromString("reward-norm");
+    s.explore = rl::exploreSpecFromString("floor@0.2");
+    s.trainApp = TrainAppShape::kSameAsEval;
+    s.appParams.phases = 2;
+    s.appParams.maxThreads = 3;
+    s.appParams.maxLoops = 1;
+    const std::string path = "test_campaign_strategy.ckpt";
+    s.saveModel = path;
+    const CellResult cell = runScenario(s);
+    EXPECT_EQ(cell.training.source, TrainSummary::Source::kSharded);
+
+    TrainingOptions topts;
+    topts.iterations = 2;
+    topts.shards = 2;
+    topts.merge = s.merge;
+    topts.explore = s.explore;
+    topts.appParams = s.appParams;
+    ParallelRunner serial(1);
+    TrainingDriver driver(serial);
+    const TrainingResult expected =
+        driver.train(soc::makeSocByName("soc1"), topts);
+
+    const policy::PolicyCheckpoint saved =
+        policy::PolicyCheckpoint::loadFile(path);
+    EXPECT_EQ(saved.serialized(), expected.checkpoint.serialized());
+    EXPECT_EQ(saved.merge, s.merge);
+    EXPECT_EQ(saved.agent.explore, s.explore);
+    std::remove(path.c_str());
 }
 
 // ------------------------------------------------- availability masks

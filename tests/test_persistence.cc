@@ -210,6 +210,153 @@ TEST(Checkpoint, ResumedTrainingMatchesUninterruptedTraining)
               policy::PolicyCheckpoint::capture(straight).serialized());
 }
 
+namespace
+{
+
+/** Down-convert a v2 checkpoint text to the v1 format a PR-3 build
+ *  wrote: version field 1, no explore/merge lines. */
+std::string
+asV1Text(const std::string &v2)
+{
+    std::string out;
+    std::istringstream in(v2);
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (first) {
+            const std::size_t space = line.rfind(' ');
+            EXPECT_EQ(line.substr(space + 1), "2");
+            line = line.substr(0, space) + " 1";
+            first = false;
+        }
+        if (line.rfind("explore ", 0) == 0 ||
+            line.rfind("merge ", 0) == 0)
+            continue;
+        out += line + '\n';
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Checkpoint, RoundTripsNonDefaultStrategies)
+{
+    const soc::SocConfig cfg = test::tinySocConfig();
+    policy::PolicyCheckpoint ckpt = policy::PolicyCheckpoint::capture(
+        smallTrainedPolicy(cfg, 2, /*freeze=*/true));
+    ckpt.agent.explore = rl::exploreSpecFromString("visit@2.5");
+    ckpt.merge = rl::mergeSpecFromString("recency@0.125");
+
+    std::stringstream persisted;
+    ckpt.save(persisted);
+    const std::string text = persisted.str();
+    EXPECT_NE(text.find("explore visit@2.5"), std::string::npos);
+    EXPECT_NE(text.find("merge recency@0.125"), std::string::npos);
+
+    const policy::PolicyCheckpoint restored =
+        policy::PolicyCheckpoint::load(persisted);
+    EXPECT_EQ(restored.agent.explore, ckpt.agent.explore);
+    EXPECT_EQ(restored.merge, ckpt.merge);
+    EXPECT_EQ(restored.serialized(), ckpt.serialized());
+    // The restored policy explores per the restored spec.
+    const auto policy = restored.makePolicy();
+    EXPECT_EQ(policy->agent().params().explore, ckpt.agent.explore);
+}
+
+TEST(Checkpoint, V1StreamsMigrateToTheDefaultStrategies)
+{
+    // The ROADMAP "checkpoint evolution" contract: a v1 checkpoint
+    // (written before the strategy axes existed) loads, takes the
+    // default strategies, and round-trips — as v2 from then on.
+    const soc::SocConfig cfg = test::tinySocConfig();
+    const policy::PolicyCheckpoint ckpt =
+        policy::PolicyCheckpoint::capture(
+            smallTrainedPolicy(cfg, 2, /*freeze=*/true));
+    const std::string v1 = asV1Text(ckpt.serialized());
+    EXPECT_EQ(v1.find("explore"), std::string::npos);
+
+    std::stringstream in(v1);
+    const policy::PolicyCheckpoint migrated =
+        policy::PolicyCheckpoint::load(in);
+    EXPECT_EQ(migrated.agent.explore, rl::ExploreSpec{});
+    EXPECT_EQ(migrated.merge, rl::MergeSpec{});
+    // Everything else survives the migration bit for bit: the
+    // default strategies re-serialize to the original v2 text.
+    EXPECT_EQ(migrated.serialized(), ckpt.serialized());
+    // And a second round trip is a fixed point.
+    std::stringstream again(migrated.serialized());
+    EXPECT_EQ(policy::PolicyCheckpoint::load(again).serialized(),
+              migrated.serialized());
+}
+
+TEST(Checkpoint, V1ResumeIsBitExactAgainstFreshV2Training)
+{
+    // Regression for the restored-RNG path under the strategy layer:
+    // train 2 iterations, persist, strip the checkpoint down to v1,
+    // reload (defaults restored, Rng::setState() replays the
+    // exploration stream), resume 2 more — must equal an
+    // uninterrupted 4-iteration v2 run with default strategies.
+    const soc::SocConfig cfg = test::tinySocConfig();
+    soc::Soc naming(cfg);
+    const app::AppSpec app =
+        app::generateRandomApp(naming, Rng(5), smallAppParams());
+
+    policy::CohmeleonParams params;
+    params.agent.decayIterations = 4;
+
+    policy::CohmeleonPolicy straight(params);
+    for (unsigned it = 0; it < 4; ++it)
+        app::runTrainingIteration(straight, cfg, app);
+
+    policy::CohmeleonPolicy firstHalf(params);
+    for (unsigned it = 0; it < 2; ++it)
+        app::runTrainingIteration(firstHalf, cfg, app);
+    std::stringstream v1(asV1Text(
+        policy::PolicyCheckpoint::capture(firstHalf).serialized()));
+    const auto resumed =
+        policy::PolicyCheckpoint::load(v1).makePolicy();
+    for (unsigned it = 0; it < 2; ++it)
+        app::runTrainingIteration(*resumed, cfg, app);
+
+    EXPECT_EQ(policy::PolicyCheckpoint::capture(*resumed).serialized(),
+              policy::PolicyCheckpoint::capture(straight).serialized());
+}
+
+TEST(Checkpoint, ResumeUnderVisitDrivenExplorationIsBitExact)
+{
+    // The same resume contract for the new visit-count exploration
+    // path: its epsilon depends on restored visit counts AND the
+    // restored RNG stream, so a save/load mid-schedule must replay
+    // both exactly.
+    const soc::SocConfig cfg = test::tinySocConfig();
+    soc::Soc naming(cfg);
+    const app::AppSpec app =
+        app::generateRandomApp(naming, Rng(5), smallAppParams());
+
+    policy::CohmeleonParams params;
+    params.agent.decayIterations = 4;
+    params.agent.explore = rl::exploreSpecFromString("visit@1");
+
+    policy::CohmeleonPolicy straight(params);
+    for (unsigned it = 0; it < 4; ++it)
+        app::runTrainingIteration(straight, cfg, app);
+
+    policy::CohmeleonPolicy firstHalf(params);
+    for (unsigned it = 0; it < 2; ++it)
+        app::runTrainingIteration(firstHalf, cfg, app);
+    std::stringstream persisted;
+    policy::PolicyCheckpoint::capture(firstHalf).save(persisted);
+    const auto resumed =
+        policy::PolicyCheckpoint::load(persisted).makePolicy();
+    EXPECT_EQ(resumed->agent().params().explore,
+              params.agent.explore);
+    for (unsigned it = 0; it < 2; ++it)
+        app::runTrainingIteration(*resumed, cfg, app);
+
+    EXPECT_EQ(policy::PolicyCheckpoint::capture(*resumed).serialized(),
+              policy::PolicyCheckpoint::capture(straight).serialized());
+}
+
 TEST(Checkpoint, LoadRejectsCorruption)
 {
     const soc::SocConfig cfg = test::tinySocConfig();
@@ -228,10 +375,29 @@ TEST(Checkpoint, LoadRejectsCorruption)
 
     // Wrong magic.
     EXPECT_THROW(loadOf("not-a-checkpoint 1\n"), FatalError);
-    // Unsupported version.
-    std::string badVersion = good;
-    badVersion.replace(badVersion.find(" 1\n"), 3, " 99\n");
-    EXPECT_THROW(loadOf(badVersion), FatalError);
+    // Unknown *future* versions hard-fail — forward compatibility is
+    // never guessed at.
+    const std::string header = "cohmeleon-checkpoint 2";
+    ASSERT_EQ(good.rfind(header, 0), 0u);
+    for (const char *version : {"3", "99", "0"}) {
+        std::string badVersion = good;
+        badVersion.replace(header.size() - 1, 1, version);
+        EXPECT_THROW(loadOf(badVersion), FatalError) << version;
+    }
+    // A v2 stream missing its strategy lines is truncation, not a
+    // silent fallback to defaults.
+    std::string noStrategy = good;
+    const std::size_t explorePos = noStrategy.find("explore ");
+    ASSERT_NE(explorePos, std::string::npos);
+    noStrategy.erase(explorePos,
+                     noStrategy.find("rng ") - explorePos);
+    EXPECT_THROW(loadOf(noStrategy), FatalError);
+    // Malformed strategy values fail loudly too.
+    std::string badStrategy = good;
+    badStrategy.replace(badStrategy.find("explore linear"),
+                        std::string("explore linear").size(),
+                        "explore sideways");
+    EXPECT_THROW(loadOf(badStrategy), FatalError);
     // Truncation (half the file gone).
     EXPECT_THROW(loadOf(good.substr(0, good.size() / 2)), FatalError);
     // Missing end marker.

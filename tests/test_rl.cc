@@ -323,6 +323,204 @@ TEST(QTable, SequentialFoldIsDeterministic)
     }
 }
 
+// ----------------------------------------------------- strategy specs
+
+TEST(Strategy, CanonicalFormsRoundTrip)
+{
+    for (const char *text :
+         {"visit-weighted", "recency@0.5", "recency@0.875",
+          "reward-norm"}) {
+        const MergeSpec spec = mergeSpecFromString(text);
+        EXPECT_EQ(toString(spec), text);
+        EXPECT_EQ(mergeSpecFromString(toString(spec)), spec);
+    }
+    for (const char *text :
+         {"linear", "floor@0.1", "floor@0.25", "visit@1",
+          "visit@2.5"}) {
+        const ExploreSpec spec = exploreSpecFromString(text);
+        EXPECT_EQ(toString(spec), text);
+        EXPECT_EQ(exploreSpecFromString(toString(spec)), spec);
+    }
+}
+
+TEST(Strategy, BareNamesTakeTheDefaults)
+{
+    EXPECT_EQ(mergeSpecFromString("recency").recencyDiscount,
+              MergeSpec::kDefaultRecencyDiscount);
+    EXPECT_EQ(exploreSpecFromString("floor").epsilonFloor,
+              ExploreSpec::kDefaultEpsilonFloor);
+    EXPECT_EQ(exploreSpecFromString("visit").visitScale,
+              ExploreSpec::kDefaultVisitScale);
+    // The defaults ARE the paper/PR-3 behavior.
+    EXPECT_EQ(MergeSpec{}, mergeSpecFromString("visit-weighted"));
+    EXPECT_EQ(ExploreSpec{}, exploreSpecFromString("linear"));
+}
+
+TEST(Strategy, RejectsUnknownAndOutOfRangeForms)
+{
+    for (const char *text :
+         {"bogus", "recency@0", "recency@1.5", "recency@x",
+          "recency@", "visit-weighted@3", "reward-norm@1"}) {
+        EXPECT_THROW(mergeSpecFromString(text), FatalError) << text;
+        EXPECT_FALSE(checkMergeSpecText(text).empty()) << text;
+    }
+    // The non-throwing checker carries the known forms.
+    EXPECT_NE(checkMergeSpecText("bogus").find("visit-weighted"),
+              std::string::npos);
+    for (const char *text :
+         {"bogus", "floor@-0.1", "floor@1.5", "visit@0", "visit@-1",
+          "visit@nope", "linear@2"}) {
+        EXPECT_THROW(exploreSpecFromString(text), FatalError) << text;
+        EXPECT_FALSE(checkExploreSpecText(text).empty()) << text;
+    }
+    EXPECT_NE(checkExploreSpecText("bogus").find("linear"),
+              std::string::npos);
+}
+
+// ------------------------------------------------- strategy-aware merge
+
+TEST(QTable, MergeSpecDefaultMatchesPlainMerge)
+{
+    QTable a;
+    QTable b;
+    a.setEntry(3, 1, 1.0, 3);
+    b.setEntry(3, 1, 5.0, 1);
+    b.setEntry(9, 0, 2.0, 4);
+    QTable plain = a;
+    plain.merge(b);
+    QTable spec = a;
+    spec.merge(b, MergeSpec{});
+    for (unsigned s : {3u, 9u}) {
+        for (unsigned act = 0; act < kNumActions; ++act) {
+            EXPECT_EQ(spec.q(s, act), plain.q(s, act));
+            EXPECT_EQ(spec.visits(s, act), plain.visits(s, act));
+        }
+    }
+}
+
+TEST(QTable, RecencyMergeSaturatesTheVisitMass)
+{
+    // d = 0.5: w(1) = 1, w(3) = 1 + 0.5 + 0.25 = 1.75. The heavily
+    // visited side keeps less than its raw 3x weight.
+    QTable a;
+    QTable b;
+    a.setEntry(3, 1, 0.0, 3);
+    b.setEntry(3, 1, 1.0, 1);
+    a.merge(b, mergeSpecFromString("recency@0.5"));
+    EXPECT_DOUBLE_EQ(a.q(3, 1), 1.0 / 2.75);
+    // Visit accounting still sums exactly.
+    EXPECT_EQ(a.visits(3, 1), 4u);
+
+    // d = 1 degenerates to the visit-weighted mean.
+    QTable c;
+    QTable d;
+    c.setEntry(3, 1, 0.0, 3);
+    d.setEntry(3, 1, 1.0, 1);
+    c.merge(d, mergeSpecFromString("recency@1"));
+    EXPECT_DOUBLE_EQ(c.q(3, 1), 0.25);
+}
+
+TEST(QTable, RewardNormMergeScalesEachShardByItsOwnMagnitude)
+{
+    // Shard b's reward scale ran 4x hotter; normalization folds its
+    // *shape*, not its magnitude.
+    QTable a;
+    QTable b;
+    b.setEntry(1, 0, 2.0, 1);
+    b.setEntry(1, 1, 4.0, 1);
+    a.merge(b, mergeSpecFromString("reward-norm"));
+    EXPECT_DOUBLE_EQ(a.q(1, 0), 0.5); // 2 / max|Q| = 2/4
+    EXPECT_DOUBLE_EQ(a.q(1, 1), 1.0);
+
+    // An all-zero (but visited) shard folds unscaled: no divide by 0.
+    QTable zero;
+    zero.setEntry(2, 2, 0.0, 5);
+    a.merge(zero, mergeSpecFromString("reward-norm"));
+    EXPECT_DOUBLE_EQ(a.q(2, 2), 0.0);
+    EXPECT_EQ(a.visits(2, 2), 5u);
+}
+
+TEST(QTable, MergedVisitsSumExactlyUnderEveryStrategy)
+{
+    for (const char *strategy :
+         {"visit-weighted", "recency@0.5", "reward-norm"}) {
+        QTable fold;
+        std::uint64_t expected = 0;
+        for (unsigned shard = 0; shard < 4; ++shard) {
+            QTable t;
+            t.setEntry(1, 0, 0.25 * shard, shard + 1);
+            t.setEntry(7, 3, 0.5, 2 * shard + 1);
+            expected += (shard + 1) + (2 * shard + 1);
+            fold.merge(t, mergeSpecFromString(strategy));
+        }
+        EXPECT_EQ(fold.totalVisits(), expected) << strategy;
+        // Monotonicity: more shards can only add mass, never lose it.
+        EXPECT_EQ(fold.visits(1, 0) + fold.visits(7, 3), expected)
+            << strategy;
+    }
+}
+
+TEST(QTable, IndexOrderFoldIsAssociativeForVisitWeighted)
+{
+    // The visit-weighted fold's weights add, so regrouping the same
+    // index-order sequence cannot change the result: (a+b)+c ==
+    // a+(b+c). (The recency and reward-norm folds are defined as
+    // left-folds in index order and make no such promise.)
+    auto shard = [](unsigned salt) {
+        QTable t;
+        t.setEntry(2, 1, 0.125 * (salt + 1), salt + 1);
+        t.setEntry(5, 0, 0.0625 * (salt + 2), 2 * salt + 1);
+        return t;
+    };
+    QTable left; // ((a + b) + c)
+    left.merge(shard(0));
+    left.merge(shard(1));
+    left.merge(shard(2));
+    QTable bc = shard(1); // (a + (b + c))
+    bc.merge(shard(2));
+    QTable right = shard(0);
+    right.merge(bc);
+    for (unsigned s : {2u, 5u}) {
+        for (unsigned a = 0; a < kNumActions; ++a) {
+            EXPECT_DOUBLE_EQ(left.q(s, a), right.q(s, a));
+            EXPECT_EQ(left.visits(s, a), right.visits(s, a));
+        }
+    }
+}
+
+TEST(QTable, StrategyFoldsAreDeterministic)
+{
+    for (const char *strategy :
+         {"visit-weighted", "recency@0.5", "reward-norm"}) {
+        const MergeSpec spec = mergeSpecFromString(strategy);
+        auto fold = [&spec] {
+            QTable out;
+            for (unsigned shard = 0; shard < 5; ++shard) {
+                QTable t;
+                t.setEntry(1, 0, 0.1 * (shard + 1), shard + 1);
+                t.setEntry(1, 1, 0.07 * (shard + 2), 2 * shard + 1);
+                out.merge(t, spec);
+            }
+            return out;
+        };
+        const QTable a = fold();
+        const QTable b = fold();
+        for (unsigned act = 0; act < kNumActions; ++act)
+            EXPECT_EQ(a.q(1, act), b.q(1, act)) << strategy;
+    }
+}
+
+TEST(QTable, StateVisitsSumOverActions)
+{
+    QTable q;
+    EXPECT_EQ(q.stateVisits(4), 0u);
+    q.update(4, 0, 1.0, 0.5);
+    q.update(4, 2, 1.0, 0.5);
+    q.update(4, 2, 0.0, 0.5);
+    EXPECT_EQ(q.stateVisits(4), 3u);
+    EXPECT_EQ(q.stateVisits(5), 0u);
+}
+
 // ---------------------------------------------------------------- reward
 
 TEST(Reward, WeightsNormalize)
@@ -634,4 +832,112 @@ TEST(Agent, RejectsBadHyperParameters)
     p = {};
     p.decayIterations = 0;
     EXPECT_THROW(QLearningAgent{p}, FatalError);
+    p = {};
+    p.explore.kind = ExploreSpec::Kind::kEpsilonFloor;
+    p.explore.epsilonFloor = 1.5;
+    EXPECT_THROW(QLearningAgent{p}, FatalError);
+    p = {};
+    p.explore.kind = ExploreSpec::Kind::kVisitCount;
+    p.explore.visitScale = 0.0;
+    EXPECT_THROW(QLearningAgent{p}, FatalError);
+}
+
+// -------------------------------------------------- explore strategies
+
+TEST(Agent, EpsilonFloorNeverFallsBelowTheFloor)
+{
+    AgentParams p;
+    p.decayIterations = 10;
+    p.explore = exploreSpecFromString("floor@0.1");
+    QLearningAgent agent(p);
+    for (unsigned it = 0; it <= 15; ++it) {
+        EXPECT_GE(agent.epsilon(), 0.1) << "iteration " << it;
+        EXPECT_GE(agent.epsilonFor(0), 0.1) << "iteration " << it;
+        agent.advanceIteration();
+    }
+    // Past the horizon the linear schedule is 0; the floor holds.
+    EXPECT_DOUBLE_EQ(agent.epsilon(), 0.1);
+    // Above the floor the linear decay is untouched.
+    agent.setIteration(0);
+    EXPECT_DOUBLE_EQ(agent.epsilon(), p.epsilon0);
+    // Frozen evaluation always stops exploring, floor or not.
+    agent.freeze();
+    EXPECT_DOUBLE_EQ(agent.epsilon(), 0.0);
+    EXPECT_DOUBLE_EQ(agent.epsilonFor(0), 0.0);
+}
+
+TEST(Agent, VisitCountExplorationFollowsOneOverSqrtN)
+{
+    AgentParams p;
+    p.explore = exploreSpecFromString("visit@1");
+    QLearningAgent agent(p);
+    // Fresh state: 1/sqrt(1+0) = 1, capped at epsilon0.
+    EXPECT_DOUBLE_EQ(agent.epsilonFor(7), p.epsilon0);
+    // Visits drive the state's epsilon down as 1/sqrt(1+N)...
+    for (int i = 0; i < 3; ++i)
+        agent.table().update(7, 1, 0.5, 0.25);
+    EXPECT_DOUBLE_EQ(agent.epsilonFor(7), 1.0 / 2.0); // N = 3
+    for (int i = 0; i < 96; ++i)
+        agent.table().update(7, 1, 0.5, 0.25);
+    EXPECT_NEAR(agent.epsilonFor(7), 0.1, 1e-12); // N = 99
+    // ...monotonically, and per state: an unvisited state still
+    // explores at the cap.
+    EXPECT_DOUBLE_EQ(agent.epsilonFor(8), p.epsilon0);
+    double last = 1.0;
+    for (int i = 0; i < 50; ++i) {
+        agent.table().update(9, 0, 0.5, 0.25);
+        const double eps = agent.epsilonFor(9);
+        EXPECT_LE(eps, last);
+        last = eps;
+    }
+}
+
+TEST(Agent, VisitCountExplorationKeepsExploringPastTheHorizon)
+{
+    AgentParams p;
+    p.decayIterations = 2;
+    p.explore = exploreSpecFromString("visit@1");
+    p.seed = 11;
+    QLearningAgent agent(p);
+    // Mark every action tried with visits so the coverage rule is
+    // out of the way but epsilon stays high (N small).
+    for (unsigned a = 0; a < kNumActions; ++a)
+        agent.table().update(0, a, a == 1 ? 1.0 : 0.1, 0.25);
+    for (int i = 0; i < 10; ++i)
+        agent.advanceIteration(); // linear decay would now be 0
+    std::array<int, 4> counts{};
+    for (int i = 0; i < 2000; ++i)
+        ++counts[agent.chooseAction(0, 0b1111)];
+    // With eps = 1/sqrt(5) ~ 0.447, non-greedy actions keep being
+    // sampled long after the linear schedule would have stopped.
+    EXPECT_GT(counts[0] + counts[2] + counts[3], 100);
+    EXPECT_GT(counts[1], 900); // still mostly greedy
+}
+
+TEST(Agent, DefaultExploreSpecReproducesThePaperSchedule)
+{
+    // The default-constructed spec IS the linear decay: same epsilon
+    // at every schedule position, same draws, same decisions.
+    AgentParams linear;
+    linear.seed = 21;
+    AgentParams spelled = linear;
+    spelled.explore = exploreSpecFromString("linear");
+    QLearningAgent a(linear);
+    QLearningAgent b(spelled);
+    Rng rewards(5);
+    for (unsigned it = 0; it < 10; ++it) {
+        for (int k = 0; k < 30; ++k) {
+            const unsigned s =
+                static_cast<unsigned>(rewards.uniformInt(8));
+            const unsigned actA = a.chooseAction(s, 0b1111);
+            const unsigned actB = b.chooseAction(s, 0b1111);
+            ASSERT_EQ(actA, actB);
+            const double r = rewards.uniformReal();
+            a.learn(s, actA, r);
+            b.learn(s, actB, r);
+        }
+        a.advanceIteration();
+        b.advanceIteration();
+    }
+    EXPECT_EQ(a.rngState(), b.rngState());
 }

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Compares the throughput fields of freshly produced BENCH_*.json files
+against the committed baselines under bench/baselines/ and fails when
+any gated field regressed beyond the tolerance (default 40% -- the
+gate is meant to catch real regressions, not runner jitter).
+
+Only machine-independent ratio fields (speedups, geomeans) are gated:
+absolute events/sec numbers vary wildly between the committed
+baseline's machine and whatever runner CI lands on, so they are
+printed for context but never fail the build.
+
+Re-baselining (after an intentional perf change):
+
+    cmake --build build -j && (cd build && ./bench_kernel &&
+        ./bench_mem && ./bench_train)
+    python3 tools/bench_check.py --results build --update
+
+and commit the refreshed bench/baselines/*.json.
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+# field -> higher-is-better, per bench file. Every gated field is a
+# ratio of two measurements taken on the same machine in the same
+# run, which makes it comparable across machines.
+GATED_FIELDS = {
+    "BENCH_kernel.json": ["kernel_speedup", "mixed_speedup"],
+    "BENCH_mem.json": [
+        "non_coh_dma_speedup",
+        "llc_coh_dma_speedup",
+        "coh_dma_speedup",
+        "full_coh_speedup",
+        "burst_speedup_geomean",
+    ],
+    "BENCH_train.json": ["speedup"],
+}
+
+# Context-only fields shown in the report when present.
+INFO_SUFFIXES = ("_per_sec", "_seconds")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare BENCH_*.json against committed baselines")
+    parser.add_argument("--results", default="build",
+                        help="directory holding the fresh BENCH_*.json")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory holding the committed baselines")
+    parser.add_argument("--tolerance", type=float, default=0.40,
+                        help="allowed relative regression (0.40 = 40%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy fresh results over the baselines "
+                             "instead of checking")
+    args = parser.parse_args()
+
+    results = pathlib.Path(args.results)
+    baselines = pathlib.Path(args.baselines)
+
+    if args.update:
+        baselines.mkdir(parents=True, exist_ok=True)
+        for name in GATED_FIELDS:
+            src = results / name
+            if not src.exists():
+                print(f"warning: {src} missing, baseline not updated")
+                continue
+            shutil.copy(src, baselines / name)
+            print(f"re-baselined {baselines / name}")
+        return 0
+
+    failures = []
+    for name, fields in GATED_FIELDS.items():
+        base_path = baselines / name
+        result_path = results / name
+        if not base_path.exists():
+            failures.append(f"{base_path}: committed baseline missing")
+            continue
+        if not result_path.exists():
+            failures.append(f"{result_path}: bench output missing "
+                            "(did the bench run?)")
+            continue
+        base = load(base_path)
+        result = load(result_path)
+
+        print(f"--- {name} (tolerance {args.tolerance:.0%}) ---")
+        for field in fields:
+            if field not in base:
+                failures.append(f"{name}:{field} missing from the "
+                                "baseline (re-baseline?)")
+                continue
+            if field not in result:
+                failures.append(f"{name}:{field} missing from the "
+                                "bench output")
+                continue
+            b, r = float(base[field]), float(result[field])
+            floor = b * (1.0 - args.tolerance)
+            status = "ok" if r >= floor else "REGRESSED"
+            print(f"  {field:28s} baseline {b:10.4f}  "
+                  f"now {r:10.4f}  floor {floor:10.4f}  {status}")
+            if r < floor:
+                failures.append(
+                    f"{name}:{field} regressed: {r:.4f} < "
+                    f"{floor:.4f} (baseline {b:.4f} - "
+                    f"{args.tolerance:.0%})")
+        for field, value in result.items():
+            if isinstance(value, (int, float)) and \
+                    field.endswith(INFO_SUFFIXES):
+                print(f"  {field:28s} now {value:14.4f}  (info only)")
+
+    if failures:
+        print("\nbench-regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench-regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,10 @@ usage()
         "    --figure-app NAME  registered figure app (fig5)\n"
         "    --train N          training iterations (default 10)\n"
         "    --shards N         sharded deterministic training\n"
+        "    --merge S          shard fold strategy (visit-weighted,\n"
+        "                       recency@D, reward-norm)\n"
+        "    --explore S        exploration schedule (linear,\n"
+        "                       floor@F, visit@S)\n"
         "    --seed N           evaluation-app seed (default 2022)\n"
         "    --train-seed N     training-app seed (default 2021)\n"
         "    --agent-seed N     exploration seed (default 7)\n"
@@ -74,6 +78,7 @@ usage()
         "    --soc NAME[,NAME...]  one SoC, or several for cross-SoC\n"
         "                          transfer training (merged model)\n"
         "    --train N --shards N --jobs N\n"
+        "    --merge S --explore S   strategy axes (see run)\n"
         "    --train-seed N --agent-seed N\n"
         "    -o F / --save-model F   output checkpoint (required)\n"
         "  compare   the eight-policy protocol on one SoC\n"
@@ -160,6 +165,29 @@ validatedPolicy(const std::string &name)
         std::exit(2);
     }
     return name;
+}
+
+/** Parse-time strategy validation via the shared rl validators. */
+rl::MergeSpec
+validatedMerge(const std::string &text)
+{
+    const std::string err = rl::checkMergeSpecText(text);
+    if (!err.empty()) {
+        std::fprintf(stderr, "fatal: %s\n", err.c_str());
+        std::exit(2);
+    }
+    return rl::mergeSpecFromString(text);
+}
+
+rl::ExploreSpec
+validatedExplore(const std::string &text)
+{
+    const std::string err = rl::checkExploreSpecText(text);
+    if (!err.empty()) {
+        std::fprintf(stderr, "fatal: %s\n", err.c_str());
+        std::exit(2);
+    }
+    return rl::exploreSpecFromString(text);
 }
 
 coh::ModeMask
@@ -311,6 +339,10 @@ cmdRun(Args &args)
                 static_cast<unsigned>(args.number(1'000'000));
         else if (args.next("--shards"))
             s.trainShards = static_cast<unsigned>(args.number(4096));
+        else if (args.next("--merge"))
+            s.merge = validatedMerge(args.value());
+        else if (args.next("--explore"))
+            s.explore = validatedExplore(args.value());
         else if (args.next("--seed"))
             s.evalSeed = args.number(UINT64_MAX);
         else if (args.next("--train-seed"))
@@ -378,6 +410,10 @@ cmdTrain(Args &args)
                 static_cast<unsigned>(args.number(1'000'000));
         else if (args.next("--shards"))
             topts.shards = static_cast<unsigned>(args.number(4096));
+        else if (args.next("--merge"))
+            topts.merge = validatedMerge(args.value());
+        else if (args.next("--explore"))
+            topts.explore = validatedExplore(args.value());
         else if (args.next("--jobs"))
             jobs = static_cast<unsigned>(args.number(1024));
         else if (args.next("--train-seed"))
