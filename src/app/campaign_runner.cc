@@ -1,11 +1,15 @@
 #include "app/campaign_runner.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <functional>
 #include <map>
+#include <memory>
 #include <sstream>
+#include <thread>
 
+#include "app/campaign_state.hh"
 #include "app/config_parser.hh"
 #include "app/training_driver.hh"
 #include "policy/checkpoint.hh"
@@ -479,9 +483,18 @@ normalizeGroups(const CampaignSpec &spec,
         if (idx.empty())
             continue;
 
+        // A contained failure has no measurements; a failed baseline
+        // leaves its whole group unnormalized (reported raw) rather
+        // than dividing by nothing.
         const bool concurrent = cells[idx.front()].scenario.workload ==
                                 WorkloadKind::kConcurrent;
         if (concurrent) {
+            bool baselineFailed = false;
+            for (std::size_t i : idx)
+                baselineFailed |=
+                    cells[i].isBaseline && cells[i].failed;
+            if (baselineFailed)
+                continue;
             // acc id -> baseline means, from the single-run cells.
             std::vector<ConcurrentAccMean> base;
             for (std::size_t i : idx) {
@@ -501,7 +514,7 @@ normalizeGroups(const CampaignSpec &spec,
                 continue;
             for (std::size_t i : idx) {
                 CellResult &c = cells[i];
-                if (c.isBaseline)
+                if (c.isBaseline || c.failed)
                     continue;
                 fatalIf(c.accMeans.size() > base.size(),
                         "concurrent cell '", c.scenario.name,
@@ -541,9 +554,13 @@ normalizeGroups(const CampaignSpec &spec,
             fatalIf(!found, "baseline policy '", spec.baseline,
                     "' has no cell in group ", g);
         }
+        if (cells[baseIdx].failed)
+            continue;
         const std::vector<PhaseResult> &base = cells[baseIdx].phases;
         for (std::size_t i : idx) {
             CellResult &c = cells[i];
+            if (c.failed)
+                continue;
             fatalIf(c.phases.size() != base.size(),
                     "cells in one normalization group ran different "
                     "apps ('", c.scenario.name, "' vs the baseline)");
@@ -585,18 +602,80 @@ CampaignRunner::expand(const CampaignSpec &spec)
 CampaignResult
 CampaignRunner::run(const CampaignSpec &spec)
 {
+    return run(spec, CampaignRunOptions{});
+}
+
+CampaignResult
+CampaignRunner::run(const CampaignSpec &spec,
+                    const CampaignRunOptions &opts)
+{
     std::vector<ExpandedCell> expanded = expandCells(spec);
     fatalIf(expanded.empty(), "campaign '", spec.name,
             "' expands to no cells");
+
+    // Unique-spec slots first: persistence, resume, and fault
+    // ordinals are all keyed on the deterministic slot numbering, so
+    // it must exist before any stage runs.
+    std::map<std::string, std::size_t> slotOf; // canonical spec
+    std::vector<std::size_t> uniqueCells;      // -> expanded index
+    std::vector<std::size_t> cellSlot(expanded.size());
+    std::vector<std::string> slotKeys; // canonical spec text per slot
+    for (std::size_t i = 0; i < expanded.size(); ++i) {
+        ScenarioSpec key = expanded[i].spec;
+        key.name.clear(); // names differ, simulations may not
+        const auto [it, inserted] =
+            slotOf.emplace(serializeScenario(key), uniqueCells.size());
+        if (inserted) {
+            uniqueCells.push_back(i);
+            slotKeys.push_back(it->first);
+        }
+        cellSlot[i] = it->second;
+    }
+
+    // The effective execution harness: CLI options override the
+    // spec's own fault/max-retries keys.
+    const unsigned maxRetries =
+        opts.maxRetries == CampaignRunOptions::kRetriesFromSpec
+            ? spec.maxRetries
+            : opts.maxRetries;
+    FaultInjector injector(opts.fault.active() ? opts.fault
+                                               : spec.fault);
+
+    // The campaign's identity for resume validation excludes the
+    // harness keys — resuming with different fault/retry flags is the
+    // same campaign, just driven differently.
+    CampaignSpec identity = spec;
+    identity.fault = FaultPlan{};
+    identity.maxRetries = 0;
+    const std::string identityText = serializeCampaign(identity);
+
+    fatalIf(opts.resume && opts.stateDir.empty(),
+            "--resume needs a state directory");
+    std::unique_ptr<CampaignStateDir> state;
+    std::map<std::size_t, CellResult> restored;
+    if (!opts.stateDir.empty()) {
+        state = std::make_unique<CampaignStateDir>(opts.stateDir);
+        if (opts.resume) {
+            std::vector<std::string> slotNames;
+            for (std::size_t e : uniqueCells)
+                slotNames.push_back(expanded[e].spec.name);
+            restored =
+                state->restore(identityText, slotKeys, slotNames);
+        } else {
+            state->initialize(identityText, uniqueCells.size());
+        }
+    }
 
     // Stage 1 (optional): cross-SoC transfer training — one merged
     // model per (merge, explore) strategy pair the expanded cells
     // use, trained sequentially in first-encounter (expansion) order
     // so the stage is deterministic for any runner width. The models
     // are serialized once and restored per cell, keeping cells free
-    // of shared mutable state.
+    // of shared mutable state. A fully restored resume skips the
+    // stage outright — no cell will run.
     TransferModels transferModels;
-    if (spec.transfer.active()) {
+    if (spec.transfer.active() &&
+        restored.size() < uniqueCells.size()) {
         std::vector<soc::SocConfig> cfgs;
         for (const std::string &socName : spec.transfer.socs) {
             ScenarioSpec probe = spec.base;
@@ -635,25 +714,70 @@ CampaignRunner::run(const CampaignSpec &spec)
     // recurs once per swept (merge, explore) pair it cannot depend
     // on — so each unique spec runs once and duplicates share its
     // result (byte-identical output, strictly less simulation).
+    //
+    // Failure containment: a throwing cell is retried (deterministic
+    // backoff, then recorded as a failure entry) instead of tearing
+    // the sweep down. A stop request (SIGINT/SIGTERM) lets in-flight
+    // cells finish and persist, skips the rest, and surfaces as
+    // CampaignInterrupted once the pool drains.
     const TransferModels *merged =
         transferModels.empty() ? nullptr : &transferModels;
-    std::map<std::string, std::size_t> slotOf; // canonical spec
-    std::vector<std::size_t> uniqueCells;      // -> expanded index
-    std::vector<std::size_t> cellSlot(expanded.size());
-    for (std::size_t i = 0; i < expanded.size(); ++i) {
-        ScenarioSpec key = expanded[i].spec;
-        key.name.clear(); // names differ, simulations may not
-        const auto [it, inserted] =
-            slotOf.emplace(serializeScenario(key), uniqueCells.size());
-        if (inserted)
-            uniqueCells.push_back(i);
-        cellSlot[i] = it->second;
-    }
     std::vector<CellResult> unique(uniqueCells.size());
+    std::vector<char> skipped(uniqueCells.size(), 0);
     runner_.forEach(uniqueCells.size(), [&](std::size_t slot) {
-        unique[slot] = runCell(expanded[uniqueCells[slot]].spec,
-                               merged);
+        if (const auto hit = restored.find(slot);
+            hit != restored.end()) {
+            unique[slot] = hit->second;
+            return;
+        }
+        if (campaignStopRequested()) {
+            skipped[slot] = 1;
+            return;
+        }
+        const ScenarioSpec &cellSpec =
+            expanded[uniqueCells[slot]].spec;
+        CellResult result;
+        for (unsigned attempt = 1;; ++attempt) {
+            try {
+                fatalIf(injector.shouldFail(slot, attempt),
+                        "injected fault: cell slot ", slot,
+                        " attempt ", attempt);
+                result = runCell(cellSpec, merged);
+                result.attempts = attempt;
+                break;
+            } catch (const std::exception &e) {
+                if (attempt > maxRetries) {
+                    result = CellResult{};
+                    result.scenario = cellSpec;
+                    result.failed = true;
+                    result.error = e.what();
+                    result.attempts = attempt;
+                    break;
+                }
+                // Deterministic backoff: exponential base plus a
+                // seeded jitter, a pure function of (slot, attempt).
+                const unsigned baseMs = 1u << std::min(attempt, 10u);
+                const unsigned jitterMs = static_cast<unsigned>(
+                    experimentSeed(slot, attempt) % (1u << attempt));
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(baseMs + jitterMs));
+            }
+        }
+        unique[slot] = result;
+        if (state)
+            state->record(slot, cellSpec.name, result, &injector);
     });
+
+    std::size_t skippedCount = 0;
+    for (const char s : skipped)
+        skippedCount += static_cast<std::size_t>(s);
+    if (skippedCount > 0)
+        throw CampaignInterrupted(
+            "campaign '" + spec.name + "' interrupted: " +
+            std::to_string(skippedCount) + " of " +
+            std::to_string(uniqueCells.size()) +
+            " cells not yet run" +
+            (state ? "; resume with --resume" : ""));
 
     CampaignResult result;
     result.name = spec.name;
@@ -720,6 +844,15 @@ CampaignResult::find(const std::string &cellName) const
     return nullptr;
 }
 
+std::size_t
+CampaignResult::failureCount() const
+{
+    std::size_t n = 0;
+    for (const CellResult &c : cells)
+        n += c.failed ? 1 : 0;
+    return n;
+}
+
 void
 CampaignResult::report(JsonReporter &rep) const
 {
@@ -745,6 +878,16 @@ CampaignResult::report(JsonReporter &rep) const
                       std::to_string(c.scenario.evalSeed));
         if (c.isBaseline)
             rep.add(p + ".baseline", 1.0);
+        // Harness outcomes only when they happened, so a fault-free
+        // campaign's JSON is byte-identical to the pre-harness bytes.
+        if (c.attempts > 1)
+            rep.add(p + ".attempts",
+                    static_cast<double>(c.attempts));
+        if (c.failed) {
+            rep.add(p + ".failed", 1.0);
+            rep.addString(p + ".error", c.error);
+            continue;
+        }
         if (c.scenario.workload == WorkloadKind::kConcurrent) {
             for (std::size_t a = 0; a < c.accMeans.size(); ++a) {
                 rep.add(p + ".acc" + std::to_string(a) + ".exec",

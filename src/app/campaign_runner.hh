@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "app/fault.hh"
 #include "app/parallel_runner.hh"
 #include "app/scenario.hh"
 #include "sim/json_writer.hh"
@@ -85,6 +86,12 @@ struct CellResult
 
     TrainSummary training;
     std::string statsDump; ///< filled when scenario.captureStats
+
+    /** Failure containment: a cell whose every attempt threw is
+     *  recorded instead of aborting the campaign. */
+    bool failed = false;
+    std::string error;     ///< last attempt's diagnostic
+    unsigned attempts = 1; ///< attempts executed (1 = first try won)
 };
 
 /** Everything a campaign produced, in expansion order. */
@@ -105,12 +112,42 @@ struct CampaignResult
      *  absent). */
     const CellResult *find(const std::string &cellName) const;
 
+    /** Number of cells recorded as contained failures. */
+    std::size_t failureCount() const;
+
     /** Append the structured result to @p rep (deterministic: no
      *  timings, stable key order). */
     void report(JsonReporter &rep) const;
 
     /** The report() JSON as a string (for byte-level comparisons). */
     std::string json() const;
+};
+
+/**
+ * Execution-harness options for one campaign run: persistence,
+ * resumability, retries, and fault injection. None of them changes
+ * what a cell computes — a resumed or retried campaign renders JSON
+ * byte-identical to an uninterrupted run of the same spec.
+ */
+struct CampaignRunOptions
+{
+    /** Sentinel for maxRetries: take the CampaignSpec's value. */
+    static constexpr unsigned kRetriesFromSpec = UINT32_MAX;
+
+    /** Campaign state directory (cell results + manifest stream into
+     *  it as cells complete). Empty = in-memory only. */
+    std::string stateDir;
+
+    /** Validate stateDir against the spec and skip the cells its
+     *  manifest records as complete. Requires stateDir. */
+    bool resume = false;
+
+    /** Per-cell retry budget for throwing cells (attempts = retries
+     *  + 1). kRetriesFromSpec defers to spec.maxRetries. */
+    unsigned maxRetries = kRetriesFromSpec;
+
+    /** Injected fault; an inactive plan defers to spec.fault. */
+    FaultPlan fault;
 };
 
 /** Expand-and-execute driver over a ParallelRunner. */
@@ -134,6 +171,19 @@ class CampaignRunner
      *  @throws FatalError on invalid specs */
     CampaignResult run(const CampaignSpec &spec);
 
+    /**
+     * run() with an execution harness: stream results into a state
+     * directory, resume a prior run from its manifest, contain and
+     * retry throwing cells, inject scripted faults. Throwing cells
+     * become CellResult failure entries (check failureCount());
+     * @throws CampaignInterrupted when SIGINT/SIGTERM stopped the
+     * sweep with cells unrun (the manifest is flushed first), and
+     * FatalError on invalid specs or a state dir that fails
+     * validation.
+     */
+    CampaignResult run(const CampaignSpec &spec,
+                       const CampaignRunOptions &opts);
+
   private:
     ParallelRunner &runner_;
 };
@@ -146,7 +196,7 @@ class CampaignRunner
 CellResult runScenario(const ScenarioSpec &spec);
 
 /** Names of the registered campaigns ("fig3", "fig9", "ablation",
- *  "transfer", "smoke"). */
+ *  "transfer", "smoke", "faulty"). */
 const std::vector<std::string> &namedCampaignNames();
 bool isNamedCampaign(const std::string &name);
 

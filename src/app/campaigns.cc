@@ -162,6 +162,21 @@ smokeCampaign()
     return c;
 }
 
+/** The smoke grid with a scripted flaky cell: slot 1 (the manual
+ *  cell) throws on its first two attempts and succeeds on the third,
+ *  within a 3-retry budget. CI runs it at several --jobs widths and
+ *  cmp-compares the JSON — the recorded attempt count keys on the
+ *  deterministic slot, so the bytes cannot depend on scheduling. */
+CampaignSpec
+faultyCampaign()
+{
+    CampaignSpec c = smokeCampaign();
+    c.name = "faulty";
+    c.fault = faultPlanFromString("fail@1:2");
+    c.maxRetries = 3;
+    return c;
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -173,6 +188,7 @@ namedCampaignNames()
         "ablation",
         "transfer",
         "smoke",
+        "faulty",
     };
     return names;
 }
@@ -199,6 +215,8 @@ namedCampaign(const std::string &name, bool fullScale)
         return transferCampaign(fullScale);
     if (name == "smoke")
         return smokeCampaign();
+    if (name == "faulty")
+        return faultyCampaign();
     std::string known;
     for (const std::string &n : namedCampaignNames()) {
         if (!known.empty())

@@ -499,11 +499,23 @@ parseCampaign(std::istream &is)
                         lineFatal(l.no, err);
                 }
                 c.baseline = l.value;
+            } else if (l.key == "fault") {
+                const std::string err = checkFaultPlanText(l.value);
+                if (!err.empty())
+                    lineFatal(l.no, err);
+                c.fault = faultPlanFromString(l.value);
+            } else if (l.key == "max-retries") {
+                c.maxRetries = parseU32At(l.value, l.no);
+                if (c.maxRetries > 1000)
+                    lineFatal(l.no, "max-retries " +
+                                        std::to_string(c.maxRetries) +
+                                        " too large (cap: 1000)");
             } else {
                 lineFatal(l.no, "unknown top-level key '" + l.key +
-                                    "' (known: campaign, baseline; "
-                                    "scenario keys go in a "
-                                    "[scenario] section)");
+                                    "' (known: campaign, baseline, "
+                                    "fault, max-retries; scenario "
+                                    "keys go in a [scenario] "
+                                    "section)");
             }
             break;
           case Section::kScenario:
@@ -680,6 +692,10 @@ serializeCampaign(const CampaignSpec &spec)
     os << "campaign = " << spec.name << '\n';
     if (!spec.baseline.empty())
         os << "baseline = " << spec.baseline << '\n';
+    if (spec.fault.active())
+        os << "fault = " << toString(spec.fault) << '\n';
+    if (spec.maxRetries != 0)
+        os << "max-retries = " << spec.maxRetries << '\n';
 
     os << "\n[scenario]\n";
     writeScenarioKeys(os, spec.base, /*withName=*/true);

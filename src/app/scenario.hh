@@ -53,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "app/fault.hh"
 #include "app/random_app.hh"
 #include "coh/coherence_mode.hh"
 #include "rl/strategy.hh"
@@ -208,6 +209,14 @@ struct CampaignSpec
      *  final normalization group of their own. When no axis is given
      *  they are the whole campaign (the ablation layout). */
     std::vector<ScenarioSpec> cells;
+
+    /** Execution-harness defaults (`fault =`, `max-retries =`): a
+     *  scripted fault and the per-cell retry budget for throwing
+     *  cells. CLI flags override them, and both are cleared from the
+     *  identity --resume validates against — they change how the
+     *  campaign is driven, not what it computes. */
+    FaultPlan fault;
+    unsigned maxRetries = 0;
 
     bool operator==(const CampaignSpec &) const = default;
 };

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "sim/atomic_file.hh"
 #include "sim/logging.hh"
 
 namespace cohmeleon::policy
@@ -225,11 +226,14 @@ PolicyCheckpoint::load(std::istream &is)
 void
 PolicyCheckpoint::saveFile(const std::string &path) const
 {
-    std::ofstream out(path);
-    fatalIf(!out, "cannot write checkpoint '", path, "'");
-    save(out);
-    out.flush();
-    fatalIf(!out, "I/O error writing checkpoint '", path, "'");
+    // Atomic temp+rename: a crash (or a full disk) mid-save must
+    // never truncate a checkpoint that trained for hours — the old
+    // file survives untouched until the new one is durable.
+    try {
+        atomicWriteFile(path, serialized());
+    } catch (const FatalError &e) {
+        fatal("cannot write checkpoint '", path, "': ", e.what());
+    }
 }
 
 PolicyCheckpoint

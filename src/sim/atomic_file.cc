@@ -1,0 +1,115 @@
+#include "sim/atomic_file.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon
+{
+
+namespace
+{
+
+[[noreturn]] void
+ioFatal(const std::string &what, const std::string &path)
+{
+    fatal(what, " '", path, "': ", std::strerror(errno));
+}
+
+/** Unique-per-call temp name in the target's directory, so the final
+ *  rename never crosses a filesystem and concurrent writers (several
+ *  campaign worker threads, several processes) cannot collide. */
+std::string
+tempNameFor(const std::string &path)
+{
+    static std::atomic<unsigned> counter{0};
+    return path + ".tmp." + std::to_string(::getpid()) + "." +
+           std::to_string(counter.fetch_add(1));
+}
+
+} // namespace
+
+void
+atomicWriteFile(const std::string &path, std::string_view contents)
+{
+    fatalIf(path.empty(), "atomicWriteFile: empty path");
+    const std::string tmp = tempNameFor(path);
+
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        ioFatal("cannot create temp file", tmp);
+
+    std::size_t written = 0;
+    while (written < contents.size()) {
+        const ssize_t n = ::write(fd, contents.data() + written,
+                                  contents.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            ioFatal("write failed for temp file", tmp);
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        ioFatal("fsync failed for temp file", tmp);
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        ioFatal("close failed for temp file", tmp);
+    }
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        ioFatal("cannot rename temp file into place for", path);
+    }
+
+    // Persist the rename itself: fsync the containing directory.
+    // Best-effort — some filesystems refuse O_RDONLY on directories.
+    std::string dir =
+        std::filesystem::path(path).parent_path().string();
+    if (dir.empty())
+        dir = ".";
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open '", path, "'");
+    std::ostringstream os;
+    os << in.rdbuf();
+    fatalIf(in.bad(), "I/O error reading '", path, "'");
+    return os.str();
+}
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull; // FNV prime
+    }
+    return h;
+}
+
+} // namespace cohmeleon

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Crash-safe file persistence primitives.
+ *
+ * Every durable artifact this repo writes (policy checkpoints,
+ * campaign cell results, manifests, CAMPAIGN/BENCH JSON) goes through
+ * atomicWriteFile(): the bytes land in a unique temp file in the
+ * target's directory, are flushed and fsync()ed, and only then
+ * rename()d over the target. A crash — including a SIGKILL or OOM
+ * kill — at any instant leaves either the old file or the new file,
+ * never a truncated hybrid. The directory is fsync()ed after the
+ * rename so the new name itself survives a power cut.
+ */
+
+#ifndef COHMELEON_SIM_ATOMIC_FILE_HH
+#define COHMELEON_SIM_ATOMIC_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cohmeleon
+{
+
+/**
+ * Atomically replace @p path with @p contents (write temp + fsync +
+ * rename, see the file comment). The temp file is removed on every
+ * failure path.
+ * @throws FatalError when the bytes cannot be durably written
+ */
+void atomicWriteFile(const std::string &path,
+                     std::string_view contents);
+
+/** Read a whole file as bytes. @throws FatalError when unreadable */
+std::string readFile(const std::string &path);
+
+/** FNV-1a 64-bit checksum — the manifest's cheap integrity check for
+ *  cell result files (detects truncation and bit rot, not malice). */
+std::uint64_t fnv1a64(std::string_view bytes);
+
+} // namespace cohmeleon
+
+#endif // COHMELEON_SIM_ATOMIC_FILE_HH

@@ -17,12 +17,12 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "sim/atomic_file.hh"
 #include "sim/logging.hh"
 
 namespace cohmeleon
@@ -84,14 +84,14 @@ class JsonReporter
         return os.str();
     }
 
-    /** Render to an explicit file path.
+    /** Render to an explicit file path. The write is atomic (temp +
+     *  fsync + rename), so a crash mid-render can never leave a
+     *  truncated report where a complete one stood.
      *  @throws FatalError when the file cannot be written */
     void
     writeTo(const std::string &path) const
     {
-        std::ofstream out(path);
-        fatalIf(!out, "cannot write '", path, "'");
-        render(out);
+        atomicWriteFile(path, str());
     }
 
     /** Write BENCH_<name>.json into the working directory.

@@ -14,6 +14,7 @@
 #include "app/training_driver.hh"
 #include "policy/checkpoint.hh"
 #include "policy/fixed.hh"
+#include "sim/atomic_file.hh"
 #include "test_util.hh"
 
 using namespace cohmeleon;
@@ -819,4 +820,357 @@ TEST(AvailabilityMask, NonCohDmaCannotBeMaskedAway)
     runtime.setDisabledModes(coh::kAllModesMask);
     EXPECT_TRUE(coh::maskHas(runtime.effectiveModes(0),
                              coh::CoherenceMode::kNonCohDma));
+}
+
+// --------------------------------------------------------- resilience
+
+namespace
+{
+
+/** tinyCampaign()'s uninterrupted JSON, computed once (resilience
+ *  tests byte-compare against it repeatedly). */
+const std::string &
+cleanTinyJson()
+{
+    static const std::string json = [] {
+        ParallelRunner serial(1);
+        return CampaignRunner(serial).run(tinyCampaign()).json();
+    }();
+    return json;
+}
+
+std::size_t
+manifestDoneCount(const std::string &stateDir)
+{
+    const std::string manifest = readFile(stateDir + "/MANIFEST");
+    std::size_t n = 0;
+    for (std::size_t p = manifest.find("\ndone ");
+         p != std::string::npos; p = manifest.find("\ndone ", p + 1))
+        ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(CampaignResilience, FaultAndRetryKeysRoundTrip)
+{
+    CampaignSpec c = tinyCampaign();
+    c.fault = faultPlanFromString("crash-after-write@2");
+    c.maxRetries = 7;
+    const std::string text = serializeCampaign(c);
+    EXPECT_NE(text.find("fault = crash-after-write@2"),
+              std::string::npos);
+    EXPECT_NE(text.find("max-retries = 7"), std::string::npos);
+    const CampaignSpec reparsed = parseCampaignString(text);
+    EXPECT_EQ(reparsed, c);
+    EXPECT_EQ(serializeCampaign(reparsed), text);
+
+    // Diagnostics carry line numbers and the known forms/caps.
+    std::string msg = diagnosticOf([] {
+        parseCampaignString("campaign = x\nfault = explode\n");
+    });
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("crash-after-write@N"), std::string::npos)
+        << msg;
+    msg = diagnosticOf([] {
+        parseCampaignString("campaign = x\nmax-retries = 2000\n");
+    });
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1000"), std::string::npos) << msg;
+    // The unknown-key list names the new keys.
+    msg = diagnosticOf(
+        [] { parseCampaignString("campaign = x\nwhat = 1\n"); });
+    EXPECT_NE(msg.find("max-retries"), std::string::npos) << msg;
+}
+
+TEST(CampaignResilience, StateDirStreamsAndRestoresByteIdentically)
+{
+    const test::TempDir dir("campaign_state");
+    const std::string sd = dir.file("state");
+    const CampaignSpec c = tinyCampaign();
+
+    CampaignRunOptions opts;
+    opts.stateDir = sd;
+    ParallelRunner serial(1);
+    const CampaignResult first = CampaignRunner(serial).run(c, opts);
+    EXPECT_EQ(first.json(), cleanTinyJson());
+    EXPECT_EQ(manifestDoneCount(sd), 3u);
+
+    // A resume of the finished run restores every cell from disk —
+    // no simulation at all — and must render the same bytes, at any
+    // jobs width (this exercises the full serialize/parse round trip
+    // of every double in the result).
+    opts.resume = true;
+    for (const unsigned jobs : {1u, 3u}) {
+        ParallelRunner r(jobs);
+        EXPECT_EQ(CampaignRunner(r).run(c, opts).json(),
+                  cleanTinyJson())
+            << "jobs " << jobs;
+    }
+}
+
+TEST(CampaignResilienceDeathTest, CrashAndResumeReproducesTheCleanRun)
+{
+    const CampaignSpec c = tinyCampaign();
+
+    // Kill a real process at each persistence boundary: before the
+    // first write, in the orphan window after the first write, and
+    // after the last write. Resume must reproduce the uninterrupted
+    // bytes at two jobs widths every time.
+    for (const char *fault :
+         {"crash-before-write@0", "crash-after-write@0",
+          "crash-after-write@2"}) {
+        const test::TempDir dir("crash");
+        const std::string sd = dir.file("state");
+        EXPECT_EXIT(
+            {
+                CampaignRunOptions crash;
+                crash.stateDir = sd;
+                crash.fault = faultPlanFromString(fault);
+                ParallelRunner r(1);
+                CampaignRunner(r).run(c, crash);
+            },
+            ::testing::ExitedWithCode(kFaultCrashExit), "")
+            << fault;
+
+        CampaignRunOptions resume;
+        resume.stateDir = sd;
+        resume.resume = true;
+        for (const unsigned jobs : {1u, 3u}) {
+            ParallelRunner r(jobs);
+            EXPECT_EQ(CampaignRunner(r).run(c, resume).json(),
+                      cleanTinyJson())
+                << fault << " jobs " << jobs;
+        }
+    }
+}
+
+TEST(CampaignResilience, FailedCellsAreContainedAndReported)
+{
+    CampaignSpec c = tinyCampaign();
+    c.fault = faultPlanFromString("fail@1:5"); // slot 1 = manual
+
+    ParallelRunner serial(1);
+    ParallelRunner wide(3);
+    const CampaignResult a = CampaignRunner(serial).run(c);
+    const CampaignResult b = CampaignRunner(wide).run(c);
+    EXPECT_EQ(a.json(), b.json());
+
+    EXPECT_EQ(a.failureCount(), 1u);
+    const CellResult *manual = a.find("soc1/manual");
+    ASSERT_NE(manual, nullptr);
+    EXPECT_TRUE(manual->failed);
+    EXPECT_EQ(manual->attempts, 1u); // no retry budget
+    EXPECT_NE(manual->error.find("injected fault"),
+              std::string::npos);
+    EXPECT_TRUE(manual->phases.empty());
+
+    // The failure is structured in the JSON...
+    EXPECT_NE(a.json().find(".failed\": 1"), std::string::npos);
+    EXPECT_NE(a.json().find(".error\": \"injected fault"),
+              std::string::npos);
+    // ...and the surviving cells still ran and normalized.
+    const CellResult *cohm = a.find("soc1/cohmeleon");
+    ASSERT_NE(cohm, nullptr);
+    EXPECT_FALSE(cohm->failed);
+    EXPECT_FALSE(cohm->phases.empty());
+    EXPECT_GT(cohm->geoExec, 0.0);
+}
+
+TEST(CampaignResilience, FailedBaselineLeavesTheGroupUnnormalized)
+{
+    CampaignSpec c = tinyCampaign();
+    c.fault = faultPlanFromString("fail@0:5"); // the baseline cell
+
+    ParallelRunner serial(1);
+    const CampaignResult a = CampaignRunner(serial).run(c);
+    EXPECT_EQ(a.failureCount(), 1u);
+    const CellResult *manual = a.find("soc1/manual");
+    ASSERT_NE(manual, nullptr);
+    EXPECT_FALSE(manual->failed);
+    // Ran, but nothing to normalize against: reported raw.
+    EXPECT_FALSE(manual->phases.empty());
+    EXPECT_TRUE(manual->execNorm.empty());
+}
+
+TEST(CampaignResilience, RetriesRecoverFlakyCells)
+{
+    CampaignSpec c = tinyCampaign();
+    c.fault = faultPlanFromString("fail@2:2"); // cohmeleon, twice
+    c.maxRetries = 2;
+
+    ParallelRunner serial(1);
+    ParallelRunner wide(3);
+    const CampaignResult a = CampaignRunner(serial).run(c);
+    const CampaignResult b = CampaignRunner(wide).run(c);
+    // fail@ keys on the deterministic slot, so the attempt count —
+    // and therefore the JSON — cannot depend on the jobs width.
+    EXPECT_EQ(a.json(), b.json());
+
+    EXPECT_EQ(a.failureCount(), 0u);
+    const CellResult *cohm = a.find("soc1/cohmeleon");
+    ASSERT_NE(cohm, nullptr);
+    EXPECT_EQ(cohm->attempts, 3u);
+    EXPECT_NE(a.json().find(".attempts\": 3"), std::string::npos);
+
+    // The recovered run's measurements match the clean run's — the
+    // JSON differs only by the attempts entry.
+    std::string json = a.json();
+    const std::size_t at = json.find(",\n  \"cell2.attempts\": 3");
+    ASSERT_NE(at, std::string::npos) << json;
+    json.erase(at, std::string(",\n  \"cell2.attempts\": 3").size());
+    EXPECT_EQ(json, cleanTinyJson());
+}
+
+TEST(CampaignResilience, CliRetryBudgetOverridesTheSpec)
+{
+    CampaignSpec c = tinyCampaign();
+    c.fault = faultPlanFromString("fail@1:1");
+
+    ParallelRunner serial(1);
+    // Spec default: no retries, the cell fails.
+    EXPECT_EQ(CampaignRunner(serial).run(c).failureCount(), 1u);
+    // CLI override: one retry recovers it.
+    CampaignRunOptions opts;
+    opts.maxRetries = 1;
+    const CampaignResult r = CampaignRunner(serial).run(c, opts);
+    EXPECT_EQ(r.failureCount(), 0u);
+    const CellResult *manual = r.find("soc1/manual");
+    ASSERT_NE(manual, nullptr);
+    EXPECT_EQ(manual->attempts, 2u);
+}
+
+TEST(CampaignResilience, StopRequestInterruptsAndResumes)
+{
+    const test::TempDir dir("stop");
+    const std::string sd = dir.file("state");
+    const CampaignSpec c = tinyCampaign();
+
+    CampaignRunOptions opts;
+    opts.stateDir = sd;
+    ParallelRunner serial(1);
+    requestCampaignStop();
+    try {
+        EXPECT_THROW(CampaignRunner(serial).run(c, opts),
+                     CampaignInterrupted);
+    } catch (...) {
+        clearCampaignStop();
+        throw;
+    }
+    clearCampaignStop();
+
+    // The interrupted run's message points at --resume; resuming
+    // completes the campaign byte-identically.
+    opts.resume = true;
+    EXPECT_EQ(CampaignRunner(serial).run(c, opts).json(),
+              cleanTinyJson());
+}
+
+TEST(CampaignResilience, SigintAfterWriteFlushesThenStops)
+{
+    const test::TempDir dir("sigint");
+    const std::string sd = dir.file("state");
+    const CampaignSpec c = tinyCampaign();
+
+    installCampaignSignalHandlers();
+    clearCampaignStop();
+    CampaignRunOptions opts;
+    opts.stateDir = sd;
+    opts.fault = faultPlanFromString("sigint-after-write@0");
+    ParallelRunner serial(1);
+    try {
+        CampaignRunner(serial).run(c, opts);
+        FAIL() << "expected CampaignInterrupted";
+    } catch (const CampaignInterrupted &e) {
+        EXPECT_NE(std::string(e.what()).find("--resume"),
+                  std::string::npos);
+    }
+    clearCampaignStop();
+
+    // The manifest was flushed before the stop took effect: exactly
+    // one cell is durable, and the resume runs only the rest.
+    EXPECT_EQ(manifestDoneCount(sd), 1u);
+    opts.fault = FaultPlan{};
+    opts.resume = true;
+    EXPECT_EQ(CampaignRunner(serial).run(c, opts).json(),
+              cleanTinyJson());
+}
+
+TEST(CampaignResilience, ResumeValidatesTheStateDirectory)
+{
+    const CampaignSpec c = tinyCampaign();
+    ParallelRunner serial(1);
+
+    // Resume without a prior run.
+    {
+        const test::TempDir dir("empty");
+        CampaignRunOptions opts;
+        opts.stateDir = dir.file("state");
+        opts.resume = true;
+        const std::string msg = diagnosticOf(
+            [&] { CampaignRunner(serial).run(c, opts); });
+        EXPECT_NE(msg.find("campaign.spec"), std::string::npos)
+            << msg;
+    }
+
+    // Resume without a state dir at all.
+    {
+        CampaignRunOptions opts;
+        opts.resume = true;
+        EXPECT_THROW(CampaignRunner(serial).run(c, opts), FatalError);
+    }
+
+    const test::TempDir dir("validate");
+    const std::string sd = dir.file("state");
+    CampaignRunOptions opts;
+    opts.stateDir = sd;
+    CampaignRunner(serial).run(c, opts);
+    opts.resume = true;
+
+    // A different campaign is rejected with the first differing
+    // line, not silently mixed in.
+    {
+        CampaignSpec other = c;
+        other.policies = {"fixed-non-coh-dma", "manual"};
+        const std::string msg = diagnosticOf(
+            [&] { CampaignRunner(serial).run(other, opts); });
+        EXPECT_NE(msg.find("different campaign"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("line"), std::string::npos) << msg;
+    }
+
+    // Fault/retry knobs are execution harness, not identity: the
+    // same campaign resumed under different knobs validates fine.
+    {
+        CampaignSpec sameButDriven = c;
+        sameButDriven.maxRetries = 3;
+        EXPECT_EQ(
+            CampaignRunner(serial).run(sameButDriven, opts).json(),
+            cleanTinyJson());
+    }
+
+    // A corrupted cell file is caught by the checksum.
+    {
+        const std::string cell = sd + "/cells/cell0.result";
+        std::string bytes = readFile(cell);
+        bytes[bytes.size() / 2] ^= 0x20;
+        atomicWriteFile(cell, bytes);
+        const std::string msg = diagnosticOf(
+            [&] { CampaignRunner(serial).run(c, opts); });
+        EXPECT_NE(msg.find("corrupted"), std::string::npos) << msg;
+        // Heal it back for the next check.
+        bytes[bytes.size() / 2] ^= 0x20;
+        atomicWriteFile(cell, bytes);
+    }
+
+    // A truncated manifest dies with a line diagnostic.
+    {
+        const std::string manifest = readFile(sd + "/MANIFEST");
+        atomicWriteFile(sd + "/MANIFEST",
+                        manifest.substr(0, manifest.find("end")));
+        const std::string msg = diagnosticOf(
+            [&] { CampaignRunner(serial).run(c, opts); });
+        EXPECT_NE(msg.find("MANIFEST"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("line"), std::string::npos) << msg;
+    }
 }

@@ -7,7 +7,10 @@
 #ifndef COHMELEON_TESTS_TEST_UTIL_HH
 #define COHMELEON_TESTS_TEST_UTIL_HH
 
+#include <filesystem>
 #include <functional>
+#include <string>
+#include <unistd.h>
 
 #include "policy/policy.hh"
 #include "rt/runtime.hh"
@@ -16,6 +19,35 @@
 
 namespace cohmeleon::test
 {
+
+/** Fresh directory under the system temp root, removed on scope
+ *  exit (unique per process and instantiation, so parallel ctest
+ *  runs cannot collide). */
+struct TempDir
+{
+    std::filesystem::path path;
+
+    explicit TempDir(const std::string &tag)
+    {
+        static int counter = 0;
+        path = std::filesystem::temp_directory_path() /
+               ("cohmeleon_" + tag + "_" + std::to_string(::getpid()) +
+                "_" + std::to_string(counter++));
+        std::filesystem::create_directories(path);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path); }
+
+    TempDir(const TempDir &) = delete;
+    TempDir &operator=(const TempDir &) = delete;
+
+    /** Path of @p name inside the directory (not created). */
+    std::string
+    file(const std::string &name) const
+    {
+        return (path / name).string();
+    }
+};
 
 /**
  * A small SoC that keeps tests fast: 4x3 mesh, 2 CPUs, 2 memory

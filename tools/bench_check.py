@@ -22,6 +22,7 @@ and commit the refreshed bench/baselines/*.json.
 
 import argparse
 import json
+import math
 import pathlib
 import shutil
 import sys
@@ -46,8 +47,44 @@ INFO_SUFFIXES = ("_per_sec", "_seconds")
 
 
 def load(path):
-    with open(path) as f:
-        return json.load(f)
+    """Parse one JSON file, turning every malformed-input failure into
+    a one-line actionable message (no traceback, no silent pass)."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except json.JSONDecodeError as e:
+        raise SystemExit(
+            f"fatal: {path}: malformed JSON at line {e.lineno} "
+            f"(truncated bench run?)")
+    except OSError as e:
+        raise SystemExit(f"fatal: {path}: {e.strerror}")
+    if not isinstance(data, dict):
+        raise SystemExit(
+            f"fatal: {path}: expected a JSON object, got "
+            f"{type(data).__name__}")
+    return data
+
+
+def gated_value(name, field, data, where):
+    """A gated field must be a finite positive number: a NaN, zero, or
+    non-numeric value would make every comparison vacuously pass and
+    turn the gate into a no-op."""
+    value = data[field]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SystemExit(
+            f"fatal: {name}:{field} in the {where} is not a number "
+            f"(got {value!r})")
+    value = float(value)
+    if not math.isfinite(value):
+        raise SystemExit(
+            f"fatal: {name}:{field} in the {where} is {value} "
+            f"(broken bench run?)")
+    if value <= 0.0:
+        raise SystemExit(
+            f"fatal: {name}:{field} in the {where} is {value}; gated "
+            f"speedups are positive ratios, so the gate would pass "
+            f"vacuously (broken bench run?)")
+    return value
 
 
 def main():
@@ -102,7 +139,8 @@ def main():
                 failures.append(f"{name}:{field} missing from the "
                                 "bench output")
                 continue
-            b, r = float(base[field]), float(result[field])
+            b = gated_value(name, field, base, "baseline")
+            r = gated_value(name, field, result, "bench output")
             floor = b * (1.0 - args.tolerance)
             status = "ok" if r >= floor else "REGRESSED"
             print(f"  {field:28s} baseline {b:10.4f}  "

@@ -85,6 +85,14 @@ usage()
         "    --soc NAME --train N --seed N --jobs N\n"
         "  campaign  run a campaign\n"
         "    campaign NAME|FILE [--jobs N] [-o F] [--full] [--print]\n"
+        "    --state-dir DIR    stream per-cell results + a manifest\n"
+        "                       into DIR as cells complete\n"
+        "    --resume           validate DIR against the campaign and\n"
+        "                       re-run only the missing cells\n"
+        "    --max-retries N    per-cell retry budget for throwing\n"
+        "                       cells (default: the spec's)\n"
+        "    --fault PLAN       inject a scripted fault, e.g.\n"
+        "                       crash-after-write@0, fail@1:2\n"
         "  list      known SoCs, policies, campaigns, figure apps\n");
     std::exit(2);
 }
@@ -188,6 +196,18 @@ validatedExplore(const std::string &text)
         std::exit(2);
     }
     return rl::exploreSpecFromString(text);
+}
+
+/** Parse-time fault-plan validation via the shared validator. */
+app::FaultPlan
+validatedFault(const std::string &text)
+{
+    const std::string err = app::checkFaultPlanText(text);
+    if (!err.empty()) {
+        std::fprintf(stderr, "fatal: %s\n", err.c_str());
+        std::exit(2);
+    }
+    return app::faultPlanFromString(text);
 }
 
 coh::ModeMask
@@ -522,6 +542,7 @@ cmdCampaign(Args &args)
     unsigned jobs = 0;
     bool full = false;
     bool printOnly = false;
+    app::CampaignRunOptions ropts;
     for (; args.i < args.argc; ++args.i) {
         if (args.next("--jobs"))
             jobs = static_cast<unsigned>(args.number(1024));
@@ -531,12 +552,25 @@ cmdCampaign(Args &args)
             full = true;
         else if (args.next("--print"))
             printOnly = true;
+        else if (args.next("--state-dir"))
+            ropts.stateDir = args.value();
+        else if (args.next("--resume"))
+            ropts.resume = true;
+        else if (args.next("--max-retries"))
+            ropts.maxRetries =
+                static_cast<unsigned>(args.number(1000));
+        else if (args.next("--fault"))
+            ropts.fault = validatedFault(args.value());
         else if (args.argv[args.i][0] == '-')
             usage();
         else if (source.empty())
             source = args.argv[args.i];
         else
             usage();
+    }
+    if (ropts.resume && ropts.stateDir.empty()) {
+        std::fprintf(stderr, "fatal: --resume needs --state-dir DIR\n");
+        return 2;
     }
     if (source.empty()) {
         std::fprintf(stderr,
@@ -569,9 +603,19 @@ cmdCampaign(Args &args)
                 spec.transfer.active()
                     ? " (after cross-SoC transfer training)"
                     : "");
+    // Ctrl-C stops cleanly: in-flight cells finish and persist, the
+    // manifest is flushed, and the run reports how to resume.
+    app::installCampaignSignalHandlers();
+    app::clearCampaignStop();
     const WallTimer timer;
     app::CampaignRunner driver(runner);
-    const app::CampaignResult result = driver.run(spec);
+    app::CampaignResult result;
+    try {
+        result = driver.run(spec, ropts);
+    } catch (const app::CampaignInterrupted &e) {
+        std::fprintf(stderr, "interrupted: %s\n", e.what());
+        return 130;
+    }
     const double elapsed = timer.seconds();
 
     for (std::size_t g = 0; g < result.groupCount; ++g) {
@@ -633,6 +677,19 @@ cmdCampaign(Args &args)
     rep.writeTo(outFile);
     std::printf("\n%zu cells in %.2fs; wrote %s\n",
                 result.cells.size(), elapsed, outFile.c_str());
+
+    // Contained failures surface at the very end — the sweep and the
+    // JSON are complete, but the exit code must not claim success.
+    if (const std::size_t failures = result.failureCount();
+        failures > 0) {
+        std::fprintf(stderr, "%zu cell(s) failed:\n", failures);
+        for (const app::CellResult &c : result.cells)
+            if (c.failed)
+                std::fprintf(stderr, "  %s (attempts: %u): %s\n",
+                             c.scenario.name.c_str(), c.attempts,
+                             c.error.c_str());
+        return 1;
+    }
     return 0;
 }
 
