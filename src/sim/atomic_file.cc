@@ -19,10 +19,24 @@ namespace cohmeleon
 namespace
 {
 
+/** @p err must be captured at the failing call — close()/unlink() on
+ *  the cleanup path would otherwise clobber errno and the message
+ *  would blame the wrong syscall. */
 [[noreturn]] void
-ioFatal(const std::string &what, const std::string &path)
+ioFatal(const std::string &what, const std::string &path, int err)
 {
-    fatal(what, " '", path, "': ", std::strerror(errno));
+    fatal(what, " '", path, "': ", std::strerror(err));
+}
+
+/** fsync, retrying the (rare but POSIX-permitted) EINTR. */
+int
+fsyncRetry(int fd)
+{
+    int rc = 0;
+    do {
+        rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    return rc;
 }
 
 /** Unique-per-call temp name in the target's directory, so the final
@@ -47,7 +61,7 @@ atomicWriteFile(const std::string &path, std::string_view contents)
     const int fd =
         ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0)
-        ioFatal("cannot create temp file", tmp);
+        ioFatal("cannot create temp file", tmp, errno);
 
     std::size_t written = 0;
     while (written < contents.size()) {
@@ -56,25 +70,29 @@ atomicWriteFile(const std::string &path, std::string_view contents)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            const int err = errno;
             ::close(fd);
             ::unlink(tmp.c_str());
-            ioFatal("write failed for temp file", tmp);
+            ioFatal("write failed for temp file", tmp, err);
         }
         written += static_cast<std::size_t>(n);
     }
-    if (::fsync(fd) != 0) {
+    if (fsyncRetry(fd) != 0) {
+        const int err = errno;
         ::close(fd);
         ::unlink(tmp.c_str());
-        ioFatal("fsync failed for temp file", tmp);
+        ioFatal("fsync failed for temp file", tmp, err);
     }
     if (::close(fd) != 0) {
+        const int err = errno;
         ::unlink(tmp.c_str());
-        ioFatal("close failed for temp file", tmp);
+        ioFatal("close failed for temp file", tmp, err);
     }
 
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
         ::unlink(tmp.c_str());
-        ioFatal("cannot rename temp file into place for", path);
+        ioFatal("cannot rename temp file into place for", path, err);
     }
 
     // Persist the rename itself: fsync the containing directory.
@@ -85,7 +103,7 @@ atomicWriteFile(const std::string &path, std::string_view contents)
         dir = ".";
     const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
     if (dfd >= 0) {
-        ::fsync(dfd);
+        fsyncRetry(dfd);
         ::close(dfd);
     }
 }

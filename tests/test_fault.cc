@@ -86,13 +86,16 @@ TEST(FaultPlan, TextFormsRoundTrip)
 {
     for (const char *text :
          {"none", "crash-before-write@0", "crash-after-write@3",
-          "sigint-after-write@1", "fail@2:5"}) {
+          "sigint-after-write@1", "fail@2:5", "kill-worker@2",
+          "hang@1"}) {
         const FaultPlan p = faultPlanFromString(text);
         EXPECT_EQ(toString(p), text);
         EXPECT_EQ(faultPlanFromString(toString(p)), p);
     }
     EXPECT_FALSE(faultPlanFromString("none").active());
     EXPECT_TRUE(faultPlanFromString("fail@0:1").active());
+    EXPECT_TRUE(faultPlanFromString("kill-worker@0").active());
+    EXPECT_TRUE(faultPlanFromString("hang@0").active());
 }
 
 TEST(FaultPlan, DiagnosticsListTheKnownForms)
@@ -108,6 +111,15 @@ TEST(FaultPlan, DiagnosticsListTheKnownForms)
     // K = 0 never fires — reject it instead of silently no-opping.
     EXPECT_FALSE(checkFaultPlanText("fail@3:0").empty());
     EXPECT_TRUE(checkFaultPlanText("fail@3:1").empty());
+
+    EXPECT_NE(unknown.find("kill-worker@N"), std::string::npos);
+    EXPECT_NE(unknown.find("hang@SLOT"), std::string::npos);
+    EXPECT_FALSE(checkFaultPlanText("kill-worker@").empty());
+    EXPECT_FALSE(checkFaultPlanText("kill-worker@x").empty());
+    EXPECT_FALSE(checkFaultPlanText("hang@").empty());
+    EXPECT_FALSE(checkFaultPlanText("hang@1:2").empty());
+    EXPECT_TRUE(checkFaultPlanText("kill-worker@0").empty());
+    EXPECT_TRUE(checkFaultPlanText("hang@3").empty());
 }
 
 TEST(FaultPlan, InjectorFailsExactlyTheScriptedAttempts)
@@ -119,6 +131,20 @@ TEST(FaultPlan, InjectorFailsExactlyTheScriptedAttempts)
     EXPECT_FALSE(inj.shouldFail(1, 1));
     const FaultInjector none{FaultPlan{}};
     EXPECT_FALSE(none.shouldFail(0, 1));
+}
+
+TEST(FaultPlan, HangPlanOnlyHangsTheFirstAttemptOfItsSlot)
+{
+    const FaultInjector inj(faultPlanFromString("hang@2"));
+    EXPECT_TRUE(inj.shouldHang(2, 1));
+    // The post-kill retry runs clean — watchdog containment is
+    // testable without the retry hanging, too.
+    EXPECT_FALSE(inj.shouldHang(2, 2));
+    EXPECT_FALSE(inj.shouldHang(1, 1));
+    const FaultInjector none{FaultPlan{}};
+    EXPECT_FALSE(none.shouldHang(0, 1));
+    // hang@ keys on the slot; fail@ semantics stay untouched.
+    EXPECT_FALSE(inj.shouldFail(2, 1));
 }
 
 TEST(FaultPlan, StopFlagIsSetAndCleared)

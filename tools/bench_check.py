@@ -155,6 +155,17 @@ def main():
                     field.endswith(INFO_SUFFIXES):
                 print(f"  {field:28s} now {value:14.4f}  (info only)")
 
+    # A committed baseline nothing compares against is a gate hole:
+    # usually a renamed bench whose GATED_FIELDS entry (or run step)
+    # was not updated. Warn loudly, but do not fail -- the stale file
+    # may be intentional during a migration.
+    if baselines.is_dir():
+        for stray in sorted(baselines.glob("BENCH_*.json")):
+            if stray.name not in GATED_FIELDS:
+                print(f"warning: {stray} has no matching bench in "
+                      f"this run (stale baseline? update "
+                      f"GATED_FIELDS or delete it)")
+
     if failures:
         print("\nbench-regression gate FAILED:")
         for f in failures:

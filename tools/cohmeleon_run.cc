@@ -92,7 +92,17 @@ usage()
         "    --max-retries N    per-cell retry budget for throwing\n"
         "                       cells (default: the spec's)\n"
         "    --fault PLAN       inject a scripted fault, e.g.\n"
-        "                       crash-after-write@0, fail@1:2\n"
+        "                       crash-after-write@0, fail@1:2,\n"
+        "                       kill-worker@0, hang@1\n"
+        "    --workers N        supervised worker-process fleet\n"
+        "                       claiming cells from DIR (needs\n"
+        "                       --state-dir)\n"
+        "    --lease-ttl S      seconds before a heartbeat-less\n"
+        "                       worker lease is reclaimed (default 30)\n"
+        "    --cell-timeout S   wall-clock watchdog: kill + contain a\n"
+        "                       cell running longer than S seconds\n"
+        "    --respawn-budget N worker deaths replaced before the\n"
+        "                       fleet gives up (default 8)\n"
         "  list      known SoCs, policies, campaigns, figure apps\n");
     std::exit(2);
 }
@@ -143,6 +153,28 @@ struct Args
                          "fatal: bad value '%s' for %s (max %llu)\n",
                          text.c_str(), flag.c_str(),
                          static_cast<unsigned long long>(max));
+            std::exit(2);
+        }
+    }
+
+    double
+    seconds(double max)
+    {
+        // Strict, like number(): no trailing garbage, and the value
+        // must be a positive duration within the campaign-spec cap.
+        const std::string flag = argv[i];
+        const std::string text = value();
+        try {
+            std::size_t used = 0;
+            const double v = std::stod(text, &used);
+            if (used != text.size() || !(v > 0.0) || v > max)
+                throw std::invalid_argument(text);
+            return v;
+        } catch (const std::exception &) {
+            std::fprintf(stderr,
+                         "fatal: bad value '%s' for %s (seconds in "
+                         "(0, %g])\n",
+                         text.c_str(), flag.c_str(), max);
             std::exit(2);
         }
     }
@@ -561,6 +593,22 @@ cmdCampaign(Args &args)
                 static_cast<unsigned>(args.number(1000));
         else if (args.next("--fault"))
             ropts.fault = validatedFault(args.value());
+        else if (args.next("--workers")) {
+            ropts.workers = static_cast<unsigned>(args.number(1024));
+            if (ropts.workers == 0) {
+                std::fprintf(stderr,
+                             "fatal: --workers must be at least 1 "
+                             "(omit the flag for an in-process "
+                             "run)\n");
+                return 2;
+            }
+        } else if (args.next("--lease-ttl"))
+            ropts.leaseTtlSec = args.seconds(86400.0);
+        else if (args.next("--cell-timeout"))
+            ropts.cellTimeoutSec = args.seconds(86400.0);
+        else if (args.next("--respawn-budget"))
+            ropts.respawnBudget =
+                static_cast<unsigned>(args.number(1000));
         else if (args.argv[args.i][0] == '-')
             usage();
         else if (source.empty())
@@ -570,6 +618,19 @@ cmdCampaign(Args &args)
     }
     if (ropts.resume && ropts.stateDir.empty()) {
         std::fprintf(stderr, "fatal: --resume needs --state-dir DIR\n");
+        return 2;
+    }
+    if (ropts.workers > 0 && ropts.stateDir.empty()) {
+        std::fprintf(stderr,
+                     "fatal: --workers needs --state-dir DIR (the "
+                     "fleet claims cells through it)\n");
+        return 2;
+    }
+    if (ropts.cellTimeoutSec > 0.0 && ropts.stateDir.empty()) {
+        std::fprintf(stderr,
+                     "fatal: --cell-timeout needs --state-dir DIR "
+                     "(the watchdog runs in the worker-fleet "
+                     "supervisor)\n");
         return 2;
     }
     if (source.empty()) {
@@ -597,17 +658,69 @@ cmdCampaign(Args &args)
         return 0;
     }
 
+    const unsigned workers =
+        ropts.workers != 0 ? ropts.workers : spec.workers;
+    if (workers > 0) {
+        // Crash/sigint plans key on per-process write ordinals, which
+        // are not deterministic across a fleet; the fleet-native
+        // fault is kill-worker@N.
+        const app::FaultPlan &fleetFault =
+            ropts.fault.active() ? ropts.fault : spec.fault;
+        if (fleetFault.kind == app::FaultPlan::Kind::kCrashBeforeWrite ||
+            fleetFault.kind == app::FaultPlan::Kind::kCrashAfterWrite ||
+            fleetFault.kind ==
+                app::FaultPlan::Kind::kSigintAfterWrite) {
+            std::fprintf(stderr,
+                         "fatal: --workers cannot be combined with "
+                         "fault '%s' (write ordinals are per-process; "
+                         "use kill-worker@N to crash a fleet)\n",
+                         app::toString(fleetFault).c_str());
+            return 2;
+        }
+    }
+
+    const WallTimer timer;
+    if (workers > 0) {
+        // Fork the fleet before any thread exists in this process.
+        std::printf("campaign %s over %u worker process(es)%s...\n",
+                    spec.name.c_str(), workers,
+                    spec.transfer.active()
+                        ? " (each recomputing the transfer model)"
+                        : "");
+        app::installCampaignSignalHandlers();
+        app::clearCampaignStop();
+        app::CampaignRunOptions fopts = ropts;
+        fopts.workers = workers;
+        try {
+            app::superviseCampaignFleet(spec, fopts);
+        } catch (const app::CampaignInterrupted &e) {
+            std::fprintf(stderr, "interrupted: %s\n", e.what());
+            return 130;
+        } catch (const app::CampaignIncomplete &e) {
+            std::fprintf(stderr, "incomplete: %s\n", e.what());
+            return 3;
+        }
+        // Every slot is in the manifest now; assemble the result by
+        // resuming in-process (runs zero cells, so the fault plan
+        // must not re-arm).
+        ropts.resume = true;
+        ropts.workers = 0;
+        ropts.fault = app::FaultPlan{};
+        spec.fault = app::FaultPlan{};
+        spec.workers = 0;
+    }
+
     app::ParallelRunner runner(jobs);
-    std::printf("campaign %s over %u thread(s)%s...\n",
-                spec.name.c_str(), runner.threads(),
-                spec.transfer.active()
-                    ? " (after cross-SoC transfer training)"
-                    : "");
+    if (workers == 0)
+        std::printf("campaign %s over %u thread(s)%s...\n",
+                    spec.name.c_str(), runner.threads(),
+                    spec.transfer.active()
+                        ? " (after cross-SoC transfer training)"
+                        : "");
     // Ctrl-C stops cleanly: in-flight cells finish and persist, the
     // manifest is flushed, and the run reports how to resume.
     app::installCampaignSignalHandlers();
     app::clearCampaignStop();
-    const WallTimer timer;
     app::CampaignRunner driver(runner);
     app::CampaignResult result;
     try {
