@@ -19,6 +19,7 @@
 
 #include "app/campaign_state.hh"
 #include "app/config_parser.hh"
+#include "app/heartbeat.hh"
 #include "app/training_driver.hh"
 #include "policy/checkpoint.hh"
 #include "policy/cohmeleon_policy.hh"
@@ -920,56 +921,26 @@ runCampaignWorker(const CampaignSpec &spec,
     // Heartbeat thread: touches the held lease's mtime so TTL-based
     // reclaim only fires on real process death — it keeps beating
     // under a hung cell, which is exactly why the watchdog keys on
-    // claim age instead. Interval well under the TTL.
-    struct
-    {
-        std::mutex m;
-        std::condition_variable cv;
-        bool stop = false;
-        bool active = false;
-        std::size_t slot = 0;
-    } hb;
-    const auto hbInterval = std::chrono::milliseconds(std::max(
-        50L, std::min(5000L,
-                      static_cast<long>(plan.leaseTtlSec * 250.0))));
-    std::thread hbThread([&] {
-        std::unique_lock<std::mutex> lk(hb.m);
-        while (!hb.stop) {
-            hb.cv.wait_for(lk, hbInterval);
-            if (!hb.stop && hb.active)
-                state.heartbeat(hb.slot);
-        }
-    });
+    // claim age instead (see app/heartbeat.hh for the full
+    // synchronization contract).
+    LeaseHeartbeat hb(state,
+                      LeaseHeartbeat::intervalFor(plan.leaseTtlSec));
 
     while (!campaignStopRequested()) {
         const std::optional<CampaignStateDir::CellClaim> claim =
             state.claimNext(plan.leaseTtlSec);
         if (!claim)
             break; // every remaining slot is done or live-leased
-        {
-            const std::lock_guard<std::mutex> lk(hb.m);
-            hb.active = true;
-            hb.slot = claim->slot;
-        }
+        hb.arm(claim->slot);
         const ScenarioSpec &cellSpec =
             plan.expanded[plan.uniqueCells[claim->slot]].spec;
         const CellResult result = runCellAttempts(
             cellSpec, claim->slot, claim->priorKills + 1,
             plan.maxRetries, injector, merged);
         state.record(claim->slot, cellSpec.name, result, &injector);
-        {
-            const std::lock_guard<std::mutex> lk(hb.m);
-            hb.active = false;
-        }
+        hb.disarm();
         state.release(claim->slot);
     }
-
-    {
-        const std::lock_guard<std::mutex> lk(hb.m);
-        hb.stop = true;
-    }
-    hb.cv.notify_all();
-    hbThread.join();
     return 0;
 }
 
@@ -1052,7 +1023,7 @@ superviseCampaignFleet(const CampaignSpec &spec,
                     std::find(children.begin(), children.end(),
                               static_cast<pid_t>(lease.pid)) !=
                     children.end();
-                if (!ours || watchdogShots.count(lease.pid) != 0)
+                if (!ours || watchdogShots.contains(lease.pid))
                     continue;
                 watchdogShots.emplace(lease.pid, lease.slot);
                 ::kill(lease.pid, SIGKILL);

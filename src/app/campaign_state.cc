@@ -548,6 +548,7 @@ wallMs()
 {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
+            // determinism: allow(wall-clock, lease claim timestamps — crash-recovery harness state, never in campaign results)
             std::chrono::system_clock::now().time_since_epoch())
             .count());
 }
@@ -558,6 +559,7 @@ double
 mtimeAgeSec(const struct ::stat &st)
 {
     struct ::timespec now{};
+    // determinism: allow(wall-clock, heartbeat staleness check — must match the clock utimensat writes, never in results)
     ::clock_gettime(CLOCK_REALTIME, &now);
     const double age =
         static_cast<double>(now.tv_sec - st.st_mtim.tv_sec) +

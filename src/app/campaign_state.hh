@@ -56,6 +56,17 @@
  * heartbeat goes TTL-stale (workers) or its pid is reaped (the fleet
  * supervisor, which also bumps the kill counter so the next claimer
  * continues the attempt numbering deterministically).
+ *
+ * Concurrency audit notes (PR 8): the heartbeat thread lives in
+ * app/heartbeat.hh (one mutex guards all its state, beats run under
+ * it); heartbeat-vs-reclaim on a lease file is a filesystem-level
+ * TOCTOU that is benign by design — a beat on a dropped lease just
+ * reports false — and invisible to TSan (tools/tsan.supp documents
+ * why it needs no suppression). The wall-clock reads in
+ * campaign_state.cc (lease claim timestamps, mtime staleness) are
+ * harness state that never reaches campaign results; they carry
+ * audited `determinism: allow(wall-clock, ...)` annotations for
+ * tools/lint_determinism.py.
  */
 
 #ifndef COHMELEON_APP_CAMPAIGN_STATE_HH

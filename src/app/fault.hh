@@ -158,7 +158,13 @@ void installCampaignSignalHandlers();
 
 /** The cooperative stop flag the handlers set. The runner checks it
  *  before starting each cell; cells already in flight finish and are
- *  persisted before the run throws CampaignInterrupted. */
+ *  persisted before the run throws CampaignInterrupted.
+ *
+ *  The flag is a lock-free std::atomic<bool> monotonic latch with
+ *  relaxed ordering: it gates only *whether* new work starts, never
+ *  what any result contains, so no acquire/release pairing is
+ *  needed and TSan is satisfied without suppressions (see
+ *  tools/tsan.supp). */
 bool campaignStopRequested();
 void requestCampaignStop();
 void clearCampaignStop();

@@ -1,0 +1,64 @@
+#include "app/heartbeat.hh"
+
+#include <algorithm>
+
+#include "app/campaign_state.hh"
+
+namespace cohmeleon::app
+{
+
+LeaseHeartbeat::LeaseHeartbeat(CampaignStateDir &state,
+                               std::chrono::milliseconds interval)
+    : state_(state), interval_(interval),
+      thread_([this] { loop(); })
+{
+}
+
+LeaseHeartbeat::~LeaseHeartbeat()
+{
+    {
+        const std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+void
+LeaseHeartbeat::arm(std::size_t slot)
+{
+    const std::lock_guard<std::mutex> lk(m_);
+    active_ = true;
+    slot_ = slot;
+}
+
+void
+LeaseHeartbeat::disarm()
+{
+    const std::lock_guard<std::mutex> lk(m_);
+    active_ = false;
+}
+
+std::chrono::milliseconds
+LeaseHeartbeat::intervalFor(double leaseTtlSec)
+{
+    return std::chrono::milliseconds(std::max(
+        50L,
+        std::min(5000L, static_cast<long>(leaseTtlSec * 250.0))));
+}
+
+void
+LeaseHeartbeat::loop()
+{
+    // The beat runs under m_ so slot_ can never be read torn against
+    // arm(); heartbeat() is a single utimensat, cheap enough to hold
+    // the mutex across.
+    std::unique_lock<std::mutex> lk(m_);
+    while (!stop_) {
+        cv_.wait_for(lk, interval_);
+        if (!stop_ && active_)
+            state_.heartbeat(slot_);
+    }
+}
+
+} // namespace cohmeleon::app

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * RAII heartbeat thread for lease-holding campaign workers.
+ *
+ * A worker that holds a cell lease must keep the lease file's mtime
+ * fresh so TTL-based reclaim (CampaignStateDir::claimNext on other
+ * workers, sweepOrphanLeases on a new supervisor) only fires on real
+ * process death. The beat deliberately continues while a cell is
+ * hung — a wedged worker is still alive and must not be double-run,
+ * which is why the supervisor's watchdog keys on claim age rather
+ * than heartbeat age.
+ *
+ * Synchronization contract (exercised under TSan by the analysis CI
+ * leg and tests/test_workers.cc): all fields are guarded by one
+ * mutex; arm()/disarm()/the destructor communicate with the beat
+ * thread only under that mutex, and the beat itself runs under it
+ * too, so a beat can never read a torn slot or outlive a release.
+ * The touched lease file may be unlinked concurrently by reclaim —
+ * that is a filesystem-level TOCTOU that is benign by design (a
+ * beat on a dropped lease just reports false; see campaign_state.hh).
+ */
+
+#ifndef COHMELEON_APP_HEARTBEAT_HH
+#define COHMELEON_APP_HEARTBEAT_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+namespace cohmeleon::app
+{
+
+class CampaignStateDir;
+
+/** Background thread beating the held lease's mtime while armed. */
+class LeaseHeartbeat
+{
+  public:
+    /** Starts the beat thread immediately (disarmed). */
+    LeaseHeartbeat(CampaignStateDir &state,
+                   std::chrono::milliseconds interval);
+    /** Stops and joins the beat thread. */
+    ~LeaseHeartbeat();
+
+    LeaseHeartbeat(const LeaseHeartbeat &) = delete;
+    LeaseHeartbeat &operator=(const LeaseHeartbeat &) = delete;
+
+    /** Start beating @p slot's lease (call right after a claim). */
+    void arm(std::size_t slot);
+
+    /** Stop beating (call after record(), before release()). */
+    void disarm();
+
+    /** Beat interval for @p leaseTtlSec: TTL/4, clamped to
+     *  [50ms, 5s] — well under the TTL so one missed beat (scheduler
+     *  hiccup, slow filesystem) cannot look like process death. */
+    static std::chrono::milliseconds intervalFor(double leaseTtlSec);
+
+  private:
+    void loop();
+
+    CampaignStateDir &state_;
+    const std::chrono::milliseconds interval_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    bool stop_ = false;    // all three guarded by m_
+    bool active_ = false;
+    std::size_t slot_ = 0;
+    std::thread thread_; // last: members above outlive the thread
+};
+
+} // namespace cohmeleon::app
+
+#endif // COHMELEON_APP_HEARTBEAT_HH

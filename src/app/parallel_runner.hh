@@ -10,6 +10,14 @@
  * pre-sized result slot, and results come back in index order —
  * which makes a parallel sweep bit-identical to the serial loop it
  * replaces (a 1-thread pool *is* the serial loop).
+ *
+ * Both halves of that contract are machine-checked: the TSan CI leg
+ * runs tier-1 under -fsanitize=thread (the publication of job
+ * results back to the caller is the ThreadPool mutex hand-off; see
+ * ThreadPool::forEachIndex), and the determinism lint
+ * (tools/lint_determinism.py) bans the nondeterminism sources —
+ * unordered iteration, unsanctioned clocks and RNGs — that could
+ * make two widths disagree without ever racing.
  */
 
 #ifndef COHMELEON_APP_PARALLEL_RUNNER_HH

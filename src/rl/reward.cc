@@ -95,6 +95,7 @@ RewardTracker::snapshot() const
 {
     std::vector<AccExtrema> out;
     out.reserve(perAcc_.size());
+    // determinism: allow(unordered-iteration, snapshot is sorted by acc below before anyone reads it)
     for (const auto &[k, t] : perAcc_) {
         if (!t.any)
             continue;
@@ -124,6 +125,7 @@ RewardTracker::restore(const std::vector<AccExtrema> &entries)
 void
 RewardTracker::mergeFrom(const RewardTracker &other)
 {
+    // determinism: allow(unordered-iteration, per-key min/max merge — commutative and associative)
     for (const auto &[k, o] : other.perAcc_) {
         if (!o.any)
             continue;

@@ -25,6 +25,7 @@ unsigned
 SystemStatus::activeWithMode(coh::CoherenceMode mode) const
 {
     unsigned n = 0;
+    // determinism: allow(unordered-iteration, commutative count — order-independent fold)
     for (const auto &[h, inv] : active_)
         n += inv.mode == mode ? 1 : 0;
     return n;
@@ -38,6 +39,7 @@ SystemStatus::avgNonCohOnPartitions(
         return 0.0;
     std::uint64_t total = 0;
     for (unsigned p : needed) {
+        // determinism: allow(unordered-iteration, commutative count — order-independent fold)
         for (const auto &[h, inv] : active_) {
             if (inv.mode != coh::CoherenceMode::kNonCohDma)
                 continue;
@@ -61,6 +63,7 @@ SystemStatus::avgToLlcOnPartitions(
         return 0.0;
     std::uint64_t total = 0;
     for (unsigned p : needed) {
+        // determinism: allow(unordered-iteration, commutative count — order-independent fold)
         for (const auto &[h, inv] : active_) {
             if (inv.mode == coh::CoherenceMode::kNonCohDma)
                 continue;
@@ -80,6 +83,7 @@ std::uint64_t
 SystemStatus::activeBytesOnPartition(unsigned p) const
 {
     std::uint64_t total = 0;
+    // determinism: allow(unordered-iteration, commutative uint64 sum — order-independent fold)
     for (const auto &[h, inv] : active_) {
         for (const PartitionShare &s : inv.shares) {
             if (s.partition == p)
@@ -106,6 +110,7 @@ std::uint64_t
 SystemStatus::totalActiveFootprint() const
 {
     std::uint64_t total = 0;
+    // determinism: allow(unordered-iteration, commutative uint64 sum — order-independent fold)
     for (const auto &[h, inv] : active_)
         total += inv.footprintBytes;
     return total;

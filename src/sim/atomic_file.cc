@@ -97,10 +97,11 @@ atomicWriteFile(const std::string &path, std::string_view contents)
 
     // Persist the rename itself: fsync the containing directory.
     // Best-effort — some filesystems refuse O_RDONLY on directories.
-    std::string dir =
-        std::filesystem::path(path).parent_path().string();
-    if (dir.empty())
-        dir = ".";
+    // (Initialized in one shot: assigning "." into the already-built
+    // string trips GCC 12's -Wrestrict false positive.)
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    const std::string dir = parent.empty() ? "." : parent.string();
     const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
     if (dfd >= 0) {
         fsyncRetry(dfd);

@@ -11,8 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <functional>
+#include <mutex>
 #include <thread>
 
 #include <signal.h>
@@ -23,6 +25,7 @@
 #include "app/campaign_runner.hh"
 #include "app/campaign_state.hh"
 #include "app/fault.hh"
+#include "app/heartbeat.hh"
 #include "sim/atomic_file.hh"
 #include "test_util.hh"
 
@@ -31,6 +34,24 @@ using namespace cohmeleon::app;
 
 namespace
 {
+
+/** Wall-clock scale for watchdog timeouts: under ThreadSanitizer a
+ *  healthy cell runs an order of magnitude slower, so a 1-second
+ *  --cell-timeout would watchdog-kill good attempts and the tests
+ *  would (wrongly) see extra contained failures. The hang@ cells
+ *  sleep forever, so scaling the timeout up never masks a real
+ *  hang — it only keeps healthy cells off the kill list. */
+#if defined(__SANITIZE_THREAD__)
+constexpr double kTimeScale = 20.0;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr double kTimeScale = 20.0;
+#else
+constexpr double kTimeScale = 1.0;
+#endif
+#else
+constexpr double kTimeScale = 1.0;
+#endif
 
 /** Same tiny, fast protocol campaign the resilience tests use. */
 CampaignSpec
@@ -243,6 +264,41 @@ TEST(WorkersLeases, SupervisorReclaimBumpsTheKillCounter)
     EXPECT_FALSE(a.reclaimWorkerLease(::getpid()));
 }
 
+TEST(WorkersLeases, HeartbeatRacesClaimRecordReleaseCleanly)
+{
+    // The runCampaignWorker() thread structure, concentrated: the
+    // production LeaseHeartbeat (cranked to a 1ms beat) refreshes
+    // whatever lease is held while the main thread claims, records,
+    // and releases slots on the same shared directory. The
+    // assertions are mild (every slot lands exactly once) — the real
+    // check is the TSan CI leg, which fails this test on any data
+    // race between the heartbeat path and the claim/record/manifest
+    // machinery.
+    const test::TempDir dir("lease_race");
+    CampaignStateDir state(dir.file("state"));
+    initializeSharedTiny(state);
+
+    {
+        LeaseHeartbeat hb(state, std::chrono::milliseconds(1));
+        for (;;) {
+            const auto claim = state.claimNext(30.0);
+            if (!claim)
+                break;
+            hb.arm(claim->slot);
+            CellResult r;
+            r.scenario.name = "race-cell";
+            r.failed = true;
+            r.error = "placeholder";
+            state.record(claim->slot, "race-cell", r, nullptr);
+            hb.disarm();
+            state.release(claim->slot);
+        }
+    }
+
+    EXPECT_EQ(state.doneCount(), 3u);
+    EXPECT_FALSE(state.claimNext(30.0));
+}
+
 TEST(WorkersLeases, BusyDirectoryIsRefusedNotStolen)
 {
     const test::TempDir dir("lease_busy");
@@ -356,7 +412,7 @@ TEST(WorkersFleet, WatchdogKillIsAContainedRetry)
     opts.workers = 1;
     opts.maxRetries = 1;
     opts.fault = faultPlanFromString("hang@1");
-    opts.cellTimeoutSec = 1.0;
+    opts.cellTimeoutSec = 1.0 * kTimeScale;
     superviseCampaignFleet(c, opts);
 
     // The watchdog containment must be indistinguishable from an
@@ -380,7 +436,7 @@ TEST(WorkersFleet, WatchdogExhaustedBudgetRecordsAContainedFailure)
     opts.workers = 1;
     opts.maxRetries = 0; // the first watchdog kill exhausts the cell
     opts.fault = faultPlanFromString("hang@1");
-    opts.cellTimeoutSec = 1.0;
+    opts.cellTimeoutSec = 1.0 * kTimeScale;
     superviseCampaignFleet(c, opts);
     EXPECT_EQ(manifestDoneCount(sd), 3u);
 

@@ -99,6 +99,11 @@ def main():
     parser.add_argument("--update", action="store_true",
                         help="copy fresh results over the baselines "
                              "instead of checking")
+    parser.add_argument("--json", metavar="OUT",
+                        help="also write the gate result as JSON, in "
+                             "the same shape as the other analysis "
+                             "gates, so CI can aggregate one summary "
+                             "artifact")
     args = parser.parse_args()
 
     results = pathlib.Path(args.results)
@@ -116,6 +121,8 @@ def main():
         return 0
 
     failures = []
+    warnings = []
+    checks = []  # per-field comparison rows for --json
     for name, fields in GATED_FIELDS.items():
         base_path = baselines / name
         result_path = results / name
@@ -143,6 +150,9 @@ def main():
             r = gated_value(name, field, result, "bench output")
             floor = b * (1.0 - args.tolerance)
             status = "ok" if r >= floor else "REGRESSED"
+            checks.append({"bench": name, "field": field,
+                           "baseline": b, "value": r,
+                           "floor": floor, "ok": r >= floor})
             print(f"  {field:28s} baseline {b:10.4f}  "
                   f"now {r:10.4f}  floor {floor:10.4f}  {status}")
             if r < floor:
@@ -162,9 +172,22 @@ def main():
     if baselines.is_dir():
         for stray in sorted(baselines.glob("BENCH_*.json")):
             if stray.name not in GATED_FIELDS:
-                print(f"warning: {stray} has no matching bench in "
-                      f"this run (stale baseline? update "
-                      f"GATED_FIELDS or delete it)")
+                warnings.append(
+                    f"{stray} has no matching bench in this run "
+                    "(stale baseline? update GATED_FIELDS or delete "
+                    "it)")
+    for w in warnings:
+        print(f"warning: {w}")
+
+    if args.json:
+        pathlib.Path(args.json).write_text(json.dumps({
+            "gate": "bench-regression",
+            "passed": not failures,
+            "tolerance": args.tolerance,
+            "checks": checks,
+            "failures": failures,
+            "warnings": warnings,
+        }, indent=2) + "\n")
 
     if failures:
         print("\nbench-regression gate FAILED:")

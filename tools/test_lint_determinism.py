@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint_determinism.py.
+
+Runs under plain `python3 tools/test_lint_determinism.py` (unittest)
+and is also collectible by pytest. Every rule has a positive and a
+negative fixture; the allow() escape, the malformed-annotation
+diagnostic, and the stale-annotation diagnostic are covered
+explicitly, as is the end-to-end exit-status contract the CI gate
+relies on (nonzero on a seeded violation, zero on a clean tree).
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import lint_determinism as lint  # noqa: E402
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent
+
+
+def rules_in(snippet, extra_unordered=()):
+    findings, _problems = lint.scan_text(
+        pathlib.Path("<fixture>"), snippet, extra_unordered)
+    return sorted(f.rule for f in findings if f.allowed is None)
+
+
+def problems_in(snippet):
+    _findings, problems = lint.scan_text(
+        pathlib.Path("<fixture>"), snippet)
+    return [p.message for p in problems]
+
+
+class UnorderedIterationRule(unittest.TestCase):
+    def test_range_for_over_member(self):
+        self.assertEqual(
+            rules_in("std::unordered_map<int, int> m_;\n"
+                     "for (const auto &[k, v] : m_) use(k, v);\n"),
+            ["unordered-iteration"])
+
+    def test_begin_iterator(self):
+        self.assertEqual(
+            rules_in("std::unordered_set<std::string> seen_;\n"
+                     "auto it = seen_.begin();\n"),
+            ["unordered-iteration"])
+
+    def test_member_of_other_object(self):
+        self.assertEqual(
+            rules_in("std::unordered_map<int, P> perAcc_;\n"
+                     "for (const auto &[k, o] : other.perAcc_) f(k);\n"),
+            ["unordered-iteration"])
+
+    def test_decl_in_sibling_header(self):
+        # Members are declared in the .hh but iterated in the .cc;
+        # lint_paths feeds the header's names in via extra_unordered.
+        self.assertEqual(
+            rules_in("for (const auto &[h, inv] : active_) n += 1;\n",
+                     extra_unordered={"active_"}),
+            ["unordered-iteration"])
+
+    def test_ordered_map_is_clean(self):
+        self.assertEqual(
+            rules_in("std::map<int, int> m_;\n"
+                     "for (const auto &[k, v] : m_) use(k, v);\n"),
+            [])
+
+    def test_lookup_without_iteration_is_clean(self):
+        self.assertEqual(
+            rules_in("std::unordered_map<int, int> m_;\n"
+                     "auto it = m_.find(3);\n"),
+            [])
+
+
+class RandomSourceRules(unittest.TestCase):
+    def test_random_device(self):
+        self.assertEqual(rules_in("std::random_device rd;\n"),
+                         ["random-device"])
+
+    def test_libc_rand(self):
+        self.assertEqual(rules_in("int x = rand() % 6;\n"),
+                         ["libc-rand"])
+
+    def test_libc_srand_and_drand48(self):
+        self.assertEqual(rules_in("srand(1); double d = drand48();\n"),
+                         ["libc-rand"])
+
+    def test_cohmeleon_rng_is_clean(self):
+        self.assertEqual(
+            rules_in("cohmeleon::Rng rng(spec.seed);\n"
+                     "auto r = rng.nextDouble();\n"),
+            [])
+
+    def test_identifier_containing_rand_is_clean(self):
+        self.assertEqual(rules_in("int operand = getOperand(i);\n"), [])
+
+
+class WallClockRule(unittest.TestCase):
+    def test_system_clock(self):
+        self.assertEqual(
+            rules_in("auto t = std::chrono::system_clock::now();\n"),
+            ["wall-clock"])
+
+    def test_steady_clock_outside_wall_timer(self):
+        self.assertEqual(
+            rules_in("auto t = std::chrono::steady_clock::now();\n"),
+            ["wall-clock"])
+
+    def test_time_call(self):
+        self.assertEqual(rules_in("std::uint64_t t = time(nullptr);\n"),
+                         ["wall-clock"])
+
+    def test_clock_gettime(self):
+        self.assertEqual(
+            rules_in("clock_gettime(CLOCK_REALTIME, &ts);\n"),
+            ["wall-clock"])
+
+    def test_last_write_time_is_clean(self):
+        self.assertEqual(
+            rules_in("auto t = std::filesystem::last_write_time(p);\n"),
+            [])
+
+    def test_duration_literals_are_clean(self):
+        self.assertEqual(
+            rules_in("std::this_thread::sleep_for("
+                     "std::chrono::milliseconds(5));\n"),
+            [])
+
+
+class PointerOutputRule(unittest.TestCase):
+    def test_printf_p(self):
+        self.assertEqual(
+            rules_in('std::printf("obj at %p\\n", (void *)obj);\n'),
+            ["pointer-output"])
+
+    def test_ostream_void_cast(self):
+        self.assertEqual(
+            rules_in("os << static_cast<const void *>(ptr);\n"),
+            ["pointer-output"])
+
+    def test_percent_p_outside_string_is_clean(self):
+        self.assertEqual(rules_in("int pct = a % p;\n"), [])
+
+
+class ShuffleRule(unittest.TestCase):
+    def test_random_shuffle(self):
+        self.assertEqual(
+            rules_in("std::random_shuffle(v.begin(), v.end());\n"),
+            ["unseeded-shuffle"])
+
+    def test_shuffle_from_random_device(self):
+        self.assertEqual(
+            rules_in("std::shuffle(v.begin(), v.end(), "
+                     "std::mt19937(std::random_device()()));\n"),
+            ["random-device", "unseeded-shuffle"])
+
+    def test_shuffle_with_seeded_engine_is_clean(self):
+        self.assertEqual(
+            rules_in("std::shuffle(v.begin(), v.end(), "
+                     "engineFrom(rng));\n"),
+            [])
+
+
+class CommentAndStringHandling(unittest.TestCase):
+    def test_banned_token_in_line_comment(self):
+        self.assertEqual(
+            rules_in("// claim time comes from system_clock\n"
+                     "std::uint64_t ms = lease.claimMs;\n"),
+            [])
+
+    def test_banned_token_in_block_comment(self):
+        self.assertEqual(
+            rules_in("/* never call rand()\n"
+                     "   or time() here */\n"
+                     "int x = 1;\n"),
+            [])
+
+    def test_banned_token_in_string_literal(self):
+        self.assertEqual(
+            rules_in('fatal("do not call rand() here");\n'), [])
+
+
+class AllowAnnotation(unittest.TestCase):
+    SNIPPET = ("std::unordered_map<int, int> m_;\n"
+               "// determinism: allow(unordered-iteration, commutative sum)\n"
+               "for (const auto &[k, v] : m_) n += v;\n")
+
+    def test_suppresses_from_line_above(self):
+        self.assertEqual(rules_in(self.SNIPPET), [])
+
+    def test_suppresses_on_same_line(self):
+        self.assertEqual(
+            rules_in("std::unordered_map<int, int> m_;\n"
+                     "for (const auto &[k, v] : m_) n += v; "
+                     "// determinism: allow(unordered-iteration, sum)\n"),
+            [])
+
+    def test_is_audited_with_reason(self):
+        findings, _problems = lint.scan_text(
+            pathlib.Path("<fixture>"), self.SNIPPET)
+        allowed = [f for f in findings if f.allowed is not None]
+        self.assertEqual(len(allowed), 1)
+        self.assertEqual(allowed[0].allowed, "commutative sum")
+
+    def test_wrong_rule_does_not_suppress(self):
+        snippet = ("// determinism: allow(libc-rand, wrong rule)\n"
+                   "auto t = std::chrono::system_clock::now();\n")
+        self.assertEqual(rules_in(snippet), ["wall-clock"])
+
+    def test_does_not_leak_past_next_line(self):
+        snippet = ("std::unordered_map<int, int> m_;\n"
+                   "// determinism: allow(unordered-iteration, sum)\n"
+                   "int unrelated = 0;\n"
+                   "for (const auto &[k, v] : m_) n += v;\n")
+        self.assertEqual(rules_in(snippet), ["unordered-iteration"])
+
+
+class AnnotationDiagnostics(unittest.TestCase):
+    def test_missing_reason(self):
+        msgs = problems_in("// determinism: allow(wall-clock)\n"
+                           "auto t = std::chrono::system_clock::now();\n")
+        self.assertTrue(any("malformed" in m for m in msgs), msgs)
+
+    def test_unknown_rule(self):
+        msgs = problems_in("// determinism: allow(no-such-rule, why)\n")
+        self.assertTrue(any("unknown rule" in m for m in msgs), msgs)
+
+    def test_typo_in_verb(self):
+        msgs = problems_in("// determinism: allways(libc-rand, typo)\n")
+        self.assertTrue(any("malformed" in m for m in msgs), msgs)
+
+    def test_stale_annotation(self):
+        msgs = problems_in("// determinism: allow(libc-rand, unused)\n"
+                           "int x = 1;\n")
+        self.assertTrue(any("stale" in m for m in msgs), msgs)
+
+
+class EndToEnd(unittest.TestCase):
+    """The exit-status contract the CI gate depends on."""
+
+    def run_lint(self, *args):
+        return subprocess.run(
+            [sys.executable, str(HERE / "lint_determinism.py"),
+             *args],
+            capture_output=True, text=True)
+
+    def test_seeded_violation_fails(self):
+        with tempfile.TemporaryDirectory() as td:
+            bad = pathlib.Path(td) / "bad.cc"
+            bad.write_text("int roll() { return rand() % 6; }\n")
+            proc = self.run_lint(str(td))
+            self.assertEqual(proc.returncode, 1, proc.stdout)
+            self.assertIn("libc-rand", proc.stdout)
+
+    def test_clean_tree_passes_with_json(self):
+        with tempfile.TemporaryDirectory() as td:
+            good = pathlib.Path(td) / "good.cc"
+            good.write_text("int add(int a, int b) { return a + b; }\n")
+            out = pathlib.Path(td) / "report.json"
+            proc = self.run_lint(str(td), "--json", str(out))
+            self.assertEqual(proc.returncode, 0, proc.stdout)
+            payload = json.loads(out.read_text())
+            self.assertTrue(payload["passed"])
+            self.assertEqual(payload["gate"], "determinism-lint")
+            self.assertEqual(payload["violations"], [])
+
+    def test_repo_src_is_clean(self):
+        proc = self.run_lint(str(REPO / "src"))
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_self_test_mode(self):
+        proc = self.run_lint("--self-test")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
