@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Online-serving benchmark: throughput and determinism of the
+ * hot-swapped policy service.
+ *
+ * Runs the same serve spec serially (1 decision thread) and at
+ * width 4, verifies the two decision logs are byte-identical (the
+ * subsystem's headline invariant — aborts if not), and reports
+ * request throughput, hot-swap count, and the decision/service
+ * latency quantiles from the log-bucketed histograms. Results print
+ * as a table and are written to BENCH_serve.json.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "app/fault.hh"
+#include "bench_util.hh"
+#include "serve/serve_loop.hh"
+
+using namespace cohmeleon;
+using namespace cohmeleon::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    banner("Online serving: hot-swapped policy service",
+           "Section 3.3 runtime decision loop under continuous "
+           "background training");
+
+    serve::ServeSpec spec;
+    spec.name = "bench";
+    spec.soc = "soc1";
+    spec.requests = fullScale() ? 256 : 64;
+    spec.swapInterval = fullScale() ? 64 : 16;
+    spec.trainIterations = 1;
+    spec.trainShards = 2;
+    serve::labelTenants(spec);
+
+    JsonReporter json("serve");
+    json.addString("soc", spec.soc);
+    json.add("requests", static_cast<double>(spec.requests));
+    json.add("swap_interval",
+             static_cast<double>(spec.swapInterval));
+
+    app::clearCampaignStop();
+
+    // Serial reference: one decision thread.
+    spec.threads = 1;
+    const WallTimer serialTimer;
+    const serve::ServeResult serial = serve::runServe(spec);
+    const double serialSec = serialTimer.seconds();
+
+    // Concurrent run: four decision threads, same spec otherwise.
+    spec.threads = 4;
+    const WallTimer parallelTimer;
+    const serve::ServeResult parallel = serve::runServe(spec);
+    const double parallelSec = parallelTimer.seconds();
+
+    panic_if(serial.decisionLog != parallel.decisionLog,
+             "concurrent serving diverged from serial: decision "
+             "logs differ");
+    panic_if(serial.served != spec.requests,
+             "serial serve finished short: ", serial.served, "/",
+             spec.requests);
+
+    const double reqs = static_cast<double>(serial.served);
+    std::printf("%-28s %12s %12s\n", "", "serial", "width-4");
+    std::printf("%-28s %12u %12u\n", "decision threads", 1u, 4u);
+    std::printf("%-28s %12.2f %12.2f\n", "serve wall time (s)",
+                serialSec, parallelSec);
+    std::printf("%-28s %12.1f %12.1f\n", "requests/sec",
+                reqs / serialSec, reqs / parallelSec);
+    std::printf("%-28s %12llu %12llu\n", "hot swaps",
+                static_cast<unsigned long long>(serial.hotSwaps),
+                static_cast<unsigned long long>(parallel.hotSwaps));
+    std::printf("%-28s %12llu\n", "generations",
+                static_cast<unsigned long long>(serial.generations));
+    std::printf("%-28s %12s\n", "decision logs identical", "yes");
+    std::printf("%-28s %12.2f %12.2f\n", "decide p99 (us)",
+                serial.decisionLatency.quantile(0.99) * 1e6,
+                parallel.decisionLatency.quantile(0.99) * 1e6);
+    std::printf("%-28s %12.2f %12.2f\n", "service p99 (ms)",
+                serial.serviceLatency.quantile(0.99) * 1e3,
+                parallel.serviceLatency.quantile(0.99) * 1e3);
+    std::printf("%-28s %12.2fx\n", "speedup",
+                serialSec / parallelSec);
+
+    json.add("threads", 4.0);
+    json.add("served", reqs);
+    json.add("generations",
+             static_cast<double>(serial.generations));
+    json.add("hot_swaps", static_cast<double>(serial.hotSwaps));
+    json.add("decision_logs_identical", 1.0);
+    json.add("serial_seconds", serialSec);
+    json.add("parallel_seconds", parallelSec);
+    json.add("requests_per_sec_serial", reqs / serialSec);
+    json.add("requests_per_sec_parallel", reqs / parallelSec);
+    json.add("decide_p50_us",
+             serial.decisionLatency.quantile(0.5) * 1e6);
+    json.add("decide_p90_us",
+             serial.decisionLatency.quantile(0.9) * 1e6);
+    json.add("decide_p99_us",
+             serial.decisionLatency.quantile(0.99) * 1e6);
+    json.add("service_p50_ms",
+             serial.serviceLatency.quantile(0.5) * 1e3);
+    json.add("service_p90_ms",
+             serial.serviceLatency.quantile(0.9) * 1e3);
+    json.add("service_p99_ms",
+             serial.serviceLatency.quantile(0.99) * 1e3);
+    const std::string file = json.write();
+    std::printf("\nwrote %s\n", file.c_str());
+    return 0;
+}

@@ -1,0 +1,149 @@
+#include "policy/serve_state.hh"
+
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "rl/state_encoder.hh"
+#include "sim/atomic_file.hh"
+#include "sim/logging.hh"
+
+namespace cohmeleon::policy
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "cohmeleon-serve-state";
+
+template <typename T>
+T
+expect(std::istream &is, const char *what)
+{
+    T value{};
+    is >> value;
+    fatalIf(!is, "serve state truncated or unparseable at ", what);
+    return value;
+}
+
+void
+expectKeyword(std::istream &is, const char *keyword)
+{
+    const std::string got = expect<std::string>(is, keyword);
+    fatalIf(got != keyword, "malformed serve state: expected '",
+            keyword, "', got '", got, "'");
+}
+
+/** Checkpoint-style table block: per-entry values then visits. */
+void
+saveTable(std::ostream &os, const rl::QTable &table)
+{
+    os << "qtable " << rl::StateTuple::kNumStates << ' '
+       << rl::kNumActions << '\n';
+    for (unsigned s = 0; s < rl::StateTuple::kNumStates; ++s) {
+        for (unsigned a = 0; a < rl::kNumActions; ++a)
+            os << table.q(s, a) << ' ';
+        for (unsigned a = 0; a < rl::kNumActions; ++a)
+            os << table.visits(s, a)
+               << (a + 1 < rl::kNumActions ? ' ' : '\n');
+    }
+}
+
+rl::QTable
+loadTable(std::istream &is)
+{
+    expectKeyword(is, "qtable");
+    const unsigned states = expect<unsigned>(is, "state count");
+    const unsigned actions = expect<unsigned>(is, "action count");
+    fatalIf(states != rl::StateTuple::kNumStates ||
+                actions != rl::kNumActions,
+            "serve state Q-table dimensions ", states, "x", actions,
+            " do not match the ", rl::StateTuple::kNumStates, "x",
+            rl::kNumActions, " state space");
+    rl::QTable table;
+    for (unsigned s = 0; s < states; ++s) {
+        std::array<double, rl::kNumActions> q{};
+        for (unsigned a = 0; a < actions; ++a) {
+            q[a] = expect<double>(is, "Q-value");
+            fatalIf(!std::isfinite(q[a]),
+                    "non-finite Q-value in serve state at state ", s,
+                    " action ", a);
+        }
+        for (unsigned a = 0; a < actions; ++a) {
+            const std::uint64_t visits =
+                expect<std::uint64_t>(is, "visit count");
+            table.setEntry(s, a, q[a], visits);
+        }
+    }
+    return table;
+}
+
+} // namespace
+
+void
+ServeState::save(std::ostream &os) const
+{
+    os.precision(17);
+    os << kMagic << ' ' << kVersion << '\n';
+    os << "serving-gen " << servingGen << '\n';
+    saveTable(os, serving);
+    os << "staging " << (hasStaging ? 1 : 0) << '\n';
+    if (hasStaging)
+        saveTable(os, staging);
+    os << "end\n";
+}
+
+ServeState
+ServeState::load(std::istream &is)
+{
+    ServeState state;
+    const std::string magic = expect<std::string>(is, "magic");
+    fatalIf(magic != kMagic, "not a Cohmeleon serve state (magic '",
+            magic, "')");
+    const unsigned version = expect<unsigned>(is, "version");
+    fatalIf(version != kVersion, "unsupported serve state version ",
+            version, " (this build reads version ", kVersion, ")");
+    expectKeyword(is, "serving-gen");
+    state.servingGen = expect<std::uint64_t>(is, "serving generation");
+    state.serving = loadTable(is);
+    expectKeyword(is, "staging");
+    const unsigned hasStaging = expect<unsigned>(is, "staging flag");
+    fatalIf(hasStaging > 1, "malformed serve state: staging flag ",
+            hasStaging);
+    state.hasStaging = hasStaging == 1;
+    if (state.hasStaging)
+        state.staging = loadTable(is);
+    expectKeyword(is, "end");
+    return state;
+}
+
+void
+ServeState::saveFile(const std::string &path) const
+{
+    atomicWriteFile(path, serialized());
+}
+
+ServeState
+ServeState::loadFile(const std::string &path)
+{
+    std::ifstream is(path);
+    fatalIf(!is, "cannot open serve state '", path, "'");
+    try {
+        return load(is);
+    } catch (const FatalError &e) {
+        fatal(path, ": ", e.what());
+    }
+}
+
+std::string
+ServeState::serialized() const
+{
+    std::ostringstream os;
+    save(os);
+    return os.str();
+}
+
+} // namespace cohmeleon::policy

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Persistent state of a serving session: the published (serving)
+ * Q-table plus, when the background trainer was ahead of the decision
+ * loop at drain time, the staged next-generation table.
+ *
+ * A drained serve process saves both live buffers so a restart loses
+ * no training work: the serving table becomes the new session's
+ * generation 0 and the staged table (when present) is published as
+ * generation 1 without retraining. Like PolicyCheckpoint, the format
+ * is versioned line-oriented text with max-precision doubles —
+ * load(save(x)) == x exactly, and two states are byte-identical iff
+ * they are the same state.
+ */
+
+#ifndef COHMELEON_POLICY_SERVE_STATE_HH
+#define COHMELEON_POLICY_SERVE_STATE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "rl/qtable.hh"
+
+namespace cohmeleon::policy
+{
+
+/** Serving + staging snapshot of a drained serve session. */
+struct ServeState
+{
+    static constexpr unsigned kVersion = 1;
+
+    /** Generation the serving table had reached when saved. */
+    std::uint64_t servingGen = 0;
+    rl::QTable serving;
+
+    /** Present when the trainer had staged generation
+     *  servingGen + 1 that serving never consumed. */
+    bool hasStaging = false;
+    rl::QTable staging;
+
+    void save(std::ostream &os) const;
+
+    /** @throws FatalError on wrong magic, unsupported version, or a
+     *          malformed stream */
+    static ServeState load(std::istream &is);
+
+    /** Atomic file write (temp + rename). @throws FatalError */
+    void saveFile(const std::string &path) const;
+
+    /** @throws FatalError when the file is missing or malformed */
+    static ServeState loadFile(const std::string &path);
+
+    /** The exact bytes saveFile() writes. */
+    std::string serialized() const;
+};
+
+} // namespace cohmeleon::policy
+
+#endif // COHMELEON_POLICY_SERVE_STATE_HH

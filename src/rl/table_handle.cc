@@ -1,0 +1,107 @@
+#include "rl/table_handle.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon::rl
+{
+
+SwapTableHandle::SwapTableHandle(QTable initial,
+                                 std::vector<std::uint64_t> readsPerGen)
+    : readsPerGen_(std::move(readsPerGen)),
+      retired_(readsPerGen_.size(), 0)
+{
+    fatalIf(readsPerGen_.empty(),
+            "swap table needs at least one generation");
+    slots_[0] = std::move(initial);
+}
+
+std::uint64_t
+SwapTableHandle::generations() const
+{
+    return readsPerGen_.size();
+}
+
+std::uint64_t
+SwapTableHandle::publishedGen() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return published_;
+}
+
+const QTable &
+SwapTableHandle::acquire(std::uint64_t gen)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    panic_if(gen >= readsPerGen_.size(),
+             "acquire of generation beyond the schedule");
+    cv_.wait(lock, [&] { return aborted_ || published_ >= gen; });
+    fatalIf(aborted_, "swap table aborted while waiting for "
+                      "generation ", gen);
+    // The publish back-pressure keeps the trainer at most two
+    // generations ahead, so the requested table is still resident.
+    panic_if(published_ > gen + 1,
+             "generation ", gen, " already overwritten (published ",
+             published_, ")");
+    return slots_[gen % 2];
+}
+
+void
+SwapTableHandle::release(std::uint64_t gen)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    panic_if(gen >= retired_.size(), "release of unknown generation");
+    panic_if(retired_[gen] >= readsPerGen_[gen],
+             "generation ", gen, " released more often than its ",
+             "read quota");
+    ++retired_[gen];
+    cv_.notify_all();
+}
+
+bool
+SwapTableHandle::publish(std::uint64_t gen, QTable table)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_)
+        return false;
+    panic_if(gen != published_ + 1,
+             "publish out of order: expected generation ",
+             published_ + 1, ", got ", gen);
+    panic_if(gen >= readsPerGen_.size(),
+             "publish of generation beyond the schedule");
+    if (gen >= 2) {
+        // The target slot still holds generation gen-2; wait for its
+        // read quota to retire before overwriting it.
+        const std::uint64_t old = gen - 2;
+        cv_.wait(lock, [&] {
+            return aborted_ || retired_[old] == readsPerGen_[old];
+        });
+        if (aborted_)
+            return false;
+    }
+    slots_[gen % 2] = std::move(table);
+    published_ = gen;
+    cv_.notify_all();
+    return true;
+}
+
+void
+SwapTableHandle::abortWaits()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+    cv_.notify_all();
+}
+
+const QTable &
+SwapTableHandle::tableAt(std::uint64_t gen) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    panic_if(gen != published_ && (published_ == 0 ||
+                                   gen != published_ - 1),
+             "tableAt wants a generation that is no longer resident");
+    return slots_[gen % 2];
+}
+
+} // namespace cohmeleon::rl

@@ -1,0 +1,322 @@
+#include "serve/serve_spec.hh"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "app/config_parser.hh"
+#include "app/scenario.hh"
+#include "sim/atomic_file.hh"
+#include "sim/logging.hh"
+#include "soc/soc_presets.hh"
+
+namespace cohmeleon::serve
+{
+
+namespace
+{
+
+using app::splitList;
+using app::trimText;
+
+[[noreturn]] void
+lineFatal(unsigned lineNo, const std::string &msg)
+{
+    fatal("serve spec line ", lineNo, ": ", msg);
+}
+
+std::uint64_t
+parseU64At(const std::string &text, unsigned lineNo)
+{
+    const std::string t = trimText(text);
+    if (t.empty() || !std::isdigit(static_cast<unsigned char>(t[0])))
+        lineFatal(lineNo, "expected a number, got '" + text + "'");
+    try {
+        std::size_t used = 0;
+        const std::uint64_t n = std::stoull(t, &used);
+        if (used != t.size())
+            lineFatal(lineNo, "trailing garbage in number '" + t + "'");
+        return n;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        lineFatal(lineNo, "malformed number '" + t + "'");
+    }
+}
+
+unsigned
+parseU32At(const std::string &text, unsigned lineNo)
+{
+    const std::uint64_t n = parseU64At(text, lineNo);
+    if (n > UINT32_MAX)
+        lineFatal(lineNo, "number '" + trimText(text) + "' too large");
+    return static_cast<unsigned>(n);
+}
+
+double
+parseDoubleAt(const std::string &text, unsigned lineNo)
+{
+    const std::string t = trimText(text);
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(t, &used);
+        if (used != t.size())
+            lineFatal(lineNo,
+                      "trailing garbage in number '" + t + "'");
+        return v;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        lineFatal(lineNo, "malformed number '" + t + "'");
+    }
+}
+
+std::string
+formatDouble(double v)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+bool
+ServeSpec::operator==(const ServeSpec &o) const
+{
+    return name == o.name && soc == o.soc && requests == o.requests &&
+           threads == o.threads && swapInterval == o.swapInterval &&
+           trainIterations == o.trainIterations &&
+           trainShards == o.trainShards && merge == o.merge &&
+           explore == o.explore && weights.exec == o.weights.exec &&
+           weights.comm == o.weights.comm &&
+           weights.mem == o.weights.mem && tenants == o.tenants &&
+           arrivalRate == o.arrivalRate && seed == o.seed &&
+           trainSeed == o.trainSeed && agentSeed == o.agentSeed &&
+           loadState == o.loadState && saveState == o.saveState &&
+           decisionLog == o.decisionLog;
+}
+
+std::string
+checkTenantSource(const std::string &source)
+{
+    if (source == "random")
+        return "";
+    for (const std::string &n : app::figureAppNames())
+        if (n == source)
+            return "";
+    std::string known = "random";
+    for (const std::string &n : app::figureAppNames())
+        known += ", " + n;
+    return "unknown tenant source '" + source + "' (known: " + known +
+           ")";
+}
+
+void
+labelTenants(ServeSpec &spec)
+{
+    for (std::size_t i = 0; i < spec.tenants.size(); ++i) {
+        std::string label = "t";
+        label += std::to_string(i);
+        label += '-';
+        label += spec.tenants[i].source;
+        spec.tenants[i].label = std::move(label);
+    }
+}
+
+void
+validateServeSpec(const ServeSpec &spec)
+{
+    fatalIf(!soc::isKnownSocName(spec.soc), "serve spec: unknown SoC '",
+            spec.soc, "' (known: ", soc::knownSocNamesText(), ")");
+    fatalIf(spec.requests == 0, "serve spec: requests must be > 0");
+    fatalIf(spec.threads == 0, "serve spec: threads must be > 0");
+    fatalIf(spec.threads > 256,
+            "serve spec: threads must be <= 256, got ", spec.threads);
+    fatalIf(spec.swapInterval == 0,
+            "serve spec: swap-interval must be > 0");
+    fatalIf(spec.trainIterations == 0, "serve spec: train must be > 0");
+    fatalIf(spec.trainShards == 0, "serve spec: shards must be > 0");
+    fatalIf(spec.tenants.empty(),
+            "serve spec: the tenant mix must not be empty");
+    for (const TenantSpec &t : spec.tenants) {
+        const std::string diag = checkTenantSource(t.source);
+        fatalIf(!diag.empty(), "serve spec: ", diag);
+        fatalIf(!(t.weight > 0.0) || !std::isfinite(t.weight),
+                "serve spec: tenant weight for '", t.source,
+                "' must be a positive finite number");
+    }
+    fatalIf(!(spec.arrivalRate >= 0.0) ||
+                !std::isfinite(spec.arrivalRate),
+            "serve spec: arrival-rate must be a finite number >= 0");
+}
+
+ServeSpec
+parseServeSpecString(const std::string &text)
+{
+    ServeSpec spec;
+    spec.tenants.clear();
+    bool sawTenants = false;
+    std::vector<double> tenantWeights;
+    unsigned tenantWeightsLine = 0;
+
+    std::istringstream is(text);
+    std::string line;
+    unsigned no = 0;
+    while (std::getline(is, line)) {
+        ++no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trimText(line);
+        if (line.empty())
+            continue;
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            lineFatal(no, "expected 'key = value', got '" + line + "'");
+        const std::string key = trimText(line.substr(0, eq));
+        const std::string value = trimText(line.substr(eq + 1));
+
+        if (key == "serve") {
+            if (value.empty())
+                lineFatal(no, "serve needs a name");
+            spec.name = value;
+        } else if (key == "soc") {
+            if (!soc::isKnownSocName(value))
+                lineFatal(no, "unknown SoC '" + value + "' (known: " +
+                                  soc::knownSocNamesText() + ")");
+            spec.soc = value;
+        } else if (key == "requests") {
+            spec.requests = parseU64At(value, no);
+        } else if (key == "threads") {
+            spec.threads = parseU32At(value, no);
+        } else if (key == "swap-interval") {
+            spec.swapInterval = parseU64At(value, no);
+        } else if (key == "train") {
+            spec.trainIterations = parseU32At(value, no);
+        } else if (key == "shards") {
+            spec.trainShards = parseU32At(value, no);
+        } else if (key == "merge") {
+            const std::string diag = rl::checkMergeSpecText(value);
+            if (!diag.empty())
+                lineFatal(no, diag);
+            spec.merge = rl::mergeSpecFromString(value);
+        } else if (key == "explore") {
+            const std::string diag = rl::checkExploreSpecText(value);
+            if (!diag.empty())
+                lineFatal(no, diag);
+            spec.explore = rl::exploreSpecFromString(value);
+        } else if (key == "reward-weights") {
+            const std::vector<std::string> parts = splitList(value, ',');
+            if (parts.size() != 3)
+                lineFatal(no, "reward-weights needs three values "
+                              "(exec, comm, mem), got " +
+                                  std::to_string(parts.size()));
+            spec.weights.exec = parseDoubleAt(parts[0], no);
+            spec.weights.comm = parseDoubleAt(parts[1], no);
+            spec.weights.mem = parseDoubleAt(parts[2], no);
+        } else if (key == "tenants") {
+            sawTenants = true;
+            spec.tenants.clear();
+            for (const std::string &part : splitList(value, ',')) {
+                const std::string src = trimText(part);
+                const std::string diag = checkTenantSource(src);
+                if (!diag.empty())
+                    lineFatal(no, diag);
+                TenantSpec t;
+                t.source = src;
+                spec.tenants.push_back(std::move(t));
+            }
+            if (spec.tenants.empty())
+                lineFatal(no, "tenants needs at least one source");
+        } else if (key == "tenant-weights") {
+            tenantWeights.clear();
+            tenantWeightsLine = no;
+            for (const std::string &part : splitList(value, ','))
+                tenantWeights.push_back(parseDoubleAt(part, no));
+        } else if (key == "arrival-rate") {
+            spec.arrivalRate = parseDoubleAt(value, no);
+        } else if (key == "seed") {
+            spec.seed = parseU64At(value, no);
+        } else if (key == "train-seed") {
+            spec.trainSeed = parseU64At(value, no);
+        } else if (key == "agent-seed") {
+            spec.agentSeed = parseU64At(value, no);
+        } else if (key == "load-state") {
+            spec.loadState = value;
+        } else if (key == "save-state") {
+            spec.saveState = value;
+        } else if (key == "decision-log") {
+            spec.decisionLog = value;
+        } else {
+            lineFatal(no, "unknown serve key '" + key + "'");
+        }
+    }
+
+    if (!sawTenants)
+        spec.tenants.resize(2); // the default mix: random, random
+    if (!tenantWeights.empty()) {
+        if (tenantWeights.size() != spec.tenants.size())
+            lineFatal(tenantWeightsLine,
+                      "tenant-weights has " +
+                          std::to_string(tenantWeights.size()) +
+                          " entries for " +
+                          std::to_string(spec.tenants.size()) +
+                          " tenants");
+        for (std::size_t i = 0; i < tenantWeights.size(); ++i)
+            spec.tenants[i].weight = tenantWeights[i];
+    }
+    labelTenants(spec);
+    validateServeSpec(spec);
+    return spec;
+}
+
+ServeSpec
+parseServeSpecFile(const std::string &path)
+{
+    try {
+        return parseServeSpecString(readFile(path));
+    } catch (const FatalError &e) {
+        fatal(path, ": ", e.what());
+    }
+}
+
+std::string
+serializeServeSpec(const ServeSpec &spec)
+{
+    std::ostringstream os;
+    os << "serve = " << spec.name << '\n';
+    os << "soc = " << spec.soc << '\n';
+    os << "requests = " << spec.requests << '\n';
+    os << "threads = " << spec.threads << '\n';
+    os << "swap-interval = " << spec.swapInterval << '\n';
+    os << "train = " << spec.trainIterations << '\n';
+    os << "shards = " << spec.trainShards << '\n';
+    os << "merge = " << rl::toString(spec.merge) << '\n';
+    os << "explore = " << rl::toString(spec.explore) << '\n';
+    os << "reward-weights = " << formatDouble(spec.weights.exec) << ", "
+       << formatDouble(spec.weights.comm) << ", "
+       << formatDouble(spec.weights.mem) << '\n';
+    os << "tenants = ";
+    for (std::size_t i = 0; i < spec.tenants.size(); ++i)
+        os << (i ? ", " : "") << spec.tenants[i].source;
+    os << '\n';
+    os << "tenant-weights = ";
+    for (std::size_t i = 0; i < spec.tenants.size(); ++i)
+        os << (i ? ", " : "") << formatDouble(spec.tenants[i].weight);
+    os << '\n';
+    os << "arrival-rate = " << formatDouble(spec.arrivalRate) << '\n';
+    os << "seed = " << spec.seed << '\n';
+    os << "train-seed = " << spec.trainSeed << '\n';
+    os << "agent-seed = " << spec.agentSeed << '\n';
+    if (!spec.loadState.empty())
+        os << "load-state = " << spec.loadState << '\n';
+    if (!spec.saveState.empty())
+        os << "save-state = " << spec.saveState << '\n';
+    if (!spec.decisionLog.empty())
+        os << "decision-log = " << spec.decisionLog << '\n';
+    return os.str();
+}
+
+} // namespace cohmeleon::serve

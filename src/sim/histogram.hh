@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Log-bucketed latency histogram for the serving loop's SLO stats.
+ *
+ * Latencies span five orders of magnitude (a cache-warm decide() in
+ * nanoseconds, a cold request simulation in milliseconds), so linear
+ * buckets would either blur the fast tail or truncate the slow one.
+ * Geometric buckets give a bounded *relative* quantile error instead:
+ * bucket i covers [min * growth^i, min * growth^(i+1)), and
+ * quantile() returns a value within one growth factor of the true
+ * order statistic (and exactly the true value whenever the bucket
+ * holding the target rank collapses to a point — see quantile()).
+ *
+ * Bucket edges are precomputed by repeated multiplication, and
+ * lookup is a binary search over them — no per-record log() calls,
+ * so recording is cheap and bucketing is an exact, platform-stable
+ * function of the edge table.
+ *
+ * Not thread-safe by design: serving workers each keep a private
+ * histogram and the drain merges them, so the hot path takes no lock
+ * and the merged result is independent of worker interleaving
+ * (bucket counts are commutative sums).
+ */
+
+#ifndef COHMELEON_SIM_HISTOGRAM_HH
+#define COHMELEON_SIM_HISTOGRAM_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace cohmeleon
+{
+
+/** Geometric-bucket histogram over positive values. */
+class LogHistogram
+{
+  public:
+    /**
+     * @p minValue  lower edge of bucket 0 (values at or below it
+     *              land in bucket 0)
+     * @p growth    bucket width ratio (> 1); the worst-case relative
+     *              quantile error
+     * @p buckets   bucket count; the last bucket absorbs everything
+     *              above min * growth^(buckets-1)
+     *
+     * The defaults cover 1ns .. ~100s of latency at 25% resolution.
+     */
+    explicit LogHistogram(double minValue = 1e-9, double growth = 1.25,
+                          unsigned buckets = 120)
+        : counts_(buckets, 0)
+    {
+        fatalIf(!(minValue > 0.0) || !std::isfinite(minValue),
+                "histogram min must be positive and finite");
+        fatalIf(!(growth > 1.0) || !std::isfinite(growth),
+                "histogram growth must be > 1");
+        fatalIf(buckets < 2, "histogram needs at least two buckets");
+        edges_.reserve(buckets + 1);
+        double edge = minValue;
+        for (unsigned i = 0; i <= buckets; ++i) {
+            edges_.push_back(edge);
+            edge *= growth;
+        }
+    }
+
+    /** Record one value. Non-finite values are counted separately
+     *  and excluded from quantiles (a latency can never be NaN
+     *  unless a clock breaks; do not let it poison the stats). */
+    void
+    record(double v)
+    {
+        if (!std::isfinite(v)) {
+            ++rejected_;
+            return;
+        }
+        ++counts_[bucketOf(v)];
+        ++count_;
+        sum_ += v;
+        min_ = count_ == 1 ? v : std::min(min_, v);
+        max_ = count_ == 1 ? v : std::max(max_, v);
+    }
+
+    /** Fold @p other into this histogram (bucket layouts must
+     *  match — both built with the same constructor arguments). */
+    void
+    merge(const LogHistogram &other)
+    {
+        fatalIf(counts_.size() != other.counts_.size() ||
+                    edges_[0] != other.edges_[0] ||
+                    edges_[1] != other.edges_[1],
+                "merging histograms with different bucket layouts");
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        rejected_ += other.rejected_;
+        if (other.count_ > 0) {
+            min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+            max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+            count_ += other.count_;
+            sum_ += other.sum_;
+        }
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t rejected() const { return rejected_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * The @p q quantile (q in [0, 1]): the upper edge of the bucket
+     * holding rank ceil(q * count), clamped into the recorded
+     * [min, max] range. The clamp is what makes degenerate
+     * distributions exact (all-equal samples return the sample for
+     * every q) and keeps q=0 / q=1 at the true extremes; everything
+     * else is within one growth factor above the true quantile.
+     * @return 0 when the histogram is empty
+     */
+    double
+    quantile(double q) const
+    {
+        if (count_ == 0)
+            return 0.0;
+        q = std::clamp(q, 0.0, 1.0);
+        const std::uint64_t rank = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   std::ceil(q * static_cast<double>(count_))));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            seen += counts_[i];
+            if (seen >= rank)
+                return std::clamp(edges_[i + 1], min_, max_);
+        }
+        return max_; // unreachable: seen reaches count_ by the end
+    }
+
+    /** Index of the bucket @p v lands in (exposed for tests). */
+    unsigned
+    bucketOf(double v) const
+    {
+        // First edge strictly greater than v; v <= edges_[0] lands
+        // in bucket 0 and v past the top edge in the last bucket.
+        const auto it =
+            std::upper_bound(edges_.begin() + 1, edges_.end() - 1, v);
+        return static_cast<unsigned>(it - (edges_.begin() + 1));
+    }
+
+    /** Upper edge of bucket @p i (exposed for tests). */
+    double
+    bucketUpperEdge(unsigned i) const
+    {
+        panic_if(i + 1 >= edges_.size(), "bucket out of range");
+        return edges_[i + 1];
+    }
+
+  private:
+    std::vector<double> edges_; ///< buckets + 1 ascending edges
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    std::uint64_t rejected_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace cohmeleon
+
+#endif // COHMELEON_SIM_HISTOGRAM_HH

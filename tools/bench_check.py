@@ -14,7 +14,7 @@ printed for context but never fail the build.
 Re-baselining (after an intentional perf change):
 
     cmake --build build -j && (cd build && ./bench_kernel &&
-        ./bench_mem && ./bench_train)
+        ./bench_mem && ./bench_train && ./bench_serve)
     python3 tools/bench_check.py --results build --update
 
 and commit the refreshed bench/baselines/*.json.
@@ -40,6 +40,15 @@ GATED_FIELDS = {
         "burst_speedup_geomean",
     ],
     "BENCH_train.json": ["speedup"],
+    # The serve fields are deterministic counts (same spec -> same
+    # trace -> same schedule), so they reproduce exactly on any
+    # machine; the latency quantiles stay info-only.
+    "BENCH_serve.json": [
+        "served",
+        "generations",
+        "hot_swaps",
+        "decision_logs_identical",
+    ],
 }
 
 # Context-only fields shown in the report when present.

@@ -10,6 +10,7 @@
  *   cohmeleon_run compare --soc soc5 --jobs 4
  *   cohmeleon_run campaign fig9 --jobs 8
  *   cohmeleon_run campaign examples/transfer.campaign -o out.json
+ *   cohmeleon_run serve --requests 256 --threads 4 --tenants random,fig5
  *   cohmeleon_run list
  *
  * `run` executes one scenario cell (per-phase table, decision
@@ -19,6 +20,10 @@
  * eight-policy protocol. `campaign` expands a registered name or a
  * .campaign file over the parallel driver and writes the structured
  * CAMPAIGN_<name>.json. All results are independent of --jobs.
+ * `serve` runs the long-lived policy service: a seeded open-loop
+ * request stream served by concurrent decision workers while
+ * background training hot-swaps fresh model generations in; its
+ * decision log is byte-identical at any --threads.
  *
  * The pre-subcommand flat flags (--soc/--policy/--compare/...) keep
  * working as deprecated aliases.
@@ -26,17 +31,21 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "app/campaign_runner.hh"
 #include "app/config_parser.hh"
 #include "app/experiment.hh"
 #include "app/training_driver.hh"
 #include "policy/checkpoint.hh"
+#include "serve/serve_loop.hh"
 #include "sim/logging.hh"
 #include "sim/wall_timer.hh"
 #include "soc/soc_presets.hh"
@@ -103,6 +112,31 @@ usage()
         "                       cell running longer than S seconds\n"
         "    --respawn-budget N worker deaths replaced before the\n"
         "                       fleet gives up (default 8)\n"
+        "  serve     long-lived policy service over an open-loop\n"
+        "            request stream (SIGINT/SIGTERM drains cleanly)\n"
+        "    --spec FILE        load a .serve spec file (flags "
+        "override)\n"
+        "    --soc NAME         serving SoC preset (default soc1)\n"
+        "    --requests N       request budget (default 192)\n"
+        "    --threads N        decision worker threads (default 1)\n"
+        "    --swap-interval N  requests per hot-swapped model\n"
+        "                       generation (default 64)\n"
+        "    --train N          training iterations per generation\n"
+        "                       (default 3)\n"
+        "    --shards N         training shards per generation\n"
+        "                       (default 2)\n"
+        "    --merge S --explore S   strategy axes (see run)\n"
+        "    --tenants LIST     request mix: comma list of tenant\n"
+        "                       sources (random or a figure app)\n"
+        "    --tenant-weights L relative arrival shares (one per\n"
+        "                       tenant)\n"
+        "    --arrival-rate R   open-loop pacing in requests/sec\n"
+        "                       (0 = unpaced, the default)\n"
+        "    --seed N           request-stream seed (default 2024)\n"
+        "    --train-seed N --agent-seed N\n"
+        "    --decision-log F   write the canonical decision log\n"
+        "    --save-state F / --load-state F   serving+staging\n"
+        "                       snapshot (resume without retraining)\n"
         "  list      known SoCs, policies, campaigns, figure apps\n");
     std::exit(2);
 }
@@ -806,6 +840,218 @@ cmdCampaign(Args &args)
     return 0;
 }
 
+// ------------------------------------------------------------- serve
+
+int
+cmdServe(Args &args)
+{
+    serve::ServeSpec spec;
+    std::vector<double> tenantWeights;
+    bool sawTenantWeights = false;
+    for (; args.i < args.argc; ++args.i) {
+        if (args.next("--spec")) {
+            spec = serve::parseServeSpecFile(args.value());
+        } else if (args.next("--soc")) {
+            spec.soc = validatedSoc(args.value());
+        } else if (args.next("--requests")) {
+            spec.requests = args.number(100000000);
+        } else if (args.next("--threads")) {
+            spec.threads = static_cast<unsigned>(args.number(256));
+        } else if (args.next("--swap-interval")) {
+            spec.swapInterval = args.number(100000000);
+        } else if (args.next("--train")) {
+            spec.trainIterations =
+                static_cast<unsigned>(args.number(100000));
+        } else if (args.next("--shards")) {
+            spec.trainShards =
+                static_cast<unsigned>(args.number(100000));
+        } else if (args.next("--merge")) {
+            spec.merge = validatedMerge(args.value());
+        } else if (args.next("--explore")) {
+            spec.explore = validatedExplore(args.value());
+        } else if (args.next("--tenants")) {
+            spec.tenants.clear();
+            for (const std::string &part :
+                 app::splitList(args.value(), ',')) {
+                const std::string src = app::trimText(part);
+                const std::string err =
+                    serve::checkTenantSource(src);
+                if (!err.empty()) {
+                    std::fprintf(stderr, "fatal: %s\n", err.c_str());
+                    return 2;
+                }
+                serve::TenantSpec t;
+                t.source = src;
+                spec.tenants.push_back(std::move(t));
+            }
+            if (spec.tenants.empty()) {
+                std::fprintf(stderr, "fatal: --tenants needs at "
+                                     "least one source\n");
+                return 2;
+            }
+        } else if (args.next("--tenant-weights")) {
+            sawTenantWeights = true;
+            tenantWeights.clear();
+            const std::string flag = args.argv[args.i];
+            for (const std::string &part :
+                 app::splitList(args.value(), ',')) {
+                const std::string text = app::trimText(part);
+                double w = 0.0;
+                std::size_t used = 0;
+                try {
+                    w = std::stod(text, &used);
+                } catch (const std::exception &) {
+                    used = 0;
+                }
+                if (used != text.size() || !(w > 0.0) ||
+                    !std::isfinite(w)) {
+                    std::fprintf(stderr,
+                                 "fatal: bad value '%s' in %s "
+                                 "(positive numbers only)\n",
+                                 text.c_str(), flag.c_str());
+                    return 2;
+                }
+                tenantWeights.push_back(w);
+            }
+        } else if (args.next("--arrival-rate")) {
+            // Like args.seconds() but 0 (unpaced) stays legal.
+            const std::string text = args.value();
+            double rate = -1.0;
+            std::size_t used = 0;
+            try {
+                rate = std::stod(text, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != text.size() || !(rate >= 0.0) ||
+                !std::isfinite(rate) || rate > 1e9) {
+                std::fprintf(stderr,
+                             "fatal: bad value '%s' for "
+                             "--arrival-rate (requests/sec in "
+                             "[0, 1e9])\n",
+                             text.c_str());
+                return 2;
+            }
+            spec.arrivalRate = rate;
+        } else if (args.next("--seed")) {
+            spec.seed = args.number(UINT64_MAX);
+        } else if (args.next("--train-seed")) {
+            spec.trainSeed = args.number(UINT64_MAX);
+        } else if (args.next("--agent-seed")) {
+            spec.agentSeed = args.number(UINT64_MAX);
+        } else if (args.next("--decision-log")) {
+            spec.decisionLog = args.value();
+        } else if (args.next("--save-state")) {
+            spec.saveState = args.value();
+        } else if (args.next("--load-state")) {
+            spec.loadState = args.value();
+        } else if (args.next("--resume")) {
+            std::fprintf(stderr,
+                         "fatal: --resume applies to `campaign`; a "
+                         "serve session resumes its model with "
+                         "--load-state FILE instead\n");
+            return 2;
+        } else if (args.next("--state-dir")) {
+            std::fprintf(stderr,
+                         "fatal: --state-dir applies to `campaign`; "
+                         "serve persists its model with --save-state "
+                         "FILE instead\n");
+            return 2;
+        } else if (args.next("--workers")) {
+            std::fprintf(stderr,
+                         "fatal: --workers applies to `campaign`; "
+                         "serve concurrency is --threads N\n");
+            return 2;
+        } else if (args.next("--jobs")) {
+            std::fprintf(stderr,
+                         "fatal: --jobs applies to batch "
+                         "subcommands; serve concurrency is "
+                         "--threads N\n");
+            return 2;
+        } else if (args.next("--fault")) {
+            std::fprintf(stderr,
+                         "fatal: --fault applies to `campaign` "
+                         "(serve drains on SIGINT/SIGTERM instead)\n");
+            return 2;
+        } else {
+            usage();
+        }
+    }
+    if (sawTenantWeights) {
+        if (tenantWeights.size() != spec.tenants.size()) {
+            std::fprintf(stderr,
+                         "fatal: --tenant-weights has %zu entries "
+                         "for %zu tenants\n",
+                         tenantWeights.size(), spec.tenants.size());
+            return 2;
+        }
+        for (std::size_t i = 0; i < tenantWeights.size(); ++i)
+            spec.tenants[i].weight = tenantWeights[i];
+    }
+    serve::labelTenants(spec);
+    try {
+        serve::validateServeSpec(spec);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 2;
+    }
+
+    std::printf("serving %llu request(s) on %s over %u thread(s), "
+                "hot-swapping every %llu (%llu generation(s))...\n",
+                static_cast<unsigned long long>(spec.requests),
+                spec.soc.c_str(), spec.threads,
+                static_cast<unsigned long long>(spec.swapInterval),
+                static_cast<unsigned long long>(
+                    serve::generationCount(spec)));
+
+    // Ctrl-C drains cleanly: workers stop claiming, in-flight
+    // requests finish, and everything measured so far is reported.
+    app::installCampaignSignalHandlers();
+    app::clearCampaignStop();
+    const serve::ServeResult result = serve::runServe(spec);
+
+    std::printf("\nserved %llu/%llu request(s) in %.2fs (%.1f/s), "
+                "%llu hot swap(s)%s\n",
+                static_cast<unsigned long long>(result.served),
+                static_cast<unsigned long long>(result.requested),
+                result.wallSeconds,
+                result.wallSeconds > 0.0
+                    ? static_cast<double>(result.served) /
+                          result.wallSeconds
+                    : 0.0,
+                static_cast<unsigned long long>(result.hotSwaps),
+                result.interrupted ? " (interrupted, drained cleanly)"
+                                   : "");
+    std::printf("decision latency: p50 %.3gus p90 %.3gus p99 "
+                "%.3gus\n",
+                result.decisionLatency.quantile(0.50) * 1e6,
+                result.decisionLatency.quantile(0.90) * 1e6,
+                result.decisionLatency.quantile(0.99) * 1e6);
+    std::printf("service latency:  p50 %.3gms p90 %.3gms p99 "
+                "%.3gms\n",
+                result.serviceLatency.quantile(0.50) * 1e3,
+                result.serviceLatency.quantile(0.90) * 1e3,
+                result.serviceLatency.quantile(0.99) * 1e3);
+    std::printf("\n%-14s %10s %14s %12s\n", "tenant", "served",
+                "reward-sum", "reward-mean");
+    for (const serve::TenantOutcome &t : result.tenants) {
+        std::printf("%-14s %10llu %14.4f %12.6f\n", t.label.c_str(),
+                    static_cast<unsigned long long>(t.served),
+                    t.rewardSum,
+                    t.served > 0
+                        ? t.rewardSum / static_cast<double>(t.served)
+                        : 0.0);
+    }
+    if (!spec.decisionLog.empty())
+        std::printf("\nwrote decision log %s\n",
+                    spec.decisionLog.c_str());
+    if (!spec.saveState.empty())
+        std::printf("saved serving%s state to %s\n",
+                    result.state.hasStaging ? "+staging" : "",
+                    spec.saveState.c_str());
+    return result.interrupted ? 130 : 0;
+}
+
 // -------------------------------------------------------------- list
 
 int
@@ -964,6 +1210,8 @@ main(int argc, char **argv)
             return cmdCompare(args);
         if (cmd == "campaign")
             return cmdCampaign(args);
+        if (cmd == "serve")
+            return cmdServe(args);
         if (cmd == "list")
             return cmdList();
         if (cmd == "--help" || cmd == "-h" || cmd == "help")
