@@ -1,22 +1,22 @@
 /**
  * @file
- * Cross-SoC transfer study: merged-model quality vs shard count and
- * merge/exploration strategy (the ROADMAP's Figure-9-grid transfer
- * item, run as a standalone study).
+ * Learned-backend study: tabular Q-table vs hashed perceptron,
+ * head to head on the transfer protocol.
  *
- * For every (shards-per-SoC, strategy) configuration the study trains
+ * For every (backend, shards-per-SoC) configuration the study trains
  * shards on a small training-SoC set with trainAcrossSocs(), folds
- * them under the configuration's MergeSpec, and evaluates the merged
- * model frozen on SoCs outside the training set (soc5 is a
- * domain-specific design the model never saw) next to a training SoC
- * as a control, normalizing each phase against fixed non-coherent DMA
- * on the same SoC. Lower is better; 1.0 means "no better than never
- * caching".
+ * them under the default merge, and evaluates the merged model frozen
+ * on a training SoC (control) and on SoCs the model never saw (soc5
+ * is a domain-specific design outside the training set), normalizing
+ * each phase against fixed non-coherent DMA on the same SoC. Lower is
+ * better; 1.0 means "no better than never caching". The headline
+ * metric is **cross-SoC generalization**: the unseen-SoC quality and
+ * its gap to the seen-SoC control, per backend.
  *
- * The first configuration also re-trains on a single thread and
- * aborts if the checkpoint differs from the parallel run — the
- * subsystem's determinism contract, kept under every strategy.
- * Results print as a table and are written to BENCH_transfer.json.
+ * The first configuration of each backend also re-trains on a single
+ * thread and aborts if the checkpoint differs from the parallel run —
+ * the backend-agnostic determinism contract of the LearnedModel fold.
+ * Results print as a table and are written to BENCH_perceptron.json.
  */
 
 #include <cstdio>
@@ -28,6 +28,7 @@
 #include "bench_util.hh"
 #include "policy/checkpoint.hh"
 #include "policy/fixed.hh"
+#include "rl/learned_model.hh"
 #include "sim/stats.hh"
 #include "soc/soc_presets.hh"
 
@@ -37,22 +38,16 @@ using namespace cohmeleon::bench;
 namespace
 {
 
-/** One strategy pair of the study, with its table/JSON label. */
-struct StrategyCase
+/** One model backend of the study, with its table/JSON label. */
+struct BackendCase
 {
     const char *label;
-    const char *merge;
-    const char *explore;
+    const char *spec;
 };
 
-/** Vary one axis at a time off the paper baseline — the readable
- *  ablation layout, not the full cross product. */
-constexpr StrategyCase kStrategies[] = {
-    {"visit-weighted/linear", "visit-weighted", "linear"},
-    {"recency/linear", "recency@0.5", "linear"},
-    {"reward-norm/linear", "reward-norm", "linear"},
-    {"visit-weighted/floor", "visit-weighted", "floor@0.1"},
-    {"visit-weighted/visit", "visit-weighted", "visit@1"},
+constexpr BackendCase kBackends[] = {
+    {"tabular", "tabular"},
+    {"perceptron", "perceptron:tables=16,bits=12"},
 };
 
 /** Normalized quality of @p model on @p cfg: geometric-mean exec and
@@ -101,24 +96,21 @@ int
 main()
 {
     setQuiet(true);
-    banner("Cross-SoC transfer: merged-model quality vs shards x "
-           "strategy",
-           "Figure-9 transfer-generalization study over the "
-           "strategy axes");
+    banner("Learned backends: tabular vs hashed perceptron",
+           "cross-SoC generalization on unseen presets is the "
+           "headline metric");
 
     const bool full = fullScale();
     const std::vector<std::string> trainSocNames = {"soc1", "soc2"};
+    // evalSocNames[0] is the seen control; the rest are unseen.
     const std::vector<std::string> evalSocNames =
         full ? std::vector<std::string>{"soc1", "soc5", "soc6"}
              : std::vector<std::string>{"soc1", "soc5"};
     const std::vector<unsigned> shardCounts =
         full ? std::vector<unsigned>{2, 4, 8}
-             : std::vector<unsigned>{1, 4};
+             : std::vector<unsigned>{4};
 
     app::TrainingOptions base;
-    // 6+ iterations even at quick scale: with fewer, the epsilon
-    // floor never binds (linear decay stays above it) and the merge
-    // variants barely overlap, so every strategy would coincide.
     base.iterations = full ? 10 : 6;
     if (!full) {
         base.appParams = app::RandomAppParams{};
@@ -134,7 +126,7 @@ main()
     for (const std::string &n : evalSocNames)
         evalCfgs.push_back(soc::makeSocByName(n));
 
-    JsonReporter json("transfer");
+    JsonReporter json("perceptron");
     {
         std::string socs;
         for (const std::string &n : trainSocNames)
@@ -146,17 +138,17 @@ main()
     app::ParallelRunner runner;
     const WallTimer timer;
     std::uint64_t invocations = 0;
-    bool determinismChecked = false;
 
-    std::printf("%-24s %7s %9s", "strategy", "shards", "q-mass");
+    std::printf("%-12s %7s %9s %10s", "backend", "shards", "q-mass",
+                "coverage");
     for (const std::string &n : evalSocNames)
         std::printf(" %11s", (n + " exec").c_str());
-    std::printf("\n");
+    std::printf(" %9s\n", "gen gap");
 
-    for (const StrategyCase &sc : kStrategies) {
+    for (const BackendCase &bc : kBackends) {
         app::TrainingOptions opts = base;
-        opts.merge = rl::mergeSpecFromString(sc.merge);
-        opts.explore = rl::exploreSpecFromString(sc.explore);
+        opts.model = rl::modelSpecFromString(bc.spec);
+        bool determinismChecked = false;
         for (unsigned shards : shardCounts) {
             opts.shards = shards;
             const app::TrainingResult tres =
@@ -164,23 +156,21 @@ main()
             invocations += tres.totalInvocations;
 
             if (!determinismChecked) {
-                // The contract: the checkpoint is a pure function of
-                // (cfgs, opts), never of the pool width.
+                // The fold is a pure function of (cfgs, opts) for
+                // every backend, never of the pool width.
                 app::ParallelRunner serial(1);
                 const app::TrainingResult ref =
                     app::trainAcrossSocs(trainCfgs, opts, serial);
                 panic_if(ref.checkpoint.serialized() !=
                              tres.checkpoint.serialized(),
-                         "parallel transfer training diverged from "
-                         "serial");
+                         "parallel ", bc.label,
+                         " training diverged from serial");
                 determinismChecked = true;
             }
 
-            const std::string prefix = "sh" +
-                                       std::to_string(shards) + "." +
-                                       sc.label;
-            json.addString(prefix + ".merge", sc.merge);
-            json.addString(prefix + ".explore", sc.explore);
+            const std::string prefix =
+                "sh" + std::to_string(shards) + "." + bc.label;
+            json.addString(prefix + ".model", bc.spec);
             json.add(prefix + ".q_updates",
                      static_cast<double>(
                          tres.checkpoint.model.totalVisits()));
@@ -188,9 +178,18 @@ main()
                      static_cast<double>(
                          tres.checkpoint.model.updatedEntries()));
 
-            std::printf("%-24s %7u %9llu", sc.label, shards,
+            const double coverage =
+                static_cast<double>(
+                    tres.checkpoint.model.updatedEntries()) /
+                static_cast<double>(
+                    rl::entryCapacity(tres.checkpoint.model.spec()));
+            std::printf("%-12s %7u %9llu %9.1f%%", bc.label, shards,
                         static_cast<unsigned long long>(
-                            tres.checkpoint.model.totalVisits()));
+                            tres.checkpoint.model.totalVisits()),
+                        100.0 * coverage);
+
+            double seenExec = 1.0;
+            double unseenWorst = 0.0;
             for (std::size_t e = 0; e < evalCfgs.size(); ++e) {
                 const EvalQuality q = evaluateOn(
                     tres.checkpoint, evalCfgs[e], base.appParams);
@@ -200,9 +199,18 @@ main()
                 json.add(prefix + "." + evalSocNames[e] +
                              ".ddr_norm",
                          q.ddrNorm);
+                if (e == 0)
+                    seenExec = q.execNorm;
+                else
+                    unseenWorst = std::max(unseenWorst, q.execNorm);
                 std::printf(" %11.3f", q.execNorm);
             }
-            std::printf("\n");
+            // The headline: worst unseen-SoC quality relative to the
+            // seen control. 1.0 = transfers perfectly; higher = the
+            // model memorized its training SoCs.
+            const double gap = unseenWorst / seenExec;
+            json.add(prefix + ".generalization_gap", gap);
+            std::printf(" %9.3f\n", gap);
         }
     }
 
@@ -211,9 +219,9 @@ main()
     json.add("wall_seconds", elapsed);
     json.add("invocations_per_sec",
              static_cast<double>(invocations) / elapsed);
-    json.writeTo("BENCH_transfer.json");
+    json.writeTo("BENCH_perceptron.json");
     std::printf("\n%llu training invocations in %.2fs; wrote "
-                "BENCH_transfer.json\n",
+                "BENCH_perceptron.json\n",
                 static_cast<unsigned long long>(invocations),
                 elapsed);
     return 0;

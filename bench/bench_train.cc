@@ -89,10 +89,10 @@ main()
                     serial.totalInvocations));
     std::printf("%-28s %12llu\n", "q-table updates",
                 static_cast<unsigned long long>(
-                    serial.checkpoint.table.totalVisits()));
+                    serial.checkpoint.model.totalVisits()));
     std::printf("%-28s %12llu / %u\n", "entries covered",
                 static_cast<unsigned long long>(
-                    serial.checkpoint.table.updatedEntries()),
+                    serial.checkpoint.model.updatedEntries()),
                 rl::StateTuple::kNumStates * rl::kNumActions);
     std::printf("%-28s %12s\n", "checkpoints identical", "yes");
     std::printf("%-28s %12.2fx\n", "speedup",
@@ -133,10 +133,10 @@ main()
     json.add("invocations_per_sec_parallel", invocs / parallelSec);
     json.add("qtable_updates",
              static_cast<double>(
-                 serial.checkpoint.table.totalVisits()));
+                 serial.checkpoint.model.totalVisits()));
     json.add("entries_covered",
              static_cast<double>(
-                 serial.checkpoint.table.updatedEntries()));
+                 serial.checkpoint.model.updatedEntries()));
     json.add("checkpoints_identical", 1.0);
     json.add("eval_exec_norm", evalExec);
     json.add("eval_ddr_norm", evalDdr);

@@ -51,10 +51,19 @@ struct ExpandedCell
  */
 using TransferModels = std::map<std::string, std::string>;
 
+/** The cell's learned-model backend: a "cohmeleon@MODEL" policy
+ *  string overrides the spec's model key. */
+rl::ModelSpec
+effectiveModelSpec(const ScenarioSpec &s)
+{
+    return parsePolicyName(s.policy).model.value_or(s.model);
+}
+
 std::string
 strategyKey(const ScenarioSpec &s)
 {
-    return rl::toString(s.merge) + '|' + rl::toString(s.explore);
+    return rl::toString(s.merge) + '|' + rl::toString(s.explore) +
+           '|' + rl::toString(effectiveModelSpec(s));
 }
 
 template <typename T>
@@ -72,7 +81,7 @@ expandCells(const CampaignSpec &c)
     const bool haveAxes = !c.socs.empty() || !c.policies.empty() ||
                           !c.seeds.empty() || !c.shardCounts.empty() ||
                           !c.accCounts.empty() || !c.merges.empty() ||
-                          !c.explores.empty();
+                          !c.explores.empty() || !c.models.empty();
     const bool concurrent =
         c.base.workload == WorkloadKind::kConcurrent;
 
@@ -90,6 +99,8 @@ expandCells(const CampaignSpec &c)
         axisOrDefault(c.merges, c.base.merge);
     const std::vector<rl::ExploreSpec> explores =
         axisOrDefault(c.explores, c.base.explore);
+    const std::vector<rl::ModelSpec> models =
+        axisOrDefault(c.models, c.base.model);
 
     std::vector<ExpandedCell> out;
     std::size_t group = 0;
@@ -101,6 +112,7 @@ expandCells(const CampaignSpec &c)
                 for (unsigned shards : shardCounts) {
                     for (const rl::MergeSpec &merge : merges) {
                     for (const rl::ExploreSpec &explore : explores) {
+                    for (const rl::ModelSpec &model : models) {
                     if (concurrent) {
                         // Figure-3 normalization: every accelerator's
                         // own single-accelerator non-coherent run,
@@ -116,6 +128,7 @@ expandCells(const CampaignSpec &c)
                             cell.trainShards = shards;
                             cell.merge = merge;
                             cell.explore = explore;
+                            cell.model = model;
                             cell.policy = "fixed-non-coh-dma";
                             cell.accIndex = static_cast<int>(a);
                             cell.name = socName + "/single/acc" +
@@ -132,6 +145,7 @@ expandCells(const CampaignSpec &c)
                             cell.trainShards = shards;
                             cell.merge = merge;
                             cell.explore = explore;
+                            cell.model = model;
                             cell.policy = policyName;
                             cell.accCount = accCount;
                             cell.name = socName + "/" + policyName;
@@ -147,6 +161,9 @@ expandCells(const CampaignSpec &c)
                             if (explores.size() > 1)
                                 cell.name +=
                                     "/ex-" + rl::toString(explore);
+                            if (models.size() > 1)
+                                cell.name +=
+                                    "/md-" + rl::toString(model);
                             if (concurrent)
                                 cell.name +=
                                     "/x" + std::to_string(accCount);
@@ -155,6 +172,7 @@ expandCells(const CampaignSpec &c)
                         }
                     }
                     ++group;
+                    }
                     }
                     }
                 }
@@ -277,8 +295,8 @@ runConcurrentCell(const ScenarioSpec &s)
 void
 summarizeModel(TrainSummary &t, const policy::PolicyCheckpoint &ckpt)
 {
-    t.qUpdates = ckpt.table.totalVisits();
-    t.entriesCovered = ckpt.table.updatedEntries();
+    t.qUpdates = ckpt.model.totalVisits();
+    t.entriesCovered = ckpt.model.updatedEntries();
     t.iteration = ckpt.iteration;
 }
 
@@ -301,6 +319,7 @@ runProtocolCell(const ScenarioSpec &s,
         eopts.trainAppParams = denseTrainingParams();
     eopts.agentSeed = s.agentSeed;
     eopts.explore = s.explore;
+    eopts.model = s.model;
     eopts.collectRecords = s.collectRecords;
 
     // The protocol's applications. For random evaluation apps this is
@@ -421,6 +440,7 @@ runProtocolCell(const ScenarioSpec &s,
             topts.agentSeed = s.agentSeed;
             topts.merge = s.merge;
             topts.explore = s.explore;
+            topts.model = effectiveModelSpec(s);
             topts.appParams =
                 eopts.trainAppParams.value_or(eopts.appParams);
             topts.knobs = knobs;
@@ -441,8 +461,8 @@ runProtocolCell(const ScenarioSpec &s,
             t.invocations = static_cast<std::uint64_t>(
                                 trainApp.totalInvocations()) *
                             eopts.trainIterations;
-            t.qUpdates = cohm->agent().table().totalVisits();
-            t.entriesCovered = cohm->agent().table().updatedEntries();
+            t.qUpdates = cohm->agent().model().totalVisits();
+            t.entriesCovered = cohm->agent().model().updatedEntries();
             t.iteration = eopts.trainIterations;
         }
         if (!s.saveQtable.empty()) {
@@ -577,6 +597,7 @@ trainTransferModels(const CampaignSpec &spec,
         topts.agentSeed = spec.base.agentSeed;
         topts.merge = c.spec.merge;
         topts.explore = c.spec.explore;
+        topts.model = effectiveModelSpec(c.spec);
         if (spec.base.trainApp == TrainAppShape::kSameAsEval)
             topts.appParams = spec.base.appParams;
         topts.knobs = knobsOf(spec.base);
@@ -1168,6 +1189,9 @@ CampaignResult::report(JsonReporter &rep) const
         if (!(c.scenario.explore == rl::ExploreSpec{}))
             rep.addString(p + ".explore",
                           rl::toString(c.scenario.explore));
+        if (!(c.scenario.model == rl::ModelSpec{}))
+            rep.addString(p + ".model",
+                          rl::toString(c.scenario.model));
         rep.add(p + ".group", static_cast<double>(c.group));
         rep.addString(p + ".seed",
                       std::to_string(c.scenario.evalSeed));

@@ -100,7 +100,8 @@ ablationCampaign(bool fullScale)
 /**
  * The cross-SoC transfer-generalization study (the ROADMAP's
  * Figure-9-grid item): train shards on a small SoC set, fold them
- * into one model per (merge, explore) strategy pair, and evaluate
+ * into one model per (merge, explore, model-backend) strategy
+ * triple — tabular and hashed-perceptron side by side — and evaluate
  * every merged model frozen over an evaluation grid of SoCs the
  * model never trained on — soc5/soc6 are the domain-specific
  * designs — next to a training SoC as a control. The default scale
@@ -140,6 +141,10 @@ transferCampaign(bool fullScale)
         rl::ExploreSpec{},
         rl::exploreSpecFromString("floor@0.1"),
         rl::exploreSpecFromString("visit@1"),
+    };
+    c.models = {
+        rl::ModelSpec{},
+        rl::modelSpecFromString("perceptron:tables=16,bits=12"),
     };
     return c;
 }

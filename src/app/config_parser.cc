@@ -68,6 +68,127 @@ parseSize(const std::string &text)
     return value * multiplier;
 }
 
+void
+lineFatal(unsigned lineNo, const std::string &msg)
+{
+    fatal("line ", lineNo, ": ", msg);
+}
+
+std::uint64_t
+parseU64At(const std::string &text, unsigned lineNo)
+{
+    const std::string t = trimText(text);
+    if (t.empty() || !std::isdigit(static_cast<unsigned char>(t[0])))
+        lineFatal(lineNo, "expected a number, got '" + text + "'");
+    try {
+        std::size_t used = 0;
+        const std::uint64_t n = std::stoull(t, &used);
+        if (used != t.size())
+            lineFatal(lineNo, "trailing garbage in number '" + t + "'");
+        return n;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        lineFatal(lineNo, "malformed number '" + t + "'");
+    }
+}
+
+unsigned
+parseU32At(const std::string &text, unsigned lineNo)
+{
+    const std::uint64_t n = parseU64At(text, lineNo);
+    if (n > UINT32_MAX)
+        lineFatal(lineNo, "number '" + trimText(text) + "' too large");
+    return static_cast<unsigned>(n);
+}
+
+double
+parseDoubleAt(const std::string &text, unsigned lineNo)
+{
+    const std::string t = trimText(text);
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(t, &used);
+        if (used != t.size())
+            lineFatal(lineNo,
+                      "trailing garbage in number '" + t + "'");
+        return v;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        lineFatal(lineNo, "malformed number '" + t + "'");
+    }
+}
+
+bool
+parseBoolAt(const std::string &text, unsigned lineNo)
+{
+    const std::string t = trimText(text);
+    if (t == "true")
+        return true;
+    if (t == "false")
+        return false;
+    lineFatal(lineNo, "expected true or false, got '" + t + "'");
+}
+
+std::uint64_t
+parseSizeAt(const std::string &text, unsigned lineNo)
+{
+    try {
+        return parseSize(text);
+    } catch (const FatalError &e) {
+        lineFatal(lineNo, e.what());
+    }
+}
+
+std::vector<ConfigLine>
+scanConfigLines(std::istream &is)
+{
+    std::vector<ConfigLine> out;
+    std::string line;
+    unsigned lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trimText(line);
+        if (line.empty())
+            continue;
+
+        ConfigLine cl;
+        cl.no = lineNo;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                lineFatal(lineNo, "unterminated section header");
+            const std::string inner =
+                trimText(line.substr(1, line.size() - 2));
+            if (inner.empty())
+                lineFatal(lineNo, "empty section header");
+            cl.isSection = true;
+            const std::size_t space = inner.find_first_of(" \t");
+            if (space == std::string::npos) {
+                cl.section = inner;
+            } else {
+                cl.section = inner.substr(0, space);
+                cl.sectionArg = trimText(inner.substr(space));
+            }
+            out.push_back(std::move(cl));
+            continue;
+        }
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            lineFatal(lineNo, "expected 'key = value'");
+        cl.key = trimText(line.substr(0, eq));
+        cl.value = trimText(line.substr(eq + 1));
+        if (cl.key.empty())
+            lineFatal(lineNo, "empty key");
+        out.push_back(std::move(cl));
+    }
+    return out;
+}
+
 AppSpec
 parseAppSpec(std::istream &is)
 {

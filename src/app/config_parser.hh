@@ -45,6 +45,44 @@ AppSpec parseAppSpecString(const std::string &text);
  *  @throws FatalError on malformed input */
 std::uint64_t parseSize(const std::string &text);
 
+// ------------------------------------------------------------------
+// Shared 'key = value' plumbing. The scenario, campaign, and serve
+// spec parsers are all the same line-oriented grammar ('#' comments,
+// 'key = value', optional '[section]' headers); they differ only in
+// which keys they accept. Scanning and typed value parsing live here
+// once, so every spec family gets line-numbered diagnostics — and
+// parse(serialize(x)) == x — for free when it grows a key.
+// ------------------------------------------------------------------
+
+/** One parsed physical line: a section header or a key=value pair. */
+struct ConfigLine
+{
+    unsigned no = 0;
+    bool isSection = false;
+    std::string section;    ///< header word ("axes", "cell", ...)
+    std::string sectionArg; ///< rest of the header ("cell NAME")
+    std::string key;
+    std::string value;
+};
+
+/** Throw FatalError("line <lineNo>: <msg>"). Callers whose grammar
+ *  carries its own prefix ("serve spec line N: ...") catch and
+ *  re-throw with it prepended. */
+[[noreturn]] void lineFatal(unsigned lineNo, const std::string &msg);
+
+/** Scan a spec stream into lines ('#' comments stripped, blanks
+ *  dropped). @throws FatalError with a line number on malformed
+ *  headers or lines without '=' */
+std::vector<ConfigLine> scanConfigLines(std::istream &is);
+
+/** Typed value parsers, all throwing via lineFatal() so malformed
+ *  values carry the offending line number. */
+std::uint64_t parseU64At(const std::string &text, unsigned lineNo);
+unsigned parseU32At(const std::string &text, unsigned lineNo);
+double parseDoubleAt(const std::string &text, unsigned lineNo);
+bool parseBoolAt(const std::string &text, unsigned lineNo);
+std::uint64_t parseSizeAt(const std::string &text, unsigned lineNo);
+
 } // namespace cohmeleon::app
 
 #endif // COHMELEON_APP_CONFIG_PARSER_HH

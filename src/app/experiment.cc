@@ -47,6 +47,64 @@ standardPolicyNames()
     return names;
 }
 
+const std::string &
+knownPolicyFormsText()
+{
+    static const std::string forms = [] {
+        std::string out;
+        for (const std::string &n : standardPolicyNames()) {
+            if (!out.empty())
+                out += ", ";
+            out += n;
+        }
+        out += ", manual@SIZE, cohmeleon@MODEL";
+        return out;
+    }();
+    return forms;
+}
+
+ParsedPolicy
+parsePolicyName(const std::string &name)
+{
+    ParsedPolicy p;
+    const std::size_t at = name.find('@');
+    p.base = name.substr(0, at);
+    const bool hasArg = at != std::string::npos;
+    const std::string arg = hasArg ? name.substr(at + 1) : "";
+
+    bool known = false;
+    for (const std::string &n : standardPolicyNames())
+        known = known || n == p.base;
+    fatalIf(!known, "unknown policy '", name,
+            "' (known: ", knownPolicyFormsText(), ")");
+
+    if (!hasArg)
+        return p;
+    if (p.base == "manual") {
+        try {
+            p.manualThreshold = parseSize(arg);
+        } catch (const FatalError &e) {
+            fatal("bad manual threshold in '", name, "': ", e.what(),
+                  " (known: ", knownPolicyFormsText(), ")");
+        }
+        fatalIf(*p.manualThreshold == 0, "manual threshold in '", name,
+                "' must be positive (known: ", knownPolicyFormsText(),
+                ")");
+        return p;
+    }
+    if (p.base == "cohmeleon") {
+        try {
+            p.model = rl::modelSpecFromString(arg);
+        } catch (const FatalError &e) {
+            fatal("bad model in '", name, "': ", e.what(),
+                  " (known: ", knownPolicyFormsText(), ")");
+        }
+        return p;
+    }
+    fatal("policy '", p.base, "' takes no @ argument (got '", name,
+          "'; known: ", knownPolicyFormsText(), ")");
+}
+
 double
 safeRatio(double value, double baseline)
 {
@@ -70,33 +128,35 @@ std::unique_ptr<rt::CoherencePolicy>
 makePolicyByName(const std::string &name, const soc::SocConfig &cfg,
                  const EvalOptions &opts)
 {
-    if (name.rfind("fixed-", 0) == 0 && name != "fixed-hetero") {
+    const ParsedPolicy parsed = parsePolicyName(name);
+    const std::string &base = parsed.base;
+    if (base.rfind("fixed-", 0) == 0 && base != "fixed-hetero") {
         return std::make_unique<policy::FixedPolicy>(
-            coh::modeFromString(name.substr(6)));
+            coh::modeFromString(base.substr(6)));
     }
-    if (name == "rand")
+    if (base == "rand")
         return std::make_unique<policy::RandomPolicy>(opts.agentSeed);
-    if (name == "manual")
+    if (base == "manual") {
+        if (parsed.manualThreshold)
+            return std::make_unique<policy::ManualPolicy>(
+                *parsed.manualThreshold);
         return std::make_unique<policy::ManualPolicy>();
-    if (name.rfind("manual@", 0) == 0) {
-        const std::uint64_t threshold = parseSize(name.substr(7));
-        fatalIf(threshold == 0, "manual threshold must be positive");
-        return std::make_unique<policy::ManualPolicy>(threshold);
     }
-    if (name == "fixed-hetero") {
+    if (base == "fixed-hetero") {
         soc::Soc profilingSoc(cfg);
         const policy::ProfileResult prof =
             policy::profileAccelerators(profilingSoc);
         return std::make_unique<policy::FixedHeterogeneousPolicy>(
             prof.bestMode);
     }
-    if (name == "cohmeleon") {
+    if (base == "cohmeleon") {
         policy::CohmeleonParams params;
         params.weights = opts.weights;
         params.agent.decayIterations =
             std::max(1u, opts.trainIterations);
         params.agent.seed = opts.agentSeed;
         params.agent.explore = opts.explore;
+        params.agent.model = parsed.model.value_or(opts.model);
         return std::make_unique<policy::CohmeleonPolicy>(params);
     }
     fatal("unknown policy name '", name, "'");

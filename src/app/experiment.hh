@@ -18,12 +18,14 @@
 #define COHMELEON_APP_EXPERIMENT_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "app/app_runner.hh"
 #include "app/random_app.hh"
 #include "policy/cohmeleon_policy.hh"
+#include "rl/learned_model.hh"
 #include "rl/reward.hh"
 
 namespace cohmeleon::app
@@ -31,6 +33,32 @@ namespace cohmeleon::app
 
 /** Names of the eight policies in the paper's figure order. */
 const std::vector<std::string> &standardPolicyNames();
+
+/** The policy grammar as every rejection message lists it: the eight
+ *  standard names plus the parameterized forms "manual@SIZE" and
+ *  "cohmeleon@MODEL" (MODEL in rl::ModelSpec text, e.g.
+ *  "cohmeleon@perceptron:tables=16,bits=12"). */
+const std::string &knownPolicyFormsText();
+
+/**
+ * Structured decomposition of a policy-name string — the single
+ * parser behind checkPolicyName(), makePolicyByName(), and every spec
+ * layer, so all of them accept exactly the same grammar.
+ */
+struct ParsedPolicy
+{
+    /** The bare policy name ("manual", "cohmeleon", "fixed-*", ...). */
+    std::string base;
+    /** manual@SIZE only: the explicit EXTRA_SMALL_THRESHOLD. */
+    std::optional<std::uint64_t> manualThreshold;
+    /** cohmeleon@MODEL only: the learned-model backend. */
+    std::optional<rl::ModelSpec> model;
+};
+
+/** Parse "<name>[@ARG]". The bare names ("manual", "cohmeleon") stay
+ *  valid as the unparameterized aliases they always were.
+ *  @throws FatalError listing the known forms on any rejection */
+ParsedPolicy parsePolicyName(const std::string &name);
 
 /** Result of evaluating one policy on the evaluation app. */
 struct PolicyOutcome
@@ -60,6 +88,9 @@ struct EvalOptions
     std::uint64_t agentSeed = 7;
     /** Cohmeleon's exploration schedule (paper linear decay). */
     rl::ExploreSpec explore;
+    /** Cohmeleon's learned-model backend (default tabular). A
+     *  "cohmeleon@MODEL" policy name overrides it. */
+    rl::ModelSpec model;
     bool collectRecords = false;
 };
 

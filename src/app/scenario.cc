@@ -14,80 +14,8 @@ namespace cohmeleon::app
 namespace
 {
 
-// ------------------------------------------------------- value parsing
-
-[[noreturn]] void
-lineFatal(unsigned lineNo, const std::string &msg)
-{
-    fatal("line ", lineNo, ": ", msg);
-}
-
-std::uint64_t
-parseU64At(const std::string &text, unsigned lineNo)
-{
-    const std::string t = trimText(text);
-    if (t.empty() || !std::isdigit(static_cast<unsigned char>(t[0])))
-        lineFatal(lineNo, "expected a number, got '" + text + "'");
-    try {
-        std::size_t used = 0;
-        const std::uint64_t n = std::stoull(t, &used);
-        if (used != t.size())
-            lineFatal(lineNo, "trailing garbage in number '" + t + "'");
-        return n;
-    } catch (const FatalError &) {
-        throw;
-    } catch (const std::exception &) {
-        lineFatal(lineNo, "malformed number '" + t + "'");
-    }
-}
-
-unsigned
-parseU32At(const std::string &text, unsigned lineNo)
-{
-    const std::uint64_t n = parseU64At(text, lineNo);
-    if (n > UINT32_MAX)
-        lineFatal(lineNo, "number '" + trimText(text) + "' too large");
-    return static_cast<unsigned>(n);
-}
-
-double
-parseDoubleAt(const std::string &text, unsigned lineNo)
-{
-    const std::string t = trimText(text);
-    try {
-        std::size_t used = 0;
-        const double v = std::stod(t, &used);
-        if (used != t.size())
-            lineFatal(lineNo,
-                      "trailing garbage in number '" + t + "'");
-        return v;
-    } catch (const FatalError &) {
-        throw;
-    } catch (const std::exception &) {
-        lineFatal(lineNo, "malformed number '" + t + "'");
-    }
-}
-
-bool
-parseBoolAt(const std::string &text, unsigned lineNo)
-{
-    const std::string t = trimText(text);
-    if (t == "true")
-        return true;
-    if (t == "false")
-        return false;
-    lineFatal(lineNo, "expected true or false, got '" + t + "'");
-}
-
-std::uint64_t
-parseSizeAt(const std::string &text, unsigned lineNo)
-{
-    try {
-        return parseSize(text);
-    } catch (const FatalError &e) {
-        lineFatal(lineNo, e.what());
-    }
-}
+// Line scanning and typed value parsing live in config_parser.hh,
+// shared with the application-config and serve-spec parsers.
 
 coh::ModeMask
 parseModeListAt(const std::string &text, unsigned lineNo)
@@ -110,67 +38,6 @@ parseModeListAt(const std::string &text, unsigned lineNo)
         }
     }
     return mask;
-}
-
-// ------------------------------------------------------- line scanning
-
-/** One parsed physical line: a section header or a key=value pair. */
-struct ConfigLine
-{
-    unsigned no = 0;
-    bool isSection = false;
-    std::string section;    ///< header word ("axes", "cell", ...)
-    std::string sectionArg; ///< rest of the header ("cell NAME")
-    std::string key;
-    std::string value;
-};
-
-std::vector<ConfigLine>
-scanLines(std::istream &is)
-{
-    std::vector<ConfigLine> out;
-    std::string line;
-    unsigned lineNo = 0;
-    while (std::getline(is, line)) {
-        ++lineNo;
-        const std::size_t hash = line.find('#');
-        if (hash != std::string::npos)
-            line = line.substr(0, hash);
-        line = trimText(line);
-        if (line.empty())
-            continue;
-
-        ConfigLine cl;
-        cl.no = lineNo;
-        if (line.front() == '[') {
-            if (line.back() != ']')
-                lineFatal(lineNo, "unterminated section header");
-            const std::string inner =
-                trimText(line.substr(1, line.size() - 2));
-            if (inner.empty())
-                lineFatal(lineNo, "empty section header");
-            cl.isSection = true;
-            const std::size_t space = inner.find_first_of(" \t");
-            if (space == std::string::npos) {
-                cl.section = inner;
-            } else {
-                cl.section = inner.substr(0, space);
-                cl.sectionArg = trimText(inner.substr(space));
-            }
-            out.push_back(std::move(cl));
-            continue;
-        }
-
-        const std::size_t eq = line.find('=');
-        if (eq == std::string::npos)
-            lineFatal(lineNo, "expected 'key = value'");
-        cl.key = trimText(line.substr(0, eq));
-        cl.value = trimText(line.substr(eq + 1));
-        if (cl.key.empty())
-            lineFatal(lineNo, "empty key");
-        out.push_back(std::move(cl));
-    }
-    return out;
 }
 
 // --------------------------------------------------- scenario keys
@@ -281,6 +148,11 @@ applyScenarioKey(ScenarioSpec &s, const ConfigLine &l)
         if (!err.empty())
             lineFatal(no, err);
         s.explore = rl::exploreSpecFromString(value);
+    } else if (key == "model") {
+        const std::string err = rl::checkModelSpecText(value);
+        if (!err.empty())
+            lineFatal(no, err);
+        s.model = rl::modelSpecFromString(value);
     } else if (key == "load-model") {
         s.loadModel = value;
     } else if (key == "save-model") {
@@ -345,10 +217,39 @@ applyScenarioKey(ScenarioSpec &s, const ConfigLine &l)
 
 // --------------------------------------------------- campaign keys
 
+/**
+ * splitList() for axis values whose entries may themselves contain
+ * commas — "perceptron:tables=16,bits=12" is one model, and a
+ * "cohmeleon@perceptron:..." policy carries the same form. The rule:
+ * a fragment of the shape "k=v" (its first '=' before any ':')
+ * continues the previous entry rather than starting a new one.
+ */
+std::vector<std::string>
+splitAxisEntries(const std::string &value)
+{
+    std::vector<std::string> entries;
+    for (const std::string &part : splitList(value, ',')) {
+        const std::string t = trimText(part);
+        const std::size_t eq = t.find('=');
+        const std::size_t colon = t.find(':');
+        const bool continuation =
+            !entries.empty() && eq != std::string::npos &&
+            (colon == std::string::npos || eq < colon);
+        if (continuation)
+            entries.back() += "," + t;
+        else
+            entries.push_back(t);
+    }
+    return entries;
+}
+
 void
 applyAxisKey(CampaignSpec &c, const ConfigLine &l)
 {
-    const std::vector<std::string> parts = splitList(l.value, ',');
+    const std::vector<std::string> parts =
+        l.key == "policy" || l.key == "model"
+            ? splitAxisEntries(l.value)
+            : splitList(l.value, ',');
     if (l.key == "soc") {
         for (const std::string &p : parts) {
             if (!soc::isKnownSocName(p))
@@ -389,10 +290,17 @@ applyAxisKey(CampaignSpec &c, const ConfigLine &l)
                 lineFatal(l.no, err);
             c.explores.push_back(rl::exploreSpecFromString(p));
         }
+    } else if (l.key == "model") {
+        for (const std::string &p : parts) {
+            const std::string err = rl::checkModelSpecText(p);
+            if (!err.empty())
+                lineFatal(l.no, err);
+            c.models.push_back(rl::modelSpecFromString(p));
+        }
     } else {
         lineFatal(l.no, "unknown axis '" + l.key +
                             "' (known: soc, policy, seed, shards, "
-                            "acc-count, merge, explore)");
+                            "acc-count, merge, explore, model)");
     }
 }
 
@@ -430,7 +338,7 @@ ScenarioSpec
 parseScenario(std::istream &is)
 {
     ScenarioSpec s;
-    for (const ConfigLine &l : scanLines(is)) {
+    for (const ConfigLine &l : scanConfigLines(is)) {
         if (l.isSection)
             lineFatal(l.no, "scenario files have no sections (put "
                             "the keys at top level)");
@@ -465,7 +373,7 @@ parseCampaign(std::istream &is)
     enum class Section { kTop, kScenario, kAxes, kTrain, kCell };
     Section section = Section::kTop;
 
-    for (const ConfigLine &l : scanLines(is)) {
+    for (const ConfigLine &l : scanConfigLines(is)) {
         if (l.isSection) {
             if (l.section == "scenario" && l.sectionArg.empty()) {
                 section = Section::kScenario;
@@ -658,6 +566,7 @@ writeScenarioKeys(std::ostream &os, const ScenarioSpec &s,
     os << "shards = " << s.trainShards << '\n';
     os << "merge = " << rl::toString(s.merge) << '\n';
     os << "explore = " << rl::toString(s.explore) << '\n';
+    os << "model = " << rl::toString(s.model) << '\n';
     if (!s.loadModel.empty())
         os << "load-model = " << s.loadModel << '\n';
     if (!s.saveModel.empty())
@@ -732,7 +641,7 @@ serializeCampaign(const CampaignSpec &spec)
     if (!spec.socs.empty() || !spec.policies.empty() ||
         !spec.seeds.empty() || !spec.shardCounts.empty() ||
         !spec.accCounts.empty() || !spec.merges.empty() ||
-        !spec.explores.empty()) {
+        !spec.explores.empty() || !spec.models.empty()) {
         os << "\n[axes]\n";
         writeAxis(os, "soc", spec.socs);
         writeAxis(os, "policy", spec.policies);
@@ -741,6 +650,7 @@ serializeCampaign(const CampaignSpec &spec)
         writeAxis(os, "acc-count", spec.accCounts);
         writeAxis(os, "merge", spec.merges);
         writeAxis(os, "explore", spec.explores);
+        writeAxis(os, "model", spec.models);
     }
 
     if (spec.transfer.active()) {
@@ -842,28 +752,12 @@ figureApp(const std::string &name)
 std::string
 checkPolicyName(const std::string &name)
 {
-    for (const std::string &known : standardPolicyNames())
-        if (known == name)
-            return "";
-    if (name.rfind("manual@", 0) == 0) {
-        try {
-            if (parseSize(name.substr(7)) == 0)
-                return "manual threshold in '" + name +
-                       "' must be positive";
-            return "";
-        } catch (const FatalError &e) {
-            return "bad manual threshold in '" + name +
-                   "': " + e.what();
-        }
+    try {
+        parsePolicyName(name);
+        return "";
+    } catch (const FatalError &e) {
+        return e.what();
     }
-    std::string known;
-    for (const std::string &n : standardPolicyNames()) {
-        if (!known.empty())
-            known += ", ";
-        known += n;
-    }
-    return "unknown policy '" + name + "' (known: " + known +
-           ", manual@SIZE)";
 }
 
 } // namespace cohmeleon::app

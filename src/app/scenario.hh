@@ -31,6 +31,7 @@
  *     seed = 2022, 3033
  *     merge = visit-weighted, recency@0.5, reward-norm
  *     explore = linear, floor@0.1
+ *     model = tabular, perceptron:tables=16,bits=12
  *
  *     [train]               # optional: train-many-SoCs -> merge
  *     soc = soc0, soc1
@@ -56,6 +57,7 @@
 #include "app/fault.hh"
 #include "app/random_app.hh"
 #include "coh/coherence_mode.hh"
+#include "rl/learned_model.hh"
 #include "rl/strategy.hh"
 #include "soc/soc_presets.hh"
 
@@ -135,6 +137,9 @@ struct ScenarioSpec
     rl::MergeSpec merge;
     /** Cohmeleon's exploration schedule. */
     rl::ExploreSpec explore;
+    /** Cohmeleon's learned-model backend. A "cohmeleon@MODEL" policy
+     *  string overrides it for that cell. */
+    rl::ModelSpec model;
     std::string loadModel;    ///< checkpoint path replacing training
     std::string saveModel;    ///< persist the trained checkpoint
     std::string loadQtable;   ///< legacy value-only Q-table restore
@@ -192,6 +197,7 @@ struct CampaignSpec
     std::vector<unsigned> accCounts;     ///< concurrent workloads only
     std::vector<rl::MergeSpec> merges;   ///< fold strategies
     std::vector<rl::ExploreSpec> explores; ///< exploration schedules
+    std::vector<rl::ModelSpec> models;   ///< learned-model backends
 
     /**
      * Normalization baseline: the policy whose cell every other cell
@@ -256,8 +262,9 @@ const std::vector<std::string> &figureAppNames();
 
 /**
  * Validate a policy name as the campaign/CLI layers accept it: the
- * eight standard names plus parameterized "manual@SIZE".
- * @return empty on success, else a diagnostic listing known names
+ * eight standard names plus the parameterized "manual@SIZE" and
+ * "cohmeleon@MODEL" forms (a thin wrapper over parsePolicyName()).
+ * @return empty on success, else a diagnostic listing known forms
  */
 std::string checkPolicyName(const std::string &name);
 

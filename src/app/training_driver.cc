@@ -33,7 +33,7 @@ namespace
 /** Everything a shard hands back for the fold. */
 struct ShardState
 {
-    rl::QTable table;
+    rl::Model model;
     rl::RewardTracker tracker;
     ShardReport report;
 };
@@ -47,6 +47,7 @@ trainShard(const soc::SocConfig &cfg, const TrainingOptions &opts,
     params.agent.decayIterations = opts.iterations;
     params.agent.seed = experimentSeed(opts.agentSeed, shard);
     params.agent.explore = opts.explore;
+    params.agent.model = opts.model;
     policy::CohmeleonPolicy policy(params);
 
     const std::uint64_t appSeed = experimentSeed(opts.trainSeed, shard);
@@ -58,13 +59,13 @@ trainShard(const soc::SocConfig &cfg, const TrainingOptions &opts,
         runTrainingIteration(policy, cfg, app, opts.knobs);
 
     ShardState out;
-    out.table = policy.agent().table();
+    out.model = policy.agent().model();
     out.tracker = policy.rewardTracker();
     out.report.seed = appSeed;
     out.report.invocations =
         static_cast<std::uint64_t>(app.totalInvocations()) *
         opts.iterations;
-    out.report.qtableVisits = out.table.totalVisits();
+    out.report.qtableVisits = out.model.totalVisits();
     return out;
 }
 
@@ -90,6 +91,7 @@ trainAcrossSocs(const std::vector<soc::SocConfig> &cfgs,
             "training needs at least one iteration");
     opts.merge.validate();
     opts.explore.validate();
+    opts.model.validate();
 
     // One flat fan-out over the (config, shard) grid. Each shard is
     // an isolated single-threaded simulation seeded by its global
@@ -110,14 +112,16 @@ trainAcrossSocs(const std::vector<soc::SocConfig> &cfgs,
     c.agent.decayIterations = opts.iterations;
     c.agent.seed = opts.agentSeed;
     c.agent.explore = opts.explore;
+    c.agent.model = opts.model;
     c.merge = opts.merge;
     c.iteration = opts.iterations;
     c.frozen = true;
+    c.model = rl::Model(opts.model);
     // The merged model's evaluation stream: a fresh stream derived
     // past the shard range, a pure function of the options.
     c.rngState = Rng(experimentSeed(opts.agentSeed, total)).state();
     for (const ShardState &s : shards) {
-        c.table.merge(s.table, opts.merge);
+        c.model.merge(s.model, opts.merge);
         c.tracker.mergeFrom(s.tracker);
         result.shards.push_back(s.report);
         result.totalInvocations += s.report.invocations;

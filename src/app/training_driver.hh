@@ -46,6 +46,9 @@ struct TrainingOptions
     rl::MergeSpec merge;
     /** How every shard agent schedules exploration. */
     rl::ExploreSpec explore;
+    /** Which learned-model backend every shard trains (and the fold
+     *  produces). */
+    rl::ModelSpec model;
     /** Shape of the per-shard training applications. */
     RandomAppParams appParams;
     /** Runtime perturbations applied to every shard SoC. */

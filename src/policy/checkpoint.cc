@@ -56,7 +56,7 @@ PolicyCheckpoint::capture(const CohmeleonPolicy &policy)
     c.iteration = policy.agent().iteration();
     c.frozen = policy.agent().frozen();
     c.rngState = policy.agent().rngState();
-    c.table = policy.agent().table();
+    c.model = policy.agent().model();
     c.tracker = policy.rewardTracker();
     return c;
 }
@@ -67,8 +67,9 @@ PolicyCheckpoint::makePolicy() const
     CohmeleonParams params;
     params.weights = weights;
     params.agent = agent;
+    params.agent.model = model.spec();
     auto policy = std::make_unique<CohmeleonPolicy>(params);
-    policy->agent().table() = table;
+    policy->agent().model() = model;
     policy->agent().setIteration(iteration);
     policy->agent().setRngState(rngState);
     if (frozen)
@@ -89,17 +90,10 @@ PolicyCheckpoint::save(std::ostream &os) const
        << iteration << ' ' << (frozen ? 1 : 0) << '\n';
     os << "explore " << rl::toString(agent.explore) << '\n';
     os << "merge " << rl::toString(merge) << '\n';
+    os << "model " << rl::toString(model.spec()) << '\n';
     os << "rng " << rngState[0] << ' ' << rngState[1] << ' '
        << rngState[2] << ' ' << rngState[3] << '\n';
-    os << "qtable " << rl::StateTuple::kNumStates << ' '
-       << rl::kNumActions << '\n';
-    for (unsigned s = 0; s < rl::StateTuple::kNumStates; ++s) {
-        for (unsigned a = 0; a < rl::kNumActions; ++a)
-            os << table.q(s, a) << ' ';
-        for (unsigned a = 0; a < rl::kNumActions; ++a)
-            os << table.visits(s, a)
-               << (a + 1 < rl::kNumActions ? ' ' : '\n');
-    }
+    model.save(os);
     const std::vector<rl::AccExtrema> history = tracker.snapshot();
     os << "tracker " << history.size() << '\n';
     for (const rl::AccExtrema &e : history) {
@@ -163,6 +157,19 @@ PolicyCheckpoint::load(std::istream &is)
         }
     }
 
+    if (version >= 3) {
+        // v3: the model backend. v1/v2 streams predate the model axis
+        // and stay on the tabular default they were trained as.
+        expectKeyword(is, "model");
+        try {
+            c.agent.model = rl::modelSpecFromString(
+                expect<std::string>(is, "model spec"));
+        } catch (const FatalError &e) {
+            fatal("malformed model in checkpoint: ", e.what());
+        }
+        c.model = rl::Model(c.agent.model);
+    }
+
     expectKeyword(is, "rng");
     for (int i = 0; i < 4; ++i)
         c.rngState[i] = expect<std::uint64_t>(is, "rng state");
@@ -170,23 +177,13 @@ PolicyCheckpoint::load(std::istream &is)
              c.rngState[3]) == 0,
             "invalid (all-zero) RNG state in checkpoint");
 
-    expectKeyword(is, "qtable");
-    const unsigned states = expect<unsigned>(is, "qtable states");
-    const unsigned actions = expect<unsigned>(is, "qtable actions");
-    fatalIf(states != rl::StateTuple::kNumStates ||
-                actions != rl::kNumActions,
-            "checkpoint Q-table dimensions ", states, "x", actions,
-            " do not match the ", rl::StateTuple::kNumStates, "x",
-            rl::kNumActions, " state space");
-    for (unsigned s = 0; s < rl::StateTuple::kNumStates; ++s) {
-        std::array<double, rl::kNumActions> q;
-        for (unsigned a = 0; a < rl::kNumActions; ++a)
-            q[a] = expectFinite(is, "Q-value");
-        for (unsigned a = 0; a < rl::kNumActions; ++a) {
-            const auto visits =
-                expect<std::uint64_t>(is, "visit count");
-            c.table.setEntry(s, a, q[a], visits);
-        }
+    // The model block. A v1/v2 Q-table block (values + visit counts)
+    // is byte-identical to the v3 tabular block, so one loader reads
+    // every version.
+    try {
+        c.model.load(is);
+    } catch (const FatalError &e) {
+        fatal("malformed model block in checkpoint: ", e.what());
     }
 
     expectKeyword(is, "tracker");

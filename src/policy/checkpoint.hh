@@ -1,13 +1,14 @@
 /**
  * @file
  * Versioned persistence of the *whole* Cohmeleon learning state, not
- * just the Q-values: Q-table with per-entry visit counts (the
- * training mass that makes tables mergeable), the agent schedule
- * (hyper-parameters, iteration, frozen flag) and exploration-RNG
- * state, the reward weights, and the RewardTracker's per-accelerator
- * min/max history. A policy restored from a checkpoint reproduces
- * the original's decisions bit-for-bit — including tie-break draws —
- * and can resume training where the original stopped.
+ * just the model estimates: the learned model with its per-entry
+ * visit counts (the training mass that makes models mergeable), the
+ * agent schedule (hyper-parameters, iteration, frozen flag) and
+ * exploration-RNG state, the reward weights, and the RewardTracker's
+ * per-accelerator min/max history. A policy restored from a
+ * checkpoint reproduces the original's decisions bit-for-bit —
+ * including tie-break draws — and can resume training where the
+ * original stopped.
  *
  * The format is line-oriented text with doubles printed at 17
  * significant digits (lossless for IEEE binary64), so two checkpoints
@@ -17,11 +18,14 @@
  * older versions migrate forward, unknown future versions hard-fail):
  *  - v1 (PR 3): weights, agent schedule, RNG state, Q-table with
  *    visit counts, reward-tracker extrema.
- *  - v2 (this PR): adds the strategy axes — the agent's ExploreSpec
- *    and the MergeSpec the model was folded with. A v1 stream loads
- *    cleanly, takes the default (paper) strategies, and re-saves as
- *    v2; resuming training from a migrated v1 checkpoint is
- *    bit-identical to a v2 run with default strategies.
+ *  - v2 (PR 5): adds the strategy axes — the agent's ExploreSpec and
+ *    the MergeSpec the model was folded with.
+ *  - v3 (this PR): adds the model backend — a "model <spec>" line
+ *    (rl::ModelSpec canonical text) and a backend-specific model
+ *    block in place of the bare Q-table block. v1/v2 streams migrate
+ *    to the tabular backend (exactly what they were trained as) and
+ *    resume training bit-exactly; their Q-table block *is* the v3
+ *    tabular model block, byte for byte.
  */
 
 #ifndef COHMELEON_POLICY_CHECKPOINT_HH
@@ -34,7 +38,7 @@
 
 #include "policy/cohmeleon_policy.hh"
 #include "rl/agent.hh"
-#include "rl/qtable.hh"
+#include "rl/learned_model.hh"
 #include "rl/reward.hh"
 #include "rl/strategy.hh"
 
@@ -46,18 +50,18 @@ struct PolicyCheckpoint
 {
     /** Current format version (written by save). load() accepts
      *  every version back to kOldestVersion and migrates it. */
-    static constexpr unsigned kVersion = 2;
+    static constexpr unsigned kVersion = 3;
     static constexpr unsigned kOldestVersion = 1;
 
     rl::RewardWeights weights;   ///< (x, y, z) of Section 4.2
-    rl::AgentParams agent;       ///< schedule + seed + ExploreSpec
+    rl::AgentParams agent;       ///< schedule + seed + strategy specs
     /** How this model's shards were folded (metadata the training
      *  driver stamps; defaults for online-trained policies). */
     rl::MergeSpec merge;
     unsigned iteration = 0;      ///< schedule position
     bool frozen = false;         ///< evaluation mode
     std::array<std::uint64_t, 4> rngState{}; ///< exploration stream
-    rl::QTable table;            ///< Q-values + visit counts
+    rl::Model model;             ///< learned backend + training mass
     rl::RewardTracker tracker;   ///< per-accelerator min/max history
 
     /** Snapshot @p policy's full learning state. */
@@ -71,9 +75,9 @@ struct PolicyCheckpoint
 
     /**
      * Parse a save() stream. Fails loudly on malformed input — wrong
-     * magic/version/dimensions, truncation, non-finite values,
-     * invalid hyper-parameters, out-of-order tracker entries, a
-     * missing end marker, or trailing garbage.
+     * magic/version/dimensions, an unknown model backend, truncation,
+     * non-finite values, invalid hyper-parameters, out-of-order
+     * tracker entries, a missing end marker, or trailing garbage.
      * @throws FatalError on malformed input
      */
     static PolicyCheckpoint load(std::istream &is);

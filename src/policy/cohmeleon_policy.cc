@@ -11,8 +11,8 @@ CohmeleonPolicy::CohmeleonPolicy(CohmeleonParams params)
 {
 }
 
-rl::StateTuple
-CohmeleonPolicy::senseState(const rt::DecisionContext &ctx)
+rl::StateInputs
+CohmeleonPolicy::senseInputs(const rt::DecisionContext &ctx)
 {
     const rt::SystemStatus &st = *ctx.status;
     rl::StateInputs in;
@@ -24,18 +24,35 @@ CohmeleonPolicy::senseState(const rt::DecisionContext &ctx)
     in.accFootprintBytes = ctx.footprintBytes;
     in.l2Bytes = ctx.l2Bytes;
     in.llcSliceBytes = ctx.llcSliceBytes;
-    return rl::encodeState(in);
+    return in;
+}
+
+rl::StateTuple
+CohmeleonPolicy::senseState(const rt::DecisionContext &ctx)
+{
+    return rl::encodeState(senseInputs(ctx));
 }
 
 coh::CoherenceMode
 CohmeleonPolicy::decide(const rt::DecisionContext &ctx,
                         std::uint64_t &tagOut)
 {
-    const rl::StateTuple state = senseState(ctx);
-    const unsigned action =
-        agent_.chooseAction(state.index(), ctx.availableModes);
-    tagOut = static_cast<std::uint64_t>(state.index()) * rl::kNumActions +
-             action;
+    const rl::ModelFeatures f =
+        rl::ModelFeatures::fromInputs(senseInputs(ctx));
+    const unsigned action = agent_.chooseAction(f, ctx.availableModes);
+    if (agent_.params().model.kind == rl::ModelSpec::Kind::kTabular) {
+        // The tag IS the (state, action) key — feedback recovers the
+        // model entry from it alone, as it always has.
+        tagOut = static_cast<std::uint64_t>(f.state) * rl::kNumActions +
+                 action;
+    } else {
+        // Feature-based backends need the raw inputs back at feedback
+        // time; park them under a fresh tag until the invocation
+        // finishes. Tags are handed out in decision order, so the
+        // scheme is as deterministic as the decisions themselves.
+        tagOut = nextTag_++;
+        pending_.emplace(tagOut, PendingDecision{f, action});
+    }
     return static_cast<coh::CoherenceMode>(action);
 }
 
@@ -64,10 +81,20 @@ CohmeleonPolicy::measureOf(const rt::InvocationRecord &rec)
 void
 CohmeleonPolicy::feedback(const rt::InvocationRecord &rec)
 {
-    const unsigned state =
-        static_cast<unsigned>(rec.policyTag / rl::kNumActions);
-    const unsigned action =
-        static_cast<unsigned>(rec.policyTag % rl::kNumActions);
+    rl::ModelFeatures features;
+    unsigned action = 0;
+    if (rec.policyTag < kPendingTagBase) {
+        features = rl::ModelFeatures::fromState(
+            static_cast<unsigned>(rec.policyTag / rl::kNumActions));
+        action = static_cast<unsigned>(rec.policyTag % rl::kNumActions);
+    } else {
+        const auto it = pending_.find(rec.policyTag);
+        if (it == pending_.end())
+            return; // not one of our decisions (stale/foreign tag)
+        features = it->second.features;
+        action = it->second.action;
+        pending_.erase(it);
+    }
     const rl::InvocationMeasure m = measureOf(rec);
     // Degenerate measurements (overflowed monitors, NaN attribution)
     // must not reach the learner; the tracker also guards itself, but
@@ -79,8 +106,8 @@ CohmeleonPolicy::feedback(const rt::InvocationRecord &rec)
     if (!std::isfinite(r))
         return;
     // The components are clamped to [0, 1], so r already is; saturate
-    // defensively anyway — the Q-table must stay finite and bounded.
-    agent_.learn(state, action, std::clamp(r, 0.0, 1.0));
+    // defensively anyway — the model must stay finite and bounded.
+    agent_.learn(features, action, std::clamp(r, 0.0, 1.0));
 }
 
 } // namespace cohmeleon::policy

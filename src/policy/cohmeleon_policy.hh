@@ -3,14 +3,23 @@
  * The Cohmeleon policy: the paper's contribution, wiring the sensed
  * SystemStatus through the Table-3 state encoder into the Q-learning
  * agent, and converting finished invocations into the multi-objective
- * reward that updates the Q-table online.
+ * reward that updates the learned model online.
+ *
+ * The model backend is pluggable (rl::ModelSpec in the agent params):
+ * tabular decisions tag invocations with state * kNumActions + action
+ * (the tag *is* the lookup key, as in PR 3), while feature-based
+ * backends need the raw sensed inputs back at feedback time, so their
+ * decisions tag a pending-features entry the feedback path consumes.
  */
 
 #ifndef COHMELEON_POLICY_COHMELEON_POLICY_HH
 #define COHMELEON_POLICY_COHMELEON_POLICY_HH
 
+#include <unordered_map>
+
 #include "policy/policy.hh"
 #include "rl/agent.hh"
+#include "rl/learned_model.hh"
 #include "rl/reward.hh"
 #include "rl/state_encoder.hh"
 
@@ -21,7 +30,7 @@ namespace cohmeleon::policy
 struct CohmeleonParams
 {
     rl::RewardWeights weights;   ///< (x, y, z) of Section 4.2
-    rl::AgentParams agent;       ///< epsilon/alpha schedule
+    rl::AgentParams agent;       ///< epsilon/alpha schedule + model
 };
 
 /** Learning-based coherence selection (paper Section 4). */
@@ -35,7 +44,7 @@ class CohmeleonPolicy : public rt::CoherencePolicy
     void feedback(const rt::InvocationRecord &rec) override;
     std::string_view name() const override { return "cohmeleon"; }
 
-    /** Q-table lookup + epsilon draw + status read. */
+    /** Model lookup + epsilon draw + status read. */
     Cycles decisionCost() const override { return 180; }
 
     void onIterationEnd() override { agent_.advanceIteration(); }
@@ -50,6 +59,15 @@ class CohmeleonPolicy : public rt::CoherencePolicy
     const rl::RewardTracker &rewardTracker() const { return tracker_; }
     const CohmeleonParams &params() const { return params_; }
 
+    /** First tag value of the pending-features scheme; tags below it
+     *  are tabular state * kNumActions + action encodings. */
+    static constexpr std::uint64_t kPendingTagBase =
+        std::uint64_t(rl::StateTuple::kNumStates) * rl::kNumActions;
+
+    /** Sense the raw decision inputs (un-bucketed), exposed for the
+     *  serve path and tests. */
+    static rl::StateInputs senseInputs(const rt::DecisionContext &ctx);
+
     /** Sense + encode, exposed for tests. */
     static rl::StateTuple senseState(const rt::DecisionContext &ctx);
 
@@ -58,9 +76,19 @@ class CohmeleonPolicy : public rt::CoherencePolicy
         const rt::InvocationRecord &rec);
 
   private:
+    struct PendingDecision
+    {
+        rl::ModelFeatures features;
+        unsigned action = 0;
+    };
+
     CohmeleonParams params_;
     rl::QLearningAgent agent_;
     rl::RewardTracker tracker_;
+    /** Feature-based backends only: decisions awaiting feedback,
+     *  keyed by tag. */
+    std::unordered_map<std::uint64_t, PendingDecision> pending_;
+    std::uint64_t nextTag_ = kPendingTagBase;
 };
 
 } // namespace cohmeleon::policy

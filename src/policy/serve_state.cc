@@ -1,13 +1,10 @@
 #include "policy/serve_state.hh"
 
-#include <array>
-#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
-#include "rl/state_encoder.hh"
 #include "sim/atomic_file.hh"
 #include "sim/logging.hh"
 
@@ -37,62 +34,21 @@ expectKeyword(std::istream &is, const char *keyword)
             keyword, "', got '", got, "'");
 }
 
-/** Checkpoint-style table block: per-entry values then visits. */
-void
-saveTable(std::ostream &os, const rl::QTable &table)
-{
-    os << "qtable " << rl::StateTuple::kNumStates << ' '
-       << rl::kNumActions << '\n';
-    for (unsigned s = 0; s < rl::StateTuple::kNumStates; ++s) {
-        for (unsigned a = 0; a < rl::kNumActions; ++a)
-            os << table.q(s, a) << ' ';
-        for (unsigned a = 0; a < rl::kNumActions; ++a)
-            os << table.visits(s, a)
-               << (a + 1 < rl::kNumActions ? ' ' : '\n');
-    }
-}
-
-rl::QTable
-loadTable(std::istream &is)
-{
-    expectKeyword(is, "qtable");
-    const unsigned states = expect<unsigned>(is, "state count");
-    const unsigned actions = expect<unsigned>(is, "action count");
-    fatalIf(states != rl::StateTuple::kNumStates ||
-                actions != rl::kNumActions,
-            "serve state Q-table dimensions ", states, "x", actions,
-            " do not match the ", rl::StateTuple::kNumStates, "x",
-            rl::kNumActions, " state space");
-    rl::QTable table;
-    for (unsigned s = 0; s < states; ++s) {
-        std::array<double, rl::kNumActions> q{};
-        for (unsigned a = 0; a < actions; ++a) {
-            q[a] = expect<double>(is, "Q-value");
-            fatalIf(!std::isfinite(q[a]),
-                    "non-finite Q-value in serve state at state ", s,
-                    " action ", a);
-        }
-        for (unsigned a = 0; a < actions; ++a) {
-            const std::uint64_t visits =
-                expect<std::uint64_t>(is, "visit count");
-            table.setEntry(s, a, q[a], visits);
-        }
-    }
-    return table;
-}
-
 } // namespace
 
 void
 ServeState::save(std::ostream &os) const
 {
+    panic_if(hasStaging && !(staging.spec() == serving.spec()),
+             "serving and staging models must share one backend");
     os.precision(17);
     os << kMagic << ' ' << kVersion << '\n';
+    os << "model " << rl::toString(serving.spec()) << '\n';
     os << "serving-gen " << servingGen << '\n';
-    saveTable(os, serving);
+    serving.save(os);
     os << "staging " << (hasStaging ? 1 : 0) << '\n';
     if (hasStaging)
-        saveTable(os, staging);
+        staging.save(os);
     os << "end\n";
 }
 
@@ -104,18 +60,35 @@ ServeState::load(std::istream &is)
     fatalIf(magic != kMagic, "not a Cohmeleon serve state (magic '",
             magic, "')");
     const unsigned version = expect<unsigned>(is, "version");
-    fatalIf(version != kVersion, "unsupported serve state version ",
-            version, " (this build reads version ", kVersion, ")");
+    fatalIf(version < kOldestVersion || version > kVersion,
+            "unsupported serve state version ", version,
+            " (this build reads versions ", kOldestVersion,
+            " through ", kVersion, ")");
+    // v1 predates the model axis: its bare Q-table blocks load as
+    // the tabular default, byte-compatibly.
+    rl::ModelSpec spec;
+    if (version >= 2) {
+        expectKeyword(is, "model");
+        try {
+            spec = rl::modelSpecFromString(
+                expect<std::string>(is, "model spec"));
+        } catch (const FatalError &e) {
+            fatal("malformed model in serve state: ", e.what());
+        }
+    }
     expectKeyword(is, "serving-gen");
     state.servingGen = expect<std::uint64_t>(is, "serving generation");
-    state.serving = loadTable(is);
+    state.serving = rl::Model(spec);
+    state.serving.load(is);
     expectKeyword(is, "staging");
     const unsigned hasStaging = expect<unsigned>(is, "staging flag");
     fatalIf(hasStaging > 1, "malformed serve state: staging flag ",
             hasStaging);
     state.hasStaging = hasStaging == 1;
-    if (state.hasStaging)
-        state.staging = loadTable(is);
+    if (state.hasStaging) {
+        state.staging = rl::Model(spec);
+        state.staging.load(is);
+    }
     expectKeyword(is, "end");
     return state;
 }

@@ -1,16 +1,21 @@
 /**
  * @file
  * Persistent state of a serving session: the published (serving)
- * Q-table plus, when the background trainer was ahead of the decision
- * loop at drain time, the staged next-generation table.
+ * model plus, when the background trainer was ahead of the decision
+ * loop at drain time, the staged next-generation model.
  *
  * A drained serve process saves both live buffers so a restart loses
- * no training work: the serving table becomes the new session's
- * generation 0 and the staged table (when present) is published as
+ * no training work: the serving model becomes the new session's
+ * generation 0 and the staged model (when present) is published as
  * generation 1 without retraining. Like PolicyCheckpoint, the format
  * is versioned line-oriented text with max-precision doubles —
  * load(save(x)) == x exactly, and two states are byte-identical iff
  * they are the same state.
+ *
+ * Format history: v1 (PR 9) carried bare Q-table blocks; v2 (this PR)
+ * adds a "model <spec>" line (rl::ModelSpec canonical text) and
+ * backend-specific model blocks. v1 streams migrate to tabular —
+ * their Q-table block is the v2 tabular block, byte for byte.
  */
 
 #ifndef COHMELEON_POLICY_SERVE_STATE_HH
@@ -20,7 +25,7 @@
 #include <iosfwd>
 #include <string>
 
-#include "rl/qtable.hh"
+#include "rl/learned_model.hh"
 
 namespace cohmeleon::policy
 {
@@ -28,21 +33,23 @@ namespace cohmeleon::policy
 /** Serving + staging snapshot of a drained serve session. */
 struct ServeState
 {
-    static constexpr unsigned kVersion = 1;
+    static constexpr unsigned kVersion = 2;
+    static constexpr unsigned kOldestVersion = 1;
 
-    /** Generation the serving table had reached when saved. */
+    /** Generation the serving model had reached when saved. */
     std::uint64_t servingGen = 0;
-    rl::QTable serving;
+    rl::Model serving;
 
     /** Present when the trainer had staged generation
      *  servingGen + 1 that serving never consumed. */
     bool hasStaging = false;
-    rl::QTable staging;
+    rl::Model staging;
 
     void save(std::ostream &os) const;
 
-    /** @throws FatalError on wrong magic, unsupported version, or a
-     *          malformed stream */
+    /** @throws FatalError on wrong magic, an unsupported (future)
+     *          version, an unknown model backend, or a malformed
+     *          stream */
     static ServeState load(std::istream &is);
 
     /** Atomic file write (temp + rename). @throws FatalError */

@@ -9,7 +9,7 @@ namespace cohmeleon::rl
 {
 
 QLearningAgent::QLearningAgent(AgentParams params)
-    : params_(params), rng_(params.seed)
+    : params_(params), model_(params.model), rng_(params.seed)
 {
     fatalIf(params.epsilon0 < 0.0 || params.epsilon0 > 1.0,
             "epsilon0 must be in [0, 1]");
@@ -47,13 +47,12 @@ QLearningAgent::epsilon() const
 }
 
 double
-QLearningAgent::epsilonFor(unsigned state) const
+QLearningAgent::epsilonFor(const ModelFeatures &f) const
 {
     if (frozen_)
         return 0.0;
     if (params_.explore.kind == ExploreSpec::Kind::kVisitCount) {
-        const double n =
-            static_cast<double>(table_.stateVisits(state));
+        const double n = static_cast<double>(model_.stateVisits(f));
         return std::min(params_.epsilon0,
                         params_.explore.visitScale /
                             std::sqrt(1.0 + n));
@@ -68,7 +67,8 @@ QLearningAgent::alpha() const
 }
 
 unsigned
-QLearningAgent::chooseAction(unsigned state, std::uint8_t availMask)
+QLearningAgent::chooseAction(const ModelFeatures &f,
+                             std::uint8_t availMask)
 {
     panic_if((availMask & ((1u << kNumActions) - 1)) == 0,
              "no available action");
@@ -82,13 +82,13 @@ QLearningAgent::chooseAction(unsigned state, std::uint8_t availMask)
         unsigned untried[kNumActions];
         unsigned nUntried = 0;
         for (unsigned a = 0; a < kNumActions; ++a) {
-            if ((availMask & (1u << a)) && !table_.tried(state, a))
+            if ((availMask & (1u << a)) && !model_.tried(f, a))
                 untried[nUntried++] = a;
         }
         if (nUntried > 0)
             return untried[rng_.uniformInt(nUntried)];
     }
-    if (!frozen_ && rng_.bernoulli(epsilonFor(state))) {
+    if (!frozen_ && rng_.bernoulli(epsilonFor(f))) {
         // Exploration: uniform over the available actions.
         unsigned options[kNumActions];
         unsigned n = 0;
@@ -101,8 +101,8 @@ QLearningAgent::chooseAction(unsigned state, std::uint8_t availMask)
     // Greedy with uniform tie-breaking, so an untrained model (all
     // zeros) behaves exactly like the Random policy — the paper's
     // "iteration 0" datapoint — instead of biasing toward action 0.
-    // One row read up front instead of a bounds-checked q() per action.
-    const auto &row = table_.row(state);
+    double row[kNumActions];
+    model_.qValues(f, row);
     double best = 0.0;
     unsigned ties[kNumActions];
     unsigned n = 0;
@@ -122,14 +122,15 @@ QLearningAgent::chooseAction(unsigned state, std::uint8_t availMask)
 }
 
 void
-QLearningAgent::learn(unsigned state, unsigned action, double reward)
+QLearningAgent::learn(const ModelFeatures &f, unsigned action,
+                      double reward)
 {
     if (frozen_)
         return;
     const double a = alpha();
     if (a <= 0.0)
         return;
-    table_.update(state, action, reward, a);
+    model_.update(f, action, reward, a);
 }
 
 void
@@ -141,7 +142,7 @@ QLearningAgent::advanceIteration()
 void
 QLearningAgent::reset()
 {
-    table_.resetToZero();
+    model_.resetToZero();
     iteration_ = 0;
     frozen_ = false;
     rng_ = Rng(params_.seed);

@@ -7,7 +7,7 @@
 namespace cohmeleon::rl
 {
 
-SwapTableHandle::SwapTableHandle(QTable initial,
+SwapTableHandle::SwapTableHandle(Model initial,
                                  std::vector<std::uint64_t> readsPerGen)
     : readsPerGen_(std::move(readsPerGen)),
       retired_(readsPerGen_.size(), 0)
@@ -30,7 +30,7 @@ SwapTableHandle::publishedGen() const
     return published_;
 }
 
-const QTable &
+const Model &
 SwapTableHandle::acquire(std::uint64_t gen)
 {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -60,7 +60,7 @@ SwapTableHandle::release(std::uint64_t gen)
 }
 
 bool
-SwapTableHandle::publish(std::uint64_t gen, QTable table)
+SwapTableHandle::publish(std::uint64_t gen, Model table)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     if (aborted_)
@@ -94,7 +94,7 @@ SwapTableHandle::abortWaits()
     cv_.notify_all();
 }
 
-const QTable &
+const Model &
 SwapTableHandle::tableAt(std::uint64_t gen) const
 {
     std::lock_guard<std::mutex> lock(mutex_);

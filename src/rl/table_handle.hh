@@ -1,10 +1,10 @@
 /**
  * @file
- * Double-buffered, generation-published Q-table handle: the swap
- * point between the serving loop's concurrent readers and the
+ * Double-buffered, generation-published learned-model handle: the
+ * swap point between the serving loop's concurrent readers and the
  * background trainer's staged models.
  *
- * Two QTable slots alternate roles. The published slot serves
+ * Two Model slots alternate roles. The published slot serves
  * decisions; the other is the staging buffer the trainer writes the
  * next generation into. publish() flips the roles atomically (one
  * mutex-guarded index bump), so readers never observe a
@@ -41,12 +41,12 @@
 #include <mutex>
 #include <vector>
 
-#include "rl/qtable.hh"
+#include "rl/learned_model.hh"
 
 namespace cohmeleon::rl
 {
 
-/** Swap-safe serving/staging pair of Q-tables (see file comment). */
+/** Swap-safe serving/staging pair of models (see file comment). */
 class SwapTableHandle
 {
   public:
@@ -56,7 +56,7 @@ class SwapTableHandle
      *                  generation will receive in a full run; the
      *                  size is the generation count
      */
-    SwapTableHandle(QTable initial,
+    SwapTableHandle(Model initial,
                     std::vector<std::uint64_t> readsPerGen);
 
     std::uint64_t generations() const;
@@ -71,7 +71,7 @@ class SwapTableHandle
      * @throws FatalError after abortWaits() (drain cancelled the
      *         remaining generations)
      */
-    const QTable &acquire(std::uint64_t gen);
+    const Model &acquire(std::uint64_t gen);
 
     /** Drop the pin taken by acquire(@p gen). */
     void release(std::uint64_t gen);
@@ -84,7 +84,7 @@ class SwapTableHandle
      *         drain path's signal that no reader will ever want this
      *         generation
      */
-    bool publish(std::uint64_t gen, QTable table);
+    bool publish(std::uint64_t gen, Model table);
 
     /**
      * Drain support: wake every blocked acquire()/publish() and make
@@ -100,12 +100,12 @@ class SwapTableHandle
      * publishedGen() or (when publishedGen() > 0) publishedGen()-1.
      * Not safe while readers or the trainer are still running.
      */
-    const QTable &tableAt(std::uint64_t gen) const;
+    const Model &tableAt(std::uint64_t gen) const;
 
   private:
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    QTable slots_[2];                       ///< gen g lives in g % 2
+    Model slots_[2];                       ///< gen g lives in g % 2
     std::vector<std::uint64_t> readsPerGen_;
     std::vector<std::uint64_t> retired_;    ///< completed reads per gen
     std::uint64_t published_ = 0;

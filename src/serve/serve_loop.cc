@@ -26,27 +26,29 @@ namespace
 {
 
 /**
- * Frozen greedy reader of one pinned Q-table generation. Serving
+ * Frozen greedy reader of one pinned model generation. Serving
  * never explores (exploration lives in the background training
- * shards), so decisions are a pure function of (request, table) —
+ * shards), so decisions are a pure function of (request, model) —
  * no per-request RNG, nothing shared between workers, and the
- * decide() stopwatch stays outside every decision input.
+ * decide() stopwatch stays outside every decision input. Works for
+ * any learned-model backend: features are sensed once and handed to
+ * the model whole, so tabular reads reproduce the historic Q-table
+ * lookups bit-exactly while feature backends see the raw inputs.
  */
 class ServingPolicy final : public rt::CoherencePolicy
 {
   public:
-    explicit ServingPolicy(const rl::QTable &table) : table_(table) {}
+    explicit ServingPolicy(const rl::Model &model) : model_(model) {}
 
     coh::CoherenceMode
     decide(const rt::DecisionContext &ctx,
            std::uint64_t &tagOut) override
     {
         const WallTimer timer;
-        const rl::StateTuple tuple =
-            policy::CohmeleonPolicy::senseState(ctx);
-        const unsigned state = tuple.index();
-        const unsigned action =
-            table_.bestAction(state, ctx.availableModes);
+        const rl::ModelFeatures f = rl::ModelFeatures::fromInputs(
+            policy::CohmeleonPolicy::senseInputs(ctx));
+        const unsigned state = f.state;
+        const unsigned action = model_.bestAction(f, ctx.availableModes);
         tagOut = static_cast<std::uint64_t>(state) * rl::kNumActions +
                  action;
         if (!decided_) {
@@ -65,7 +67,7 @@ class ServingPolicy final : public rt::CoherencePolicy
     double decideSeconds() const { return decideSeconds_; }
 
   private:
-    const rl::QTable &table_;
+    const rl::Model &model_;
     unsigned state_ = 0;
     unsigned action_ = 0;
     bool decided_ = false;
@@ -94,7 +96,7 @@ requestApp(const ServeRequest &req)
 /** Train generation @p gen's shard model (fresh, not yet folded).
  *  Serial on the calling (trainer) thread; the per-generation seeds
  *  make every generation's model a pure function of the spec. */
-rl::QTable
+rl::Model
 trainGenerationModel(const ServeSpec &spec, const soc::SocConfig &cfg,
                      std::uint64_t gen)
 {
@@ -106,9 +108,10 @@ trainGenerationModel(const ServeSpec &spec, const soc::SocConfig &cfg,
     opts.weights = spec.weights;
     opts.merge = spec.merge;
     opts.explore = spec.explore;
+    opts.model = spec.model;
     app::ParallelRunner serial(1);
     app::TrainingDriver driver(serial);
-    return driver.train(cfg, opts).checkpoint.table;
+    return driver.train(cfg, opts).checkpoint.model;
 }
 
 } // namespace
@@ -157,12 +160,17 @@ runServe(const ServeSpec &spec)
 
     // Generation 0: a loaded serving checkpoint, or a synchronous
     // pre-train so the first decisions already come from a model.
-    rl::QTable initial;
+    rl::Model initial(spec.model);
     bool hasPreStaged = false;
-    rl::QTable preStaged;
+    rl::Model preStaged(spec.model);
     if (!spec.loadState.empty()) {
         const policy::ServeState loaded =
             policy::ServeState::loadFile(spec.loadState);
+        fatalIf(!(loaded.serving.spec() == spec.model), "serve state '",
+                spec.loadState, "' holds a '",
+                rl::toString(loaded.serving.spec()),
+                "' model but the spec serves '",
+                rl::toString(spec.model), "'");
         initial = loaded.serving;
         hasPreStaged = loaded.hasStaging;
         if (hasPreStaged)
@@ -204,14 +212,14 @@ runServe(const ServeSpec &spec)
     // ---- background trainer: generations 1..maxGen ------------------
     std::thread trainer([&] {
         try {
-            rl::QTable current = initial;
+            rl::Model current = initial;
             for (std::uint64_t gen = 1; gen <= maxGen; ++gen) {
                 if (trainerStop.load(std::memory_order_relaxed))
                     break;
                 if (gen == 1 && hasPreStaged) {
                     current = preStaged;
                 } else {
-                    rl::QTable next = current;
+                    rl::Model next = current;
                     next.merge(trainGenerationModel(spec, cfg, gen),
                                spec.merge);
                     current = std::move(next);
@@ -248,9 +256,9 @@ runServe(const ServeSpec &spec)
                             runStart + std::chrono::duration<double>(
                                            req.arrivalSec));
                     }
-                    const rl::QTable &table =
+                    const rl::Model &model =
                         handle.acquire(req.generation);
-                    ServingPolicy policy(table);
+                    ServingPolicy policy(model);
                     const WallTimer serviceTimer;
                     const app::AppResult run = app::runPolicyOnApp(
                         policy, cfg, requestApp(req),

@@ -16,60 +16,15 @@ namespace cohmeleon::serve
 namespace
 {
 
+// The scanner and typed value parsers are the shared config plumbing
+// in config_parser.hh; their "line N: ..." diagnostics gain the
+// "serve spec " prefix via the catch-rethrow in parseServeSpecString.
+using app::lineFatal;
+using app::parseDoubleAt;
+using app::parseU32At;
+using app::parseU64At;
 using app::splitList;
 using app::trimText;
-
-[[noreturn]] void
-lineFatal(unsigned lineNo, const std::string &msg)
-{
-    fatal("serve spec line ", lineNo, ": ", msg);
-}
-
-std::uint64_t
-parseU64At(const std::string &text, unsigned lineNo)
-{
-    const std::string t = trimText(text);
-    if (t.empty() || !std::isdigit(static_cast<unsigned char>(t[0])))
-        lineFatal(lineNo, "expected a number, got '" + text + "'");
-    try {
-        std::size_t used = 0;
-        const std::uint64_t n = std::stoull(t, &used);
-        if (used != t.size())
-            lineFatal(lineNo, "trailing garbage in number '" + t + "'");
-        return n;
-    } catch (const FatalError &) {
-        throw;
-    } catch (const std::exception &) {
-        lineFatal(lineNo, "malformed number '" + t + "'");
-    }
-}
-
-unsigned
-parseU32At(const std::string &text, unsigned lineNo)
-{
-    const std::uint64_t n = parseU64At(text, lineNo);
-    if (n > UINT32_MAX)
-        lineFatal(lineNo, "number '" + trimText(text) + "' too large");
-    return static_cast<unsigned>(n);
-}
-
-double
-parseDoubleAt(const std::string &text, unsigned lineNo)
-{
-    const std::string t = trimText(text);
-    try {
-        std::size_t used = 0;
-        const double v = std::stod(t, &used);
-        if (used != t.size())
-            lineFatal(lineNo,
-                      "trailing garbage in number '" + t + "'");
-        return v;
-    } catch (const FatalError &) {
-        throw;
-    } catch (const std::exception &) {
-        lineFatal(lineNo, "malformed number '" + t + "'");
-    }
-}
 
 std::string
 formatDouble(double v)
@@ -89,7 +44,8 @@ ServeSpec::operator==(const ServeSpec &o) const
            threads == o.threads && swapInterval == o.swapInterval &&
            trainIterations == o.trainIterations &&
            trainShards == o.trainShards && merge == o.merge &&
-           explore == o.explore && weights.exec == o.weights.exec &&
+           explore == o.explore && model == o.model &&
+           weights.exec == o.weights.exec &&
            weights.comm == o.weights.comm &&
            weights.mem == o.weights.mem && tenants == o.tenants &&
            arrivalRate == o.arrivalRate && seed == o.seed &&
@@ -152,31 +108,27 @@ validateServeSpec(const ServeSpec &spec)
             "serve spec: arrival-rate must be a finite number >= 0");
 }
 
+namespace
+{
+
+/** The key dispatch behind parseServeSpecString(); throws with bare
+ *  "line N: ..." diagnostics (the caller adds the family prefix). */
 ServeSpec
-parseServeSpecString(const std::string &text)
+parseServeSpecLines(const std::string &text, bool &sawTenants,
+                    std::vector<double> &tenantWeights,
+                    unsigned &tenantWeightsLine)
 {
     ServeSpec spec;
     spec.tenants.clear();
-    bool sawTenants = false;
-    std::vector<double> tenantWeights;
-    unsigned tenantWeightsLine = 0;
 
     std::istringstream is(text);
-    std::string line;
-    unsigned no = 0;
-    while (std::getline(is, line)) {
-        ++no;
-        const std::size_t hash = line.find('#');
-        if (hash != std::string::npos)
-            line.erase(hash);
-        line = trimText(line);
-        if (line.empty())
-            continue;
-        const std::size_t eq = line.find('=');
-        if (eq == std::string::npos)
-            lineFatal(no, "expected 'key = value', got '" + line + "'");
-        const std::string key = trimText(line.substr(0, eq));
-        const std::string value = trimText(line.substr(eq + 1));
+    for (const app::ConfigLine &l : app::scanConfigLines(is)) {
+        if (l.isSection)
+            lineFatal(l.no, "serve specs have no sections (put the "
+                            "keys at top level)");
+        const unsigned no = l.no;
+        const std::string &key = l.key;
+        const std::string &value = l.value;
 
         if (key == "serve") {
             if (value.empty())
@@ -207,6 +159,11 @@ parseServeSpecString(const std::string &text)
             if (!diag.empty())
                 lineFatal(no, diag);
             spec.explore = rl::exploreSpecFromString(value);
+        } else if (key == "model") {
+            const std::string diag = rl::checkModelSpecText(value);
+            if (!diag.empty())
+                lineFatal(no, diag);
+            spec.model = rl::modelSpecFromString(value);
         } else if (key == "reward-weights") {
             const std::vector<std::string> parts = splitList(value, ',');
             if (parts.size() != 3)
@@ -253,19 +210,36 @@ parseServeSpecString(const std::string &text)
             lineFatal(no, "unknown serve key '" + key + "'");
         }
     }
+    return spec;
+}
 
-    if (!sawTenants)
-        spec.tenants.resize(2); // the default mix: random, random
-    if (!tenantWeights.empty()) {
-        if (tenantWeights.size() != spec.tenants.size())
-            lineFatal(tenantWeightsLine,
-                      "tenant-weights has " +
-                          std::to_string(tenantWeights.size()) +
-                          " entries for " +
-                          std::to_string(spec.tenants.size()) +
-                          " tenants");
-        for (std::size_t i = 0; i < tenantWeights.size(); ++i)
-            spec.tenants[i].weight = tenantWeights[i];
+} // namespace
+
+ServeSpec
+parseServeSpecString(const std::string &text)
+{
+    ServeSpec spec;
+    bool sawTenants = false;
+    std::vector<double> tenantWeights;
+    unsigned tenantWeightsLine = 0;
+    try {
+        spec = parseServeSpecLines(text, sawTenants, tenantWeights,
+                                   tenantWeightsLine);
+        if (!sawTenants)
+            spec.tenants.resize(2); // the default mix: random, random
+        if (!tenantWeights.empty()) {
+            if (tenantWeights.size() != spec.tenants.size())
+                lineFatal(tenantWeightsLine,
+                          "tenant-weights has " +
+                              std::to_string(tenantWeights.size()) +
+                              " entries for " +
+                              std::to_string(spec.tenants.size()) +
+                              " tenants");
+            for (std::size_t i = 0; i < tenantWeights.size(); ++i)
+                spec.tenants[i].weight = tenantWeights[i];
+        }
+    } catch (const FatalError &e) {
+        fatal("serve spec ", e.what());
     }
     labelTenants(spec);
     validateServeSpec(spec);
@@ -295,6 +269,7 @@ serializeServeSpec(const ServeSpec &spec)
     os << "shards = " << spec.trainShards << '\n';
     os << "merge = " << rl::toString(spec.merge) << '\n';
     os << "explore = " << rl::toString(spec.explore) << '\n';
+    os << "model = " << rl::toString(spec.model) << '\n';
     os << "reward-weights = " << formatDouble(spec.weights.exec) << ", "
        << formatDouble(spec.weights.comm) << ", "
        << formatDouble(spec.weights.mem) << '\n';

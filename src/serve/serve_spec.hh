@@ -24,6 +24,7 @@
  *     shards = 2
  *     merge = visit-weighted
  *     explore = linear
+ *     model = tabular
  *     tenants = random, fig5
  *     tenant-weights = 2, 1
  *     arrival-rate = 0
@@ -39,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "rl/learned_model.hh"
 #include "rl/reward.hh"
 #include "rl/strategy.hh"
 
@@ -79,6 +81,7 @@ struct ServeSpec
     unsigned trainShards = 2;     ///< per-generation training shards
     rl::MergeSpec merge;          ///< how shard tables fold
     rl::ExploreSpec explore;      ///< shard exploration schedule
+    rl::ModelSpec model;          ///< learned-model backend served
     rl::RewardWeights weights;    ///< reward attribution weights
 
     std::vector<TenantSpec> tenants; ///< default: random, random

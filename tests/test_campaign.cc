@@ -640,7 +640,7 @@ TEST(Transfer, TrainAcrossSocsIsThreadCountInvariant)
     EXPECT_EQ(a.checkpoint.serialized(), b.checkpoint.serialized());
     EXPECT_EQ(a.shards.size(), 4u);
     EXPECT_TRUE(a.checkpoint.frozen);
-    EXPECT_GT(a.checkpoint.table.totalVisits(), 0u);
+    EXPECT_GT(a.checkpoint.model.totalVisits(), 0u);
 
     // Shards on different SoCs see different seeds (global index).
     EXPECT_NE(a.shards[0].seed, a.shards[2].seed);

@@ -205,9 +205,9 @@ TEST(ParallelRunner, TrainingCheckpointInvariantAcrossThreadCounts)
     // Identical greedy policies, asserted independently of the
     // serialization.
     for (unsigned s = 0; s < rl::StateTuple::kNumStates; ++s)
-        EXPECT_EQ(one.checkpoint.table.bestAction(s,
+        EXPECT_EQ(one.checkpoint.model.qtable().bestAction(s,
                                                   coh::kAllModesMask),
-                  four.checkpoint.table.bestAction(s,
+                  four.checkpoint.model.qtable().bestAction(s,
                                                    coh::kAllModesMask))
             << "state " << s;
 }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -19,6 +20,17 @@ using namespace cohmeleon;
 
 namespace
 {
+
+std::string
+diagnosticOf(const std::function<void()> &fn)
+{
+    try {
+        fn();
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
 
 /** Small, fast training setup shared by the checkpoint tests. */
 app::RandomAppParams
@@ -127,7 +139,7 @@ TEST(Checkpoint, RoundTripIsByteExact)
     EXPECT_EQ(restored.iteration, ckpt.iteration);
     EXPECT_EQ(restored.frozen, ckpt.frozen);
     EXPECT_EQ(restored.rngState, ckpt.rngState);
-    EXPECT_EQ(restored.table.totalVisits(), ckpt.table.totalVisits());
+    EXPECT_EQ(restored.model.totalVisits(), ckpt.model.totalVisits());
 }
 
 TEST(Checkpoint, CaptureOfRestoredPolicyIsIdentical)
@@ -213,28 +225,45 @@ TEST(Checkpoint, ResumedTrainingMatchesUninterruptedTraining)
 namespace
 {
 
-/** Down-convert a v2 checkpoint text to the v1 format a PR-3 build
- *  wrote: version field 1, no explore/merge lines. */
+/** Down-convert a v3 checkpoint text to an older version's format:
+ *  v1 (the PR-3 layout: no explore/merge/model lines) or v2 (the
+ *  strategy layout: no model line). The tabular model block is
+ *  byte-identical across all three versions. */
 std::string
-asV1Text(const std::string &v2)
+asVersionText(const std::string &v3, unsigned version)
 {
     std::string out;
-    std::istringstream in(v2);
+    std::istringstream in(v3);
     std::string line;
     bool first = true;
     while (std::getline(in, line)) {
         if (first) {
             const std::size_t space = line.rfind(' ');
-            EXPECT_EQ(line.substr(space + 1), "2");
-            line = line.substr(0, space) + " 1";
+            EXPECT_EQ(line.substr(space + 1), "3");
+            line = line.substr(0, space) + ' ' +
+                   std::to_string(version);
             first = false;
         }
-        if (line.rfind("explore ", 0) == 0 ||
-            line.rfind("merge ", 0) == 0)
+        if (version < 2 && (line.rfind("explore ", 0) == 0 ||
+                            line.rfind("merge ", 0) == 0))
+            continue;
+        if (version < 3 && line.rfind("model ", 0) == 0)
             continue;
         out += line + '\n';
     }
     return out;
+}
+
+std::string
+asV1Text(const std::string &v3)
+{
+    return asVersionText(v3, 1);
+}
+
+std::string
+asV2Text(const std::string &v3)
+{
+    return asVersionText(v3, 2);
 }
 
 } // namespace
@@ -267,21 +296,24 @@ TEST(Checkpoint, V1StreamsMigrateToTheDefaultStrategies)
 {
     // The ROADMAP "checkpoint evolution" contract: a v1 checkpoint
     // (written before the strategy axes existed) loads, takes the
-    // default strategies, and round-trips — as v2 from then on.
+    // default strategies and the tabular backend, and round-trips —
+    // as v3 from then on.
     const soc::SocConfig cfg = test::tinySocConfig();
     const policy::PolicyCheckpoint ckpt =
         policy::PolicyCheckpoint::capture(
             smallTrainedPolicy(cfg, 2, /*freeze=*/true));
     const std::string v1 = asV1Text(ckpt.serialized());
     EXPECT_EQ(v1.find("explore"), std::string::npos);
+    EXPECT_EQ(v1.find("model "), std::string::npos);
 
     std::stringstream in(v1);
     const policy::PolicyCheckpoint migrated =
         policy::PolicyCheckpoint::load(in);
     EXPECT_EQ(migrated.agent.explore, rl::ExploreSpec{});
     EXPECT_EQ(migrated.merge, rl::MergeSpec{});
+    EXPECT_EQ(migrated.model.spec(), rl::ModelSpec{});
     // Everything else survives the migration bit for bit: the
-    // default strategies re-serialize to the original v2 text.
+    // defaults re-serialize to the original v3 text.
     EXPECT_EQ(migrated.serialized(), ckpt.serialized());
     // And a second round trip is a fixed point.
     std::stringstream again(migrated.serialized());
@@ -289,13 +321,191 @@ TEST(Checkpoint, V1StreamsMigrateToTheDefaultStrategies)
               migrated.serialized());
 }
 
-TEST(Checkpoint, V1ResumeIsBitExactAgainstFreshV2Training)
+TEST(Checkpoint, V2StreamsMigrateToTheTabularBackend)
+{
+    // Same contract one version later: a v2 checkpoint (strategy
+    // lines, no model line) keeps its non-default strategies, takes
+    // the tabular backend, and re-saves as v3.
+    const soc::SocConfig cfg = test::tinySocConfig();
+    policy::PolicyCheckpoint ckpt = policy::PolicyCheckpoint::capture(
+        smallTrainedPolicy(cfg, 2, /*freeze=*/true));
+    ckpt.agent.explore = rl::exploreSpecFromString("floor@0.1");
+    ckpt.merge = rl::mergeSpecFromString("recency@0.5");
+    const std::string v2 = asV2Text(ckpt.serialized());
+    EXPECT_NE(v2.find("explore floor@0.1"), std::string::npos);
+    EXPECT_EQ(v2.find("model "), std::string::npos);
+
+    std::stringstream in(v2);
+    const policy::PolicyCheckpoint migrated =
+        policy::PolicyCheckpoint::load(in);
+    EXPECT_EQ(migrated.agent.explore, ckpt.agent.explore);
+    EXPECT_EQ(migrated.merge, ckpt.merge);
+    EXPECT_EQ(migrated.model.spec(), rl::ModelSpec{});
+    EXPECT_EQ(migrated.serialized(), ckpt.serialized());
+    std::stringstream again(migrated.serialized());
+    EXPECT_EQ(policy::PolicyCheckpoint::load(again).serialized(),
+              migrated.serialized());
+}
+
+namespace
+{
+
+/**
+ * Fixture checkpoints pinned byte-for-byte to the historical formats
+ * (independent of the current serializer, so writer drift cannot mask
+ * a migration regression): state 7 carries recognizable Q-values and
+ * visit counts, everything else is fresh.
+ */
+std::string
+pinnedFixture(unsigned version)
+{
+    std::ostringstream os;
+    os << "cohmeleon-checkpoint " << version << '\n';
+    os << "weights 1 0.25 0.5\n";
+    os << "agent 0.5 0.5 4 7 2 0\n";
+    if (version >= 2) {
+        os << "explore floor@0.25\n";
+        os << "merge recency@0.5\n";
+    }
+    os << "rng 11 22 33 44\n";
+    os << "qtable 243 4\n";
+    for (unsigned s = 0; s < 243; ++s) {
+        if (s == 7)
+            os << "1.5 -0.25 0 2 3 1 0 4\n";
+        else
+            os << "0 0 0 0 0 0 0 0\n";
+    }
+    os << "tracker 1\n";
+    os << "0 10 5 2 8\n";
+    os << "end\n";
+    return os.str();
+}
+
+} // namespace
+
+TEST(Checkpoint, PinnedV1AndV2FixturesMigrateAndResaveAsV3)
+{
+    for (const unsigned version : {1u, 2u}) {
+        std::stringstream in(pinnedFixture(version));
+        const policy::PolicyCheckpoint migrated =
+            policy::PolicyCheckpoint::load(in);
+
+        // The learning state survives the migration untouched.
+        EXPECT_EQ(migrated.iteration, 2u) << "v" << version;
+        EXPECT_EQ(migrated.model.spec(), rl::ModelSpec{});
+        EXPECT_DOUBLE_EQ(migrated.model.qtable().q(7, 0), 1.5);
+        EXPECT_DOUBLE_EQ(migrated.model.qtable().q(7, 3), 2.0);
+        EXPECT_EQ(migrated.model.qtable().visits(7, 3), 4u);
+        EXPECT_EQ(migrated.model.totalVisits(), 8u);
+        if (version >= 2) {
+            EXPECT_EQ(migrated.agent.explore,
+                      rl::exploreSpecFromString("floor@0.25"));
+            EXPECT_EQ(migrated.merge,
+                      rl::mergeSpecFromString("recency@0.5"));
+        } else {
+            EXPECT_EQ(migrated.agent.explore, rl::ExploreSpec{});
+            EXPECT_EQ(migrated.merge, rl::MergeSpec{});
+        }
+
+        // Re-saving produces a v3 stream with the model line; loading
+        // that is a fixed point, and the restored policy resumes.
+        const std::string v3 = migrated.serialized();
+        EXPECT_EQ(v3.rfind("cohmeleon-checkpoint 3\n", 0), 0u);
+        EXPECT_NE(v3.find("model tabular\n"), std::string::npos);
+        std::stringstream again(v3);
+        EXPECT_EQ(policy::PolicyCheckpoint::load(again).serialized(),
+                  v3);
+
+        const auto resumed = migrated.makePolicy();
+        EXPECT_EQ(resumed->agent().iteration(), 2u);
+        EXPECT_FALSE(resumed->agent().frozen());
+        const soc::SocConfig cfg = test::tinySocConfig();
+        soc::Soc naming(cfg);
+        app::runTrainingIteration(
+            *resumed, cfg,
+            app::generateRandomApp(naming, Rng(5), smallAppParams()));
+        EXPECT_EQ(resumed->agent().iteration(), 3u);
+    }
+}
+
+TEST(Checkpoint, V2ResumeIsBitExactAgainstFreshV3Training)
+{
+    // Resume-from-v2 must replay learning exactly like an
+    // uninterrupted v3 run: same strategies, same RNG stream, same
+    // visit counts.
+    const soc::SocConfig cfg = test::tinySocConfig();
+    soc::Soc naming(cfg);
+    const app::AppSpec app =
+        app::generateRandomApp(naming, Rng(5), smallAppParams());
+
+    policy::CohmeleonParams params;
+    params.agent.decayIterations = 4;
+    params.agent.explore = rl::exploreSpecFromString("floor@0.1");
+
+    policy::CohmeleonPolicy straight(params);
+    for (unsigned it = 0; it < 4; ++it)
+        app::runTrainingIteration(straight, cfg, app);
+
+    policy::CohmeleonPolicy firstHalf(params);
+    for (unsigned it = 0; it < 2; ++it)
+        app::runTrainingIteration(firstHalf, cfg, app);
+    std::stringstream v2(asV2Text(
+        policy::PolicyCheckpoint::capture(firstHalf).serialized()));
+    const auto resumed =
+        policy::PolicyCheckpoint::load(v2).makePolicy();
+    for (unsigned it = 0; it < 2; ++it)
+        app::runTrainingIteration(*resumed, cfg, app);
+
+    EXPECT_EQ(policy::PolicyCheckpoint::capture(*resumed).serialized(),
+              policy::PolicyCheckpoint::capture(straight).serialized());
+}
+
+TEST(Checkpoint, PerceptronCheckpointRoundTripsAndResumes)
+{
+    // The whole checkpoint contract holds for the non-tabular
+    // backend too: byte-exact round trip, and split training equals
+    // uninterrupted training.
+    const soc::SocConfig cfg = test::tinySocConfig();
+    soc::Soc naming(cfg);
+    const app::AppSpec app =
+        app::generateRandomApp(naming, Rng(5), smallAppParams());
+
+    policy::CohmeleonParams params;
+    params.agent.decayIterations = 4;
+    params.agent.model =
+        rl::modelSpecFromString("perceptron:tables=4,bits=8");
+
+    policy::CohmeleonPolicy straight(params);
+    for (unsigned it = 0; it < 4; ++it)
+        app::runTrainingIteration(straight, cfg, app);
+
+    policy::CohmeleonPolicy firstHalf(params);
+    for (unsigned it = 0; it < 2; ++it)
+        app::runTrainingIteration(firstHalf, cfg, app);
+    std::stringstream persisted;
+    policy::PolicyCheckpoint::capture(firstHalf).save(persisted);
+    const std::string text = persisted.str();
+    EXPECT_NE(text.find("model perceptron:tables=4,bits=8"),
+              std::string::npos);
+    EXPECT_NE(text.find("perceptron 4 8"), std::string::npos);
+
+    const auto resumed =
+        policy::PolicyCheckpoint::load(persisted).makePolicy();
+    EXPECT_EQ(resumed->agent().model().spec(), params.agent.model);
+    for (unsigned it = 0; it < 2; ++it)
+        app::runTrainingIteration(*resumed, cfg, app);
+
+    EXPECT_EQ(policy::PolicyCheckpoint::capture(*resumed).serialized(),
+              policy::PolicyCheckpoint::capture(straight).serialized());
+}
+
+TEST(Checkpoint, V1ResumeIsBitExactAgainstFreshTraining)
 {
     // Regression for the restored-RNG path under the strategy layer:
     // train 2 iterations, persist, strip the checkpoint down to v1,
     // reload (defaults restored, Rng::setState() replays the
     // exploration stream), resume 2 more — must equal an
-    // uninterrupted 4-iteration v2 run with default strategies.
+    // uninterrupted 4-iteration run with default strategies.
     const soc::SocConfig cfg = test::tinySocConfig();
     soc::Soc naming(cfg);
     const app::AppSpec app =
@@ -377,13 +587,25 @@ TEST(Checkpoint, LoadRejectsCorruption)
     EXPECT_THROW(loadOf("not-a-checkpoint 1\n"), FatalError);
     // Unknown *future* versions hard-fail — forward compatibility is
     // never guessed at.
-    const std::string header = "cohmeleon-checkpoint 2";
+    const std::string header = "cohmeleon-checkpoint 3";
     ASSERT_EQ(good.rfind(header, 0), 0u);
-    for (const char *version : {"3", "99", "0"}) {
+    for (const char *version : {"4", "99", "0"}) {
         std::string badVersion = good;
         badVersion.replace(header.size() - 1, 1, version);
         EXPECT_THROW(loadOf(badVersion), FatalError) << version;
     }
+    // Unknown model backends hard-fail with a one-line diagnostic —
+    // no silent fallback to tabular.
+    std::string badModel = good;
+    const std::string modelLine = "model tabular";
+    ASSERT_NE(badModel.find(modelLine), std::string::npos);
+    badModel.replace(badModel.find(modelLine), modelLine.size(),
+                     "model warp-core");
+    const std::string modelDiag =
+        diagnosticOf([&] { loadOf(badModel); });
+    EXPECT_NE(modelDiag.find("warp-core"), std::string::npos);
+    EXPECT_NE(modelDiag.find("malformed model in checkpoint"),
+              std::string::npos);
     // A v2 stream missing its strategy lines is truncation, not a
     // silent fallback to defaults.
     std::string noStrategy = good;

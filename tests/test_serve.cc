@@ -78,10 +78,10 @@ servedAt(unsigned threads)
 
 /** Canonical bytes of a Q-table (QTable::save stream). */
 std::string
-tableBytes(const rl::QTable &table)
+tableBytes(const rl::Model &model)
 {
     std::stringstream os;
-    table.save(os);
+    model.save(os);
     return os.str();
 }
 
@@ -94,6 +94,15 @@ patternedTable(double scale)
         for (unsigned a = 0; a < rl::kNumActions; ++a)
             table.setEntry(s, a, scale * (s + 1) + a, s + a);
     return table;
+}
+
+/** patternedTable() wrapped as a tabular learned model. */
+rl::Model
+patternedModel(double scale)
+{
+    rl::Model model;
+    model.qtable() = patternedTable(scale);
+    return model;
 }
 
 } // namespace
@@ -263,59 +272,59 @@ TEST(RequestGen, FigureTenantOnSmallSocIsDiagnosed)
 
 TEST(SwapTableHandle, GenerationZeroIsPublishedImmediately)
 {
-    rl::SwapTableHandle handle(patternedTable(1.0), {2, 1});
+    rl::SwapTableHandle handle(patternedModel(1.0), {2, 1});
     EXPECT_EQ(handle.generations(), 2u);
     EXPECT_EQ(handle.publishedGen(), 0u);
 
-    const rl::QTable &table = handle.acquire(0);
-    EXPECT_DOUBLE_EQ(table.q(7, 2), 1.0 * 8 + 2);
+    const rl::Model &table = handle.acquire(0);
+    EXPECT_DOUBLE_EQ(table.qtable().q(7, 2), 1.0 * 8 + 2);
     handle.release(0);
 }
 
 TEST(SwapTableHandle, PublishSwapsWithoutDisturbingReaders)
 {
-    rl::SwapTableHandle handle(patternedTable(1.0), {1, 1, 1});
+    rl::SwapTableHandle handle(patternedModel(1.0), {1, 1, 1});
 
-    const rl::QTable &gen0 = handle.acquire(0);
-    EXPECT_TRUE(handle.publish(1, patternedTable(2.0)));
+    const rl::Model &gen0 = handle.acquire(0);
+    EXPECT_TRUE(handle.publish(1, patternedModel(2.0)));
     EXPECT_EQ(handle.publishedGen(), 1u);
 
     // The pinned generation 0 still reads its own table.
-    EXPECT_DOUBLE_EQ(gen0.q(7, 0), 1.0 * 8);
+    EXPECT_DOUBLE_EQ(gen0.qtable().q(7, 0), 1.0 * 8);
     handle.release(0);
 
-    const rl::QTable &gen1 = handle.acquire(1);
-    EXPECT_DOUBLE_EQ(gen1.q(7, 0), 2.0 * 8);
+    const rl::Model &gen1 = handle.acquire(1);
+    EXPECT_DOUBLE_EQ(gen1.qtable().q(7, 0), 2.0 * 8);
     handle.release(1);
 
     // Generation 0 fully retired, so publishing 2 (which overwrites
     // gen 0's slot) completes without blocking.
-    EXPECT_TRUE(handle.publish(2, patternedTable(3.0)));
-    const rl::QTable &gen2 = handle.acquire(2);
-    EXPECT_DOUBLE_EQ(gen2.q(7, 0), 3.0 * 8);
+    EXPECT_TRUE(handle.publish(2, patternedModel(3.0)));
+    const rl::Model &gen2 = handle.acquire(2);
+    EXPECT_DOUBLE_EQ(gen2.qtable().q(7, 0), 3.0 * 8);
     handle.release(2);
 
-    EXPECT_DOUBLE_EQ(handle.tableAt(2).q(7, 0), 3.0 * 8);
-    EXPECT_DOUBLE_EQ(handle.tableAt(1).q(7, 0), 2.0 * 8);
+    EXPECT_DOUBLE_EQ(handle.tableAt(2).qtable().q(7, 0), 3.0 * 8);
+    EXPECT_DOUBLE_EQ(handle.tableAt(1).qtable().q(7, 0), 2.0 * 8);
 }
 
 TEST(SwapTableHandle, AcquireBlocksUntilitsGenerationIsPublished)
 {
-    rl::SwapTableHandle handle(patternedTable(1.0), {1, 1});
+    rl::SwapTableHandle handle(patternedModel(1.0), {1, 1});
     double seen = 0.0;
     std::thread reader([&] {
-        const rl::QTable &gen1 = handle.acquire(1);
-        seen = gen1.q(7, 0);
+        const rl::Model &gen1 = handle.acquire(1);
+        seen = gen1.qtable().q(7, 0);
         handle.release(1);
     });
-    EXPECT_TRUE(handle.publish(1, patternedTable(5.0)));
+    EXPECT_TRUE(handle.publish(1, patternedModel(5.0)));
     reader.join();
     EXPECT_DOUBLE_EQ(seen, 5.0 * 8);
 }
 
 TEST(SwapTableHandle, AbortWaitsReleasesBlockedEndpoints)
 {
-    rl::SwapTableHandle handle(patternedTable(1.0), {2, 1, 1});
+    rl::SwapTableHandle handle(patternedModel(1.0), {2, 1, 1});
 
     // A reader stuck on a generation that will never be published.
     bool readerThrew = false;
@@ -332,10 +341,10 @@ TEST(SwapTableHandle, AbortWaitsReleasesBlockedEndpoints)
     handle.acquire(0);
     handle.release(0);
     handle.acquire(0); // never released
-    EXPECT_TRUE(handle.publish(1, patternedTable(2.0)));
+    EXPECT_TRUE(handle.publish(1, patternedModel(2.0)));
     bool publishCancelled = false;
     std::thread trainer([&] {
-        publishCancelled = !handle.publish(2, patternedTable(3.0));
+        publishCancelled = !handle.publish(2, patternedModel(3.0));
     });
 
     handle.abortWaits();
@@ -449,7 +458,7 @@ TEST(ServeState, RoundTripsWithAndWithoutStaging)
 {
     policy::ServeState state;
     state.servingGen = 3;
-    state.serving = patternedTable(1.5);
+    state.serving = patternedModel(1.5);
 
     std::stringstream plain(state.serialized());
     const policy::ServeState loaded =
@@ -457,17 +466,17 @@ TEST(ServeState, RoundTripsWithAndWithoutStaging)
     EXPECT_EQ(loaded.servingGen, 3u);
     EXPECT_FALSE(loaded.hasStaging);
     EXPECT_EQ(loaded.serialized(), state.serialized());
-    EXPECT_DOUBLE_EQ(loaded.serving.q(7, 1), 1.5 * 8 + 1);
-    EXPECT_EQ(loaded.serving.visits(7, 1), 8u);
+    EXPECT_DOUBLE_EQ(loaded.serving.qtable().q(7, 1), 1.5 * 8 + 1);
+    EXPECT_EQ(loaded.serving.qtable().visits(7, 1), 8u);
 
     state.hasStaging = true;
-    state.staging = patternedTable(-2.0);
+    state.staging = patternedModel(-2.0);
     std::stringstream staged(state.serialized());
     const policy::ServeState both =
         policy::ServeState::load(staged);
     EXPECT_TRUE(both.hasStaging);
     EXPECT_EQ(both.serialized(), state.serialized());
-    EXPECT_DOUBLE_EQ(both.staging.q(7, 0), -2.0 * 8);
+    EXPECT_DOUBLE_EQ(both.staging.qtable().q(7, 0), -2.0 * 8);
 }
 
 TEST(ServeState, FileRoundTripAndDiagnostics)
@@ -475,7 +484,7 @@ TEST(ServeState, FileRoundTripAndDiagnostics)
     test::TempDir dir("serve_state");
     policy::ServeState state;
     state.servingGen = 1;
-    state.serving = patternedTable(4.0);
+    state.serving = patternedModel(4.0);
     state.saveFile(dir.file("model.state"));
 
     const policy::ServeState loaded =

@@ -92,7 +92,7 @@ TEST(TrainingDriver, MergedVisitsEqualSumOfShardVisits)
     for (const app::ShardReport &s : r.shards)
         shardVisits += s.qtableVisits;
     EXPECT_GT(shardVisits, 0u);
-    EXPECT_EQ(r.checkpoint.table.totalVisits(), shardVisits);
+    EXPECT_EQ(r.checkpoint.model.totalVisits(), shardVisits);
 }
 
 TEST(TrainingDriver, CheckpointIsFrozenAndScheduleComplete)
@@ -260,16 +260,16 @@ TEST(TrainingDriver, MergeStrategiesShareVisitsButNotValues)
     recency.merge = rl::mergeSpecFromString("recency@0.5");
     const app::TrainingResult vw = driver.train(cfg, opts);
     const app::TrainingResult rc = driver.train(cfg, recency);
-    EXPECT_EQ(vw.checkpoint.table.totalVisits(),
-              rc.checkpoint.table.totalVisits());
-    EXPECT_EQ(vw.checkpoint.table.updatedEntries(),
-              rc.checkpoint.table.updatedEntries());
+    EXPECT_EQ(vw.checkpoint.model.totalVisits(),
+              rc.checkpoint.model.totalVisits());
+    EXPECT_EQ(vw.checkpoint.model.updatedEntries(),
+              rc.checkpoint.model.updatedEntries());
     bool anyDiff = false;
     for (unsigned s = 0; s < rl::StateTuple::kNumStates && !anyDiff;
          ++s)
         for (unsigned a = 0; a < rl::kNumActions; ++a)
-            anyDiff |= vw.checkpoint.table.q(s, a) !=
-                       rc.checkpoint.table.q(s, a);
+            anyDiff |= vw.checkpoint.model.qtable().q(s, a) !=
+                       rc.checkpoint.model.qtable().q(s, a);
     EXPECT_TRUE(anyDiff);
 }
 
@@ -301,8 +301,8 @@ TEST(TrainingDriver, MoreShardsMeanMoreCoverage)
     const app::TrainingResult rOne = driver.train(cfg, one);
     const app::TrainingResult rMany = driver.train(cfg, many);
     EXPECT_GT(rMany.totalInvocations, rOne.totalInvocations);
-    EXPECT_GE(rMany.checkpoint.table.updatedEntries(),
-              rOne.checkpoint.table.updatedEntries());
-    EXPECT_GT(rMany.checkpoint.table.totalVisits(),
-              rOne.checkpoint.table.totalVisits());
+    EXPECT_GE(rMany.checkpoint.model.updatedEntries(),
+              rOne.checkpoint.model.updatedEntries());
+    EXPECT_GT(rMany.checkpoint.model.totalVisits(),
+              rOne.checkpoint.model.totalVisits());
 }

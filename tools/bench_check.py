@@ -14,7 +14,8 @@ printed for context but never fail the build.
 Re-baselining (after an intentional perf change):
 
     cmake --build build -j && (cd build && ./bench_kernel &&
-        ./bench_mem && ./bench_train && ./bench_serve)
+        ./bench_mem && ./bench_train && ./bench_serve &&
+        ./bench_perceptron)
     python3 tools/bench_check.py --results build --update
 
 and commit the refreshed bench/baselines/*.json.
@@ -48,6 +49,15 @@ GATED_FIELDS = {
         "generations",
         "hot_swaps",
         "decision_logs_identical",
+    ],
+    # Deterministic training-mass and coverage counts; the perceptron
+    # entries_covered in particular pins the feature-hash layout, so
+    # an accidental hash change trips the gate.
+    "BENCH_perceptron.json": [
+        "train_invocations",
+        "sh4.tabular.q_updates",
+        "sh4.perceptron.q_updates",
+        "sh4.perceptron.entries_covered",
     ],
 }
 

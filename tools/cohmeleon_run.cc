@@ -65,7 +65,8 @@ usage()
         "    --scenario FILE    load a .scenario file (flags "
         "override)\n"
         "    --soc NAME         SoC preset (default soc1)\n"
-        "    --policy NAME      policy, e.g. cohmeleon, manual@16K\n"
+        "    --policy NAME      policy, e.g. cohmeleon, manual@16K,\n"
+        "                       cohmeleon@perceptron:tables=16,bits=12\n"
         "    --app FILE         application config file\n"
         "    --figure-app NAME  registered figure app (fig5)\n"
         "    --train N          training iterations (default 10)\n"
@@ -74,6 +75,8 @@ usage()
         "                       recency@D, reward-norm)\n"
         "    --explore S        exploration schedule (linear,\n"
         "                       floor@F, visit@S)\n"
+        "    --model M          learned-model backend (tabular,\n"
+        "                       perceptron:tables=T,bits=B)\n"
         "    --seed N           evaluation-app seed (default 2022)\n"
         "    --train-seed N     training-app seed (default 2021)\n"
         "    --agent-seed N     exploration seed (default 7)\n"
@@ -87,7 +90,8 @@ usage()
         "    --soc NAME[,NAME...]  one SoC, or several for cross-SoC\n"
         "                          transfer training (merged model)\n"
         "    --train N --shards N --jobs N\n"
-        "    --merge S --explore S   strategy axes (see run)\n"
+        "    --merge S --explore S --model M   strategy axes (see "
+        "run)\n"
         "    --train-seed N --agent-seed N\n"
         "    -o F / --save-model F   output checkpoint (required)\n"
         "  compare   the eight-policy protocol on one SoC\n"
@@ -125,7 +129,8 @@ usage()
         "                       (default 3)\n"
         "    --shards N         training shards per generation\n"
         "                       (default 2)\n"
-        "    --merge S --explore S   strategy axes (see run)\n"
+        "    --merge S --explore S --model M   strategy axes (see "
+        "run)\n"
         "    --tenants LIST     request mix: comma list of tenant\n"
         "                       sources (random or a figure app)\n"
         "    --tenant-weights L relative arrival shares (one per\n"
@@ -262,6 +267,17 @@ validatedExplore(const std::string &text)
         std::exit(2);
     }
     return rl::exploreSpecFromString(text);
+}
+
+rl::ModelSpec
+validatedModel(const std::string &text)
+{
+    const std::string err = rl::checkModelSpecText(text);
+    if (!err.empty()) {
+        std::fprintf(stderr, "fatal: %s\n", err.c_str());
+        std::exit(2);
+    }
+    return rl::modelSpecFromString(text);
 }
 
 /** Parse-time fault-plan validation via the shared validator. */
@@ -429,6 +445,8 @@ cmdRun(Args &args)
             s.merge = validatedMerge(args.value());
         else if (args.next("--explore"))
             s.explore = validatedExplore(args.value());
+        else if (args.next("--model"))
+            s.model = validatedModel(args.value());
         else if (args.next("--seed"))
             s.evalSeed = args.number(UINT64_MAX);
         else if (args.next("--train-seed"))
@@ -500,6 +518,8 @@ cmdTrain(Args &args)
             topts.merge = validatedMerge(args.value());
         else if (args.next("--explore"))
             topts.explore = validatedExplore(args.value());
+        else if (args.next("--model"))
+            topts.model = validatedModel(args.value());
         else if (args.next("--jobs"))
             jobs = static_cast<unsigned>(args.number(1024));
         else if (args.next("--train-seed"))
@@ -536,14 +556,16 @@ cmdTrain(Args &args)
     }
     tres.checkpoint.saveFile(saveModel);
     std::printf("trained on %llu invocations in %.2fs (%llu "
-                "q-updates, %llu/%u entries covered)\n",
+                "q-updates, %llu/%llu entries covered, %s model)\n",
                 static_cast<unsigned long long>(tres.totalInvocations),
                 timer.seconds(),
                 static_cast<unsigned long long>(
-                    tres.checkpoint.table.totalVisits()),
+                    tres.checkpoint.model.totalVisits()),
                 static_cast<unsigned long long>(
-                    tres.checkpoint.table.updatedEntries()),
-                rl::StateTuple::kNumStates * rl::kNumActions);
+                    tres.checkpoint.model.updatedEntries()),
+                static_cast<unsigned long long>(rl::entryCapacity(
+                    tres.checkpoint.model.spec())),
+                rl::toString(tres.checkpoint.model.spec()).c_str());
     std::printf("saved model to %s\n", saveModel.c_str());
     return 0;
 }
@@ -869,6 +891,8 @@ cmdServe(Args &args)
             spec.merge = validatedMerge(args.value());
         } else if (args.next("--explore")) {
             spec.explore = validatedExplore(args.value());
+        } else if (args.next("--model")) {
+            spec.model = validatedModel(args.value());
         } else if (args.next("--tenants")) {
             spec.tenants.clear();
             for (const std::string &part :
@@ -1063,7 +1087,8 @@ cmdList()
     std::printf("\npolicies:");
     for (const std::string &n : app::standardPolicyNames())
         std::printf(" %s", n.c_str());
-    std::printf(" manual@SIZE");
+    std::printf(" manual@SIZE cohmeleon@MODEL");
+    std::printf("\nmodel backends: tabular perceptron:tables=T,bits=B");
     std::printf("\ncampaigns:");
     for (const std::string &n : app::namedCampaignNames())
         std::printf(" %s", n.c_str());
